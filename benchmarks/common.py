@@ -1,0 +1,258 @@
+"""Shared benchmark infrastructure.
+
+The paper's setup (Sec. 7): |O| = 131,461 LA street MBRs, synthetic
+entity sets with |P| from 0.01|O| to 10|O| following the obstacle
+distribution, workloads of 200 queries, R*-trees with 4 KB pages and
+LRU buffers of 10 % per tree.
+
+Scaled-down defaults keep the pure-Python benches tractable; the
+scaling preserves the paper's *regimes*:
+
+* ``REPRO_BENCH_O`` (default 2,000) — obstacle cardinality.  Query
+  ranges given as a fraction of the universe side are multiplied by
+  ``sqrt(131461 / |O|)`` so the expected number of obstacles/entities
+  per query disk matches the paper's.
+* ``REPRO_BENCH_QUERIES`` (default 8) — queries per workload (the paper
+  uses 200; the shapes stabilise far earlier).
+* ``REPRO_BENCH_PAGE_ENTRIES`` (default 64) — R-tree fanout.  The
+  paper's 204-entry nodes would make a 2,000-object tree two levels
+  deep everywhere; 64 restores the multi-level structure that makes
+  page-access curves meaningful at small scale.
+
+Every metric dict produced here uses the same keys, so the pytest
+benches and the standalone ``run_all.py`` share one code path.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from functools import lru_cache
+
+from repro.core.engine import ObstacleDatabase
+from repro.datasets.synthetic import (
+    DEFAULT_UNIVERSE,
+    Workload,
+    entities_following_obstacles,
+    query_points,
+    street_grid_obstacles,
+)
+from repro.geometry.point import Point
+from repro.stats.timing import Timer
+
+#: The paper's obstacle cardinality (LA streets).
+PAPER_OBSTACLES = 131_461
+
+BENCH_O = int(os.environ.get("REPRO_BENCH_O", "2000"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "8"))
+BENCH_PAGE_ENTRIES = int(os.environ.get("REPRO_BENCH_PAGE_ENTRIES", "64"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+#: The x-axis values of the paper's figures.
+CARDINALITY_RATIOS = (0.1, 0.5, 1.0, 2.0, 10.0)
+JOIN_RATIOS = (0.01, 0.05, 0.1, 0.5, 1.0)
+RANGE_FRACTIONS = (0.0001, 0.0005, 0.001, 0.005, 0.01)
+JOIN_RANGE_FRACTIONS = (0.00001, 0.00005, 0.0001, 0.0005, 0.001)
+K_VALUES = (1, 4, 16, 64, 256)
+
+
+def scale_factor() -> float:
+    """Range multiplier keeping per-disk object counts at paper levels."""
+    return math.sqrt(PAPER_OBSTACLES / BENCH_O)
+
+
+def scaled_range(fraction: float) -> float:
+    """A query range given as a fraction of the universe side, rescaled
+    for the reduced obstacle cardinality.
+
+    Per-query disks: the sqrt scaling keeps the expected number of
+    obstacles and entities per disk at the paper's levels (both scale
+    with cardinality x area).
+    """
+    side = DEFAULT_UNIVERSE.width
+    return fraction * side * scale_factor()
+
+
+def scaled_join_range(fraction: float) -> float:
+    """Join distance rescaled for the reduced cardinalities.
+
+    Join outputs scale with |S| x |T| x e^2; both cardinalities shrink
+    by ``PAPER_OBSTACLES / BENCH_O``, so ``e`` must grow *linearly* by
+    the same factor to preserve the paper's result sizes (and with
+    them the number of obstructed-distance evaluations).
+    """
+    side = DEFAULT_UNIVERSE.width
+    return fraction * side * (PAPER_OBSTACLES / BENCH_O)
+
+
+@lru_cache(maxsize=4)
+def bench_workload(
+    n_obstacles: int, entity_spec: tuple[tuple[str, int], ...], n_queries: int
+) -> Workload:
+    """Deterministic workload, cached across parameterized bench cases."""
+    obstacles = street_grid_obstacles(n_obstacles, seed=BENCH_SEED)
+    entity_sets = {
+        name: entities_following_obstacles(
+            count,
+            obstacles,
+            seed=BENCH_SEED * 10_007 + 31 * i,
+            # Paper setup: entities hug obstacle boundaries (may lie on
+            # them), which is what makes obstructed >> Euclidean for
+            # points on opposite sides of a street.
+            on_boundary_fraction=0.5,
+            offset_fraction=0.15,
+        )
+        for i, (name, count) in enumerate(entity_spec)
+    }
+    queries = query_points(n_queries, obstacles, seed=BENCH_SEED * 7 + 3)
+    return Workload(obstacles=obstacles, entity_sets=entity_sets, queries=queries)
+
+
+@lru_cache(maxsize=4)
+def bench_db(
+    n_obstacles: int, entity_spec: tuple[tuple[str, int], ...], n_queries: int
+) -> tuple[ObstacleDatabase, Workload]:
+    """Workload plus a fully indexed ObstacleDatabase."""
+    workload = bench_workload(n_obstacles, entity_spec, n_queries)
+    db = ObstacleDatabase(
+        workload.obstacles,
+        max_entries=BENCH_PAGE_ENTRIES,
+        min_entries=max(2, int(BENCH_PAGE_ENTRIES * 0.4)),
+    )
+    for name, points in workload.entity_sets.items():
+        db.add_entity_set(name, points)
+    return db, workload
+
+
+def cardinality_spec() -> tuple[tuple[str, int], ...]:
+    """Entity sets for the |P|/|O| sweeps (figs. 13, 15a, 16, 18a)."""
+    return tuple(
+        (f"P{ratio:g}", max(1, int(ratio * BENCH_O)))
+        for ratio in CARDINALITY_RATIOS
+    )
+
+
+def join_spec() -> tuple[tuple[str, int], ...]:
+    """Entity sets for the join/CP sweeps (figs. 19-22): S at several
+    cardinalities plus the fixed T = 0.1|O|."""
+    sets = [(f"S{ratio:g}", max(1, int(ratio * BENCH_O))) for ratio in JOIN_RATIOS]
+    sets.append(("T", max(1, int(0.1 * BENCH_O))))
+    return tuple(sets)
+
+
+# --------------------------------------------------------------- measurements
+def run_or_workload(
+    db: ObstacleDatabase,
+    workload: Workload,
+    set_name: str,
+    queries: list[Point],
+    e: float,
+) -> dict[str, float]:
+    """Execute an OR workload; return the paper's fig. 13-15 metrics."""
+    points = workload.entity_sets[set_name]
+    db.reset_stats(clear_buffers=True)
+    timer = Timer()
+    results = []
+    for q in queries:
+        with timer:
+            results.append(db.range(set_name, q, e))
+    stats = db.stats()
+    n = len(queries)
+    false_hits = 0
+    hits = 0
+    for q, res in zip(queries, results):
+        candidates = sum(1 for p in points if p.distance(q) <= e)
+        false_hits += candidates - len(res)
+        hits += len(res)
+    return {
+        "entity_pa": stats[f"entities:{set_name}"]["misses"] / n,
+        "obstacle_pa": stats["obstacles:obstacles"]["misses"] / n,
+        "cpu_ms": timer.elapsed_ms / n,
+        "false_hit_ratio": false_hits / hits if hits else 0.0,
+        "result_size": hits / n,
+    }
+
+
+def run_onn_workload(
+    db: ObstacleDatabase,
+    workload: Workload,
+    set_name: str,
+    queries: list[Point],
+    k: int,
+) -> dict[str, float]:
+    """Execute an ONN workload; return the paper's fig. 16-18 metrics."""
+    points = workload.entity_sets[set_name]
+    db.reset_stats(clear_buffers=True)
+    timer = Timer()
+    results = []
+    for q in queries:
+        with timer:
+            results.append(db.nearest(set_name, q, k))
+    stats = db.stats()
+    n = len(queries)
+    false_hits = 0
+    for q, res in zip(queries, results):
+        euclid_knn = set(sorted(points, key=lambda p: p.distance_sq(q))[:k])
+        obstructed = {p for p, __ in res}
+        false_hits += len(euclid_knn - obstructed)
+    return {
+        "entity_pa": stats[f"entities:{set_name}"]["misses"] / n,
+        "obstacle_pa": stats["obstacles:obstacles"]["misses"] / n,
+        "cpu_ms": timer.elapsed_ms / n,
+        "false_hit_ratio": false_hits / (k * n),
+    }
+
+
+def run_odj(
+    db: ObstacleDatabase,
+    s_name: str,
+    t_name: str,
+    e: float,
+    *,
+    hilbert: bool = True,
+) -> dict[str, float]:
+    """Execute one ODJ; return the paper's fig. 19-20 metrics."""
+    db.reset_stats(clear_buffers=True)
+    timer = Timer()
+    with timer:
+        result = db.distance_join(s_name, t_name, e, hilbert_order_seeds=hilbert)
+    stats = db.stats()
+    entity_pa = (
+        stats[f"entities:{s_name}"]["misses"] + stats[f"entities:{t_name}"]["misses"]
+    )
+    return {
+        "entity_pa": float(entity_pa),
+        "obstacle_pa": float(stats["obstacles:obstacles"]["misses"]),
+        "obstacle_reads": float(stats["obstacles:obstacles"]["reads"]),
+        "cpu_s": timer.elapsed,
+        "result_size": float(len(result)),
+    }
+
+
+def run_ocp(
+    db: ObstacleDatabase, s_name: str, t_name: str, k: int
+) -> dict[str, float]:
+    """Execute one OCP; return the paper's fig. 21-22 metrics."""
+    db.reset_stats(clear_buffers=True)
+    timer = Timer()
+    with timer:
+        result = db.closest_pairs(s_name, t_name, k)
+    stats = db.stats()
+    entity_pa = (
+        stats[f"entities:{s_name}"]["misses"] + stats[f"entities:{t_name}"]["misses"]
+    )
+    return {
+        "entity_pa": float(entity_pa),
+        "obstacle_pa": float(stats["obstacles:obstacles"]["misses"]),
+        "cpu_s": timer.elapsed,
+        "result_size": float(len(result)),
+    }
+
+
+def queries_for(cost_class: int) -> int:
+    """Workload size per cost class (1 = cheap ... 4 = very expensive).
+
+    Keeps total bench time bounded while leaving the cheap
+    configurations statistically meaningful.
+    """
+    return max(2, BENCH_QUERIES // cost_class)

@@ -1,0 +1,251 @@
+"""Standalone experiment harness: regenerate every paper figure.
+
+Prints one text table per figure (13-22), in the same layout as the
+paper's plots: the x-axis parameter against the plotted series (page
+accesses per tree, CPU time, false-hit ratios).
+
+Usage::
+
+    python benchmarks/run_all.py            # all figures
+    python benchmarks/run_all.py 13 17 21   # a subset
+
+Environment knobs are shared with the pytest benches (see
+``benchmarks/common.py``): REPRO_BENCH_O, REPRO_BENCH_QUERIES,
+REPRO_BENCH_PAGE_ENTRIES.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import (  # noqa: E402
+    BENCH_O,
+    BENCH_QUERIES,
+    CARDINALITY_RATIOS,
+    JOIN_RANGE_FRACTIONS,
+    JOIN_RATIOS,
+    K_VALUES,
+    RANGE_FRACTIONS,
+    bench_db,
+    cardinality_spec,
+    join_spec,
+    queries_for,
+    run_ocp,
+    run_odj,
+    run_onn_workload,
+    run_or_workload,
+    scale_factor,
+    scaled_join_range,
+    scaled_range,
+)
+from repro.stats.experiment import ExperimentSeries, format_table
+
+
+def _print(title: str, x_label: str, rows: list[tuple[float, dict]], keys: list[tuple[str, str]]) -> None:
+    series = [ExperimentSeries(label) for __, label in keys]
+    for x, metrics in rows:
+        for s, (key, __) in zip(series, keys):
+            s.add(x, metrics[key])
+    print(format_table(title, x_label, series))
+    print()
+
+
+def fig13() -> None:
+    db, wl = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    e = scaled_range(0.001)
+    rows = []
+    for ratio in CARDINALITY_RATIOS:
+        rows.append(
+            (ratio, run_or_workload(db, wl, f"P{ratio:g}", wl.queries, e))
+        )
+    _print(
+        "Fig. 13 - OR cost vs |P|/|O| (e=0.1%)",
+        "|P|/|O|",
+        rows,
+        [("entity_pa", "data R-tree PA"), ("obstacle_pa", "obstacle R-tree PA"),
+         ("cpu_ms", "CPU (ms)")],
+    )
+
+
+def fig14() -> None:
+    db, wl = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    rows = []
+    for fraction in RANGE_FRACTIONS:
+        cost = 1 if fraction <= 0.001 else (2 if fraction <= 0.005 else 4)
+        queries = wl.queries[: queries_for(cost)]
+        rows.append(
+            (fraction * 100, run_or_workload(db, wl, "P1", queries, scaled_range(fraction)))
+        )
+    _print(
+        "Fig. 14 - OR cost vs e (|P|=|O|)",
+        "e (% of side)",
+        rows,
+        [("entity_pa", "data R-tree PA"), ("obstacle_pa", "obstacle R-tree PA"),
+         ("cpu_ms", "CPU (ms)")],
+    )
+
+
+def fig15() -> None:
+    db, wl = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    e = scaled_range(0.001)
+    rows_a = [
+        (ratio, run_or_workload(db, wl, f"P{ratio:g}", wl.queries, e))
+        for ratio in CARDINALITY_RATIOS
+    ]
+    _print(
+        "Fig. 15a - OR false-hit ratio vs |P|/|O| (e=0.1%)",
+        "|P|/|O|",
+        rows_a,
+        [("false_hit_ratio", "false-hit ratio")],
+    )
+    rows_b = []
+    for fraction in RANGE_FRACTIONS:
+        cost = 1 if fraction <= 0.001 else (2 if fraction <= 0.005 else 4)
+        queries = wl.queries[: queries_for(cost)]
+        rows_b.append(
+            (fraction * 100, run_or_workload(db, wl, "P1", queries, scaled_range(fraction)))
+        )
+    _print(
+        "Fig. 15b - OR false-hit ratio vs e (|P|=|O|)",
+        "e (% of side)",
+        rows_b,
+        [("false_hit_ratio", "false-hit ratio")],
+    )
+
+
+def fig16() -> None:
+    db, wl = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    rows = []
+    for ratio in CARDINALITY_RATIOS:
+        cost = 2 if ratio >= 1 else 3
+        queries = wl.queries[: queries_for(cost)]
+        rows.append((ratio, run_onn_workload(db, wl, f"P{ratio:g}", queries, 16)))
+    _print(
+        "Fig. 16 - ONN cost vs |P|/|O| (k=16)",
+        "|P|/|O|",
+        rows,
+        [("entity_pa", "data R-tree PA"), ("obstacle_pa", "obstacle R-tree PA"),
+         ("cpu_ms", "CPU (ms)")],
+    )
+
+
+def fig17() -> None:
+    db, wl = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    rows = []
+    for k in K_VALUES:
+        cost = 1 if k <= 16 else (2 if k <= 64 else 4)
+        queries = wl.queries[: queries_for(cost)]
+        rows.append((k, run_onn_workload(db, wl, "P1", queries, k)))
+    _print(
+        "Fig. 17 - ONN cost vs k (|P|=|O|)",
+        "k",
+        rows,
+        [("entity_pa", "data R-tree PA"), ("obstacle_pa", "obstacle R-tree PA"),
+         ("cpu_ms", "CPU (ms)")],
+    )
+
+
+def fig18() -> None:
+    db, wl = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    rows_a = []
+    for ratio in CARDINALITY_RATIOS:
+        cost = 2 if ratio >= 1 else 3
+        queries = wl.queries[: queries_for(cost)]
+        rows_a.append((ratio, run_onn_workload(db, wl, f"P{ratio:g}", queries, 16)))
+    _print(
+        "Fig. 18a - ONN false-hit ratio vs |P|/|O| (k=16)",
+        "|P|/|O|",
+        rows_a,
+        [("false_hit_ratio", "false-hit ratio")],
+    )
+    rows_b = []
+    for k in K_VALUES:
+        cost = 1 if k <= 16 else (2 if k <= 64 else 4)
+        queries = wl.queries[: queries_for(cost)]
+        rows_b.append((k, run_onn_workload(db, wl, "P1", queries, k)))
+    _print(
+        "Fig. 18b - ONN false-hit ratio vs k (|P|=|O|)",
+        "k",
+        rows_b,
+        [("false_hit_ratio", "false-hit ratio")],
+    )
+
+
+def fig19() -> None:
+    db, __ = bench_db(BENCH_O, join_spec(), BENCH_QUERIES)
+    e = scaled_join_range(0.0001)
+    rows = [(r, run_odj(db, f"S{r:g}", "T", e)) for r in JOIN_RATIOS]
+    _print(
+        "Fig. 19 - ODJ cost vs |S|/|O| (e=0.01%, |T|=0.1|O|)",
+        "|S|/|O|",
+        rows,
+        [("entity_pa", "data R-trees PA"), ("obstacle_pa", "obstacle R-tree PA"),
+         ("cpu_s", "CPU (s)"), ("result_size", "result pairs")],
+    )
+
+
+def fig20() -> None:
+    db, __ = bench_db(BENCH_O, join_spec(), BENCH_QUERIES)
+    rows = [
+        (f * 100, run_odj(db, "S0.1", "T", scaled_join_range(f)))
+        for f in JOIN_RANGE_FRACTIONS
+    ]
+    _print(
+        "Fig. 20 - ODJ cost vs e (|S|=|T|=0.1|O|)",
+        "e (% of side)",
+        rows,
+        [("entity_pa", "data R-trees PA"), ("obstacle_pa", "obstacle R-tree PA"),
+         ("cpu_s", "CPU (s)"), ("result_size", "result pairs")],
+    )
+
+
+def fig21() -> None:
+    db, __ = bench_db(BENCH_O, join_spec(), BENCH_QUERIES)
+    rows = [(r, run_ocp(db, f"S{r:g}", "T", 16)) for r in JOIN_RATIOS]
+    _print(
+        "Fig. 21 - OCP cost vs |S|/|O| (k=16, |T|=0.1|O|)",
+        "|S|/|O|",
+        rows,
+        [("entity_pa", "data R-trees PA"), ("obstacle_pa", "obstacle R-tree PA"),
+         ("cpu_s", "CPU (s)")],
+    )
+
+
+def fig22() -> None:
+    db, __ = bench_db(BENCH_O, join_spec(), BENCH_QUERIES)
+    rows = [(k, run_ocp(db, "S0.1", "T", k)) for k in K_VALUES]
+    _print(
+        "Fig. 22 - OCP cost vs k (|S|=|T|=0.1|O|)",
+        "k",
+        rows,
+        [("entity_pa", "data R-trees PA"), ("obstacle_pa", "obstacle R-tree PA"),
+         ("cpu_s", "CPU (s)")],
+    )
+
+
+FIGURES = {
+    "13": fig13, "14": fig14, "15": fig15, "16": fig16, "17": fig17,
+    "18": fig18, "19": fig19, "20": fig20, "21": fig21, "22": fig22,
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or sorted(FIGURES)
+    print(
+        f"# |O|={BENCH_O}, queries={BENCH_QUERIES}, "
+        f"range scale factor={scale_factor():.2f}\n"
+    )
+    for fig in wanted:
+        fn = FIGURES.get(fig)
+        if fn is None:
+            print(f"unknown figure: {fig}", file=sys.stderr)
+            return 2
+        fn()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

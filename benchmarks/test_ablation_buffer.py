@@ -1,0 +1,46 @@
+"""Ablation — page accesses vs LRU buffer fraction.
+
+The paper fixes the buffer at 10 % of each R-tree.  This bench sweeps
+the fraction to show how sensitive the reported I/O metric is to that
+choice (misses fall monotonically as the buffer grows).
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_PAGE_ENTRIES,
+    BENCH_QUERIES,
+    bench_workload,
+    cardinality_spec,
+    scaled_range,
+)
+from repro.core.engine import ObstacleDatabase
+
+FRACTIONS = (0.02, 0.1, 0.5)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_ablation_buffer_fraction(benchmark, fraction):
+    workload = bench_workload(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    db = ObstacleDatabase(
+        workload.obstacles,
+        max_entries=BENCH_PAGE_ENTRIES,
+        min_entries=max(2, int(BENCH_PAGE_ENTRIES * 0.4)),
+        buffer_fraction=fraction,
+    )
+    db.add_entity_set("P", workload.entity_sets["P1"])
+    e = scaled_range(0.001)
+
+    def run():
+        db.reset_stats(clear_buffers=True)
+        for q in workload.queries:
+            db.range("P", q, e)
+        return db.stats()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    n = len(workload.queries)
+    benchmark.extra_info["fraction"] = fraction
+    benchmark.extra_info["entity_pa"] = stats["entities:P"]["misses"] / n
+    benchmark.extra_info["obstacle_pa"] = stats["obstacles:obstacles"]["misses"] / n
+    assert stats["entities:P"]["misses"] <= stats["entities:P"]["reads"]

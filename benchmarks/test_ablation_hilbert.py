@@ -1,0 +1,34 @@
+"""Ablation — ODJ seed ordering: Hilbert order vs arbitrary order.
+
+The paper sorts join seeds by Hilbert value "to maximise locality"
+between successive obstacle R-tree accesses (Sec. 5).  The observable
+is buffer effectiveness: with a small LRU buffer, Hilbert-ordered seeds
+should incur no more (and typically fewer) obstacle-tree misses.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_QUERIES,
+    bench_db,
+    join_spec,
+    run_odj,
+    scaled_join_range,
+)
+
+
+@pytest.mark.parametrize("hilbert", [True, False], ids=["hilbert", "unsorted"])
+def test_ablation_hilbert_seed_order(benchmark, hilbert):
+    db, __ = bench_db(BENCH_O, join_spec(), BENCH_QUERIES)
+    e = scaled_join_range(0.0001)
+    metrics = benchmark.pedantic(
+        run_odj,
+        args=(db, "S1", "T", e),
+        kwargs={"hilbert": hilbert},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["hilbert"] = hilbert
+    assert metrics["result_size"] >= 0

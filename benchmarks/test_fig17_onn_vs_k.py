@@ -1,0 +1,31 @@
+"""Fig. 17 — ONN cost vs k (|P| = |O|).
+
+Paper: both I/O and CPU grow with k (larger search radii, more
+obstacles in the local graph, more distance evaluations).
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_QUERIES,
+    K_VALUES,
+    bench_db,
+    cardinality_spec,
+    queries_for,
+    run_onn_workload,
+)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig17_onn_vs_k(benchmark, k):
+    db, workload = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    cost = 1 if k <= 16 else (2 if k <= 64 else 4)
+    queries = workload.queries[: queries_for(cost)]
+    metrics = benchmark.pedantic(
+        run_onn_workload, args=(db, workload, "P1", queries, k),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["k"] = k
+    assert metrics["entity_pa"] >= 0

@@ -1,0 +1,49 @@
+"""Fig. 18 — ONN false-hit ratio vs |P|/|O| (a) and vs k (b).
+
+Paper: the ratio falls as density grows (Euclidean and obstructed
+orders converge), and over k it peaks around k ~ 4 before declining —
+for large k the Euclidean and obstructed k-NN *sets* largely coincide
+even when their internal orders differ.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_QUERIES,
+    CARDINALITY_RATIOS,
+    K_VALUES,
+    bench_db,
+    cardinality_spec,
+    queries_for,
+    run_onn_workload,
+)
+
+
+@pytest.mark.parametrize("ratio", CARDINALITY_RATIOS)
+def test_fig18a_false_hits_vs_cardinality(benchmark, ratio):
+    db, workload = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    cost = 2 if ratio >= 1 else 3
+    queries = workload.queries[: queries_for(cost)]
+    metrics = benchmark.pedantic(
+        run_onn_workload,
+        args=(db, workload, f"P{ratio:g}", queries, 16),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["ratio"] = ratio
+    assert 0.0 <= metrics["false_hit_ratio"] <= 1.0
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig18b_false_hits_vs_k(benchmark, k):
+    db, workload = bench_db(BENCH_O, cardinality_spec(), BENCH_QUERIES)
+    cost = 1 if k <= 16 else (2 if k <= 64 else 4)
+    queries = workload.queries[: queries_for(cost)]
+    metrics = benchmark.pedantic(
+        run_onn_workload, args=(db, workload, "P1", queries, k),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["k"] = k
+    assert 0.0 <= metrics["false_hit_ratio"] <= 1.0

@@ -1,0 +1,31 @@
+"""Fig. 19 — ODJ cost vs |S|/|O| (e = 0.01 %, |T| = 0.1 |O|).
+
+Paper: entity-tree page accesses grow slowly (the Euclidean join is not
+very density-sensitive), while obstacle-tree accesses and CPU time grow
+fast with |S| — the join output drives the number of obstructed
+distance evaluations.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_QUERIES,
+    JOIN_RATIOS,
+    bench_db,
+    join_spec,
+    run_odj,
+    scaled_join_range,
+)
+
+
+@pytest.mark.parametrize("ratio", JOIN_RATIOS)
+def test_fig19_odj_vs_cardinality(benchmark, ratio):
+    db, __ = bench_db(BENCH_O, join_spec(), BENCH_QUERIES)
+    e = scaled_join_range(0.0001)
+    metrics = benchmark.pedantic(
+        run_odj, args=(db, f"S{ratio:g}", "T", e), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["ratio"] = ratio
+    assert metrics["entity_pa"] >= 0

@@ -1,0 +1,30 @@
+"""Fig. 20 — ODJ cost vs e (|S| = |T| = 0.1 |O|).
+
+Paper: entity-tree page accesses barely move (node extents dominate the
+range), while the Euclidean join output — and with it obstacle-tree
+accesses and CPU time — grows rapidly with e.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_QUERIES,
+    JOIN_RANGE_FRACTIONS,
+    bench_db,
+    join_spec,
+    run_odj,
+    scaled_join_range,
+)
+
+
+@pytest.mark.parametrize("fraction", JOIN_RANGE_FRACTIONS)
+def test_fig20_odj_vs_range(benchmark, fraction):
+    db, __ = bench_db(BENCH_O, join_spec(), BENCH_QUERIES)
+    e = scaled_join_range(fraction)
+    metrics = benchmark.pedantic(
+        run_odj, args=(db, "S0.1", "T", e), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["e_fraction"] = fraction
+    assert metrics["entity_pa"] >= 0

@@ -1,0 +1,29 @@
+"""Fig. 21 — OCP cost vs |S|/|O| (k = 16, |T| = 0.1 |O|).
+
+Paper: entity-tree page accesses grow with |S| (driven by the Euclidean
+closest-pair algorithm), obstacle-tree accesses stay comparatively
+stable (denser S means closer pairs and smaller ranges), and CPU time
+grows — dominated by the Euclidean CP computation.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_QUERIES,
+    JOIN_RATIOS,
+    bench_db,
+    join_spec,
+    run_ocp,
+)
+
+
+@pytest.mark.parametrize("ratio", JOIN_RATIOS)
+def test_fig21_ocp_vs_cardinality(benchmark, ratio):
+    db, __ = bench_db(BENCH_O, join_spec(), BENCH_QUERIES)
+    metrics = benchmark.pedantic(
+        run_ocp, args=(db, f"S{ratio:g}", "T", 16), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["ratio"] = ratio
+    assert metrics["entity_pa"] >= 0

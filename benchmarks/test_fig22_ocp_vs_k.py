@@ -1,0 +1,29 @@
+"""Fig. 22 — OCP cost vs k (|S| = |T| = 0.1 |O|).
+
+Paper: entity-tree page accesses stay almost constant (the k closest
+pairs are usually in the heap once the first pair is found), while
+obstacle-tree accesses and CPU time grow with k — more visibility
+graphs are built for the extra obstructed evaluations.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_O,
+    BENCH_QUERIES,
+    K_VALUES,
+    bench_db,
+    join_spec,
+    run_ocp,
+)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig22_ocp_vs_k(benchmark, k):
+    db, __ = bench_db(BENCH_O, join_spec(), BENCH_QUERIES)
+    metrics = benchmark.pedantic(
+        run_ocp, args=(db, "S0.1", "T", k), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["k"] = k
+    assert metrics["entity_pa"] >= 0

@@ -1,0 +1,78 @@
+"""Quickstart: every obstructed query type on a hand-made scene.
+
+Run with::
+
+    python examples/quickstart.py
+
+The scene mirrors the paper's running example (Fig. 1 / Fig. 4): a
+pedestrian at ``q`` looking for points of interest, with buildings
+(shaded rectangles) blocking the direct lines of sight.
+"""
+
+from repro import ObstacleDatabase, Point, Rect
+
+
+def banner(title: str) -> None:
+    print()
+    print(f"== {title} ==")
+
+
+def main() -> None:
+    # Three buildings.
+    obstacles = [
+        Rect(4, 2, 6, 8),      # long building left of center
+        Rect(8, 5, 14, 7),     # wide building on the right
+        Rect(3, 11, 9, 13),    # building to the north
+    ]
+    # Restaurants around the block.
+    restaurants = [
+        Point(2, 5),    # a: west, fully visible
+        Point(7, 3),    # b: tucked between the buildings
+        Point(7, 9.5),  # c: north corridor
+        Point(10, 4),   # d: south of the wide building
+        Point(12, 8),   # e: behind the wide building
+        Point(5, 14),   # f: north of everything
+        Point(16, 6),   # g: far east
+    ]
+    q = Point(1.0, 9.0)  # the pedestrian
+
+    db = ObstacleDatabase(obstacles, max_entries=8, min_entries=3)
+    db.add_entity_set("restaurants", restaurants)
+
+    banner("Obstructed vs Euclidean distance")
+    for p in restaurants[:3]:
+        d_e = q.distance(p)
+        d_o = db.obstructed_distance(q, p)
+        marker = "  <- detour!" if d_o > d_e + 1e-9 else ""
+        print(f"  {p}: Euclidean {d_e:6.3f}   obstructed {d_o:6.3f}{marker}")
+
+    banner("Obstacle range query (OR): restaurants within walking distance 7")
+    for p, d in db.range("restaurants", q, 7.0):
+        print(f"  {p}  at obstructed distance {d:.3f}")
+
+    banner("Obstacle 3-NN (ONN)")
+    for rank, (p, d) in enumerate(db.nearest("restaurants", q, k=3), start=1):
+        print(f"  #{rank}: {p}  d_O = {d:.3f}")
+
+    banner("Incremental ONN: browse until past distance 9")
+    for p, d in db.inearest("restaurants", q):
+        if d > 9.0:
+            break
+        print(f"  {p}  d_O = {d:.3f}")
+
+    banner("Obstacle e-distance join (ODJ): cafe-hotel pairs within 4")
+    db.add_entity_set("hotels", [Point(2, 2), Point(10, 9), Point(15, 3)])
+    for s, t, d in db.distance_join("restaurants", "hotels", 4.0):
+        print(f"  restaurant {s} <-> hotel {t}: d_O = {d:.3f}")
+
+    banner("Obstacle closest pairs (OCP): top-2")
+    for s, t, d in db.closest_pairs("restaurants", "hotels", k=2):
+        print(f"  {s} <-> {t}: d_O = {d:.3f}")
+
+    banner("Page accesses of the last query")
+    for tree, counters in sorted(db.stats().items()):
+        print(f"  {tree}: {counters}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Render an obstructed query to SVG.
+
+Generates a small city, runs an obstacle range query and an ONN query,
+and writes ``scene.svg`` showing the obstacles, all entities, the query
+point with its range disk, the result entities highlighted, and the
+walking route to the nearest neighbour.
+
+Run with::
+
+    python examples/visualize_scene.py [seed] [out.svg]
+"""
+
+import sys
+
+from repro import ObstacleDatabase
+from repro.datasets import (
+    entities_following_obstacles,
+    query_points,
+    street_grid_obstacles,
+)
+from repro.render import save_svg, scene_to_svg
+
+
+def main(seed: int = 11, out: str = "scene.svg") -> None:
+    obstacles = street_grid_obstacles(120, seed=seed)
+    entities = entities_following_obstacles(150, obstacles, seed=seed + 1)
+    q = query_points(1, obstacles, seed=seed + 2)[0]
+
+    db = ObstacleDatabase(obstacles, max_entries=32, min_entries=12)
+    db.add_entity_set("pois", entities)
+
+    e = 1200.0
+    in_range = db.range("pois", q, e)
+    (nn, d_nn), *__ = db.nearest("pois", q, k=1)
+
+    __, route = db.shortest_path(q, nn)
+
+    svg = scene_to_svg(
+        obstacles,
+        entities=entities,
+        highlights=[p for p, __ in in_range],
+        query=q,
+        paths=[route],
+        ranges=[(q, e)],
+    )
+    save_svg(out, svg)
+    print(f"{len(in_range)} entities within obstructed range {e:g}; "
+          f"nearest at {d_nn:.1f}")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 11
+    out = sys.argv[2] if len(sys.argv) > 2 else "scene.svg"
+    main(seed, out)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment ships an older setuptools without the
+``bdist_wheel``-based editable path, so ``pip install -e .`` falls back
+to ``setup.py develop`` via ``--no-use-pep517``.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — Spatial Queries in the Presence of Obstacles.
+
+A complete reproduction of Zhang, Papadias, Mouratidis & Zhu,
+*Spatial Queries in the Presence of Obstacles*, EDBT 2004: obstructed
+range search, nearest neighbours, e-distance joins and closest pairs
+over R*-tree-indexed entities and polygonal obstacles, built on local
+visibility graphs constructed on-line.
+
+Quickstart::
+
+    from repro import ObstacleDatabase, Point, Rect
+
+    db = ObstacleDatabase([Rect(2, 2, 4, 8)])        # obstacles
+    db.add_entity_set("cafes", [Point(5, 5), Point(0, 5)])
+    db.nearest("cafes", Point(1, 5), k=1)            # obstructed 1-NN
+"""
+
+from repro.errors import (
+    DatasetError,
+    GeometryError,
+    QueryError,
+    ReproError,
+    SpatialIndexError,
+    UnreachableError,
+)
+from repro.geometry import Circle, Point, Polygon, Rect
+from repro.model import Obstacle
+from repro.index import RStarTree, str_pack, hilbert_index
+from repro.visibility import VisibilityGraph, shortest_path, shortest_path_dist
+from repro.visibility.tangent import prune_to_tangent
+from repro.core.continuous import NNInterval, PathNearestNeighbor, path_nearest
+from repro.render import save_svg, scene_to_svg
+from repro.core import (
+    CompositeObstacleIndex,
+    ObstacleDatabase,
+    ObstacleIndex,
+    ObstructedDistanceComputer,
+    compute_obstructed_distance,
+    iter_obstacle_closest_pairs,
+    iter_obstacle_nearest,
+    obstacle_closest_pairs,
+    obstacle_distance_join,
+    obstacle_nearest,
+    obstacle_range,
+    obstacle_semijoin,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GeometryError",
+    "SpatialIndexError",
+    "DatasetError",
+    "QueryError",
+    "UnreachableError",
+    # geometry & model
+    "Point",
+    "Rect",
+    "Polygon",
+    "Circle",
+    "Obstacle",
+    # index
+    "RStarTree",
+    "str_pack",
+    "hilbert_index",
+    # visibility
+    "VisibilityGraph",
+    "shortest_path",
+    "shortest_path_dist",
+    "prune_to_tangent",
+    # extensions
+    "NNInterval",
+    "PathNearestNeighbor",
+    "path_nearest",
+    "scene_to_svg",
+    "save_svg",
+    # core queries
+    "ObstacleDatabase",
+    "ObstacleIndex",
+    "CompositeObstacleIndex",
+    "ObstructedDistanceComputer",
+    "compute_obstructed_distance",
+    "obstacle_range",
+    "obstacle_nearest",
+    "iter_obstacle_nearest",
+    "obstacle_distance_join",
+    "obstacle_closest_pairs",
+    "iter_obstacle_closest_pairs",
+    "obstacle_semijoin",
+]

@@ -1,0 +1,156 @@
+"""Nearest neighbours for a *moving* query point.
+
+The paper closes with "as objects move in practice, it would be
+interesting to study obstacle queries for moving entities" (Sec. 8).
+This module implements the natural first step: the obstructed nearest
+neighbour of a query point travelling along a polyline route.
+
+The route ``[0, 1]`` (by arc length) is partitioned into maximal
+intervals that share a single obstructed NN.  Exact split points are
+roots of differences of obstructed-distance functions; we locate them
+by adaptive bisection — both interval endpoints are evaluated exactly,
+and an interval whose endpoints disagree on the winner is split until
+it is shorter than ``tolerance``.  The result is exact everywhere
+except within ``tolerance`` of each boundary, which the tests verify
+against dense brute-force sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.distance import ObstacleSource, ObstructedDistanceComputer
+from repro.core.nearest import obstacle_nearest
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.index.rstar import RStarTree
+
+
+@dataclass(frozen=True)
+class NNInterval:
+    """One maximal stretch of the route with a fixed obstructed NN.
+
+    ``start``/``end`` are arc-length fractions in ``[0, 1]``;
+    ``start_distance``/``end_distance`` are the NN's obstructed
+    distances at the two ends.
+    """
+
+    start: float
+    end: float
+    neighbor: Point
+    start_distance: float
+    end_distance: float
+
+
+class PathNearestNeighbor:
+    """Obstructed-NN profile of a moving query along a polyline."""
+
+    def __init__(
+        self,
+        entity_tree: RStarTree,
+        obstacle_source: ObstacleSource,
+        waypoints: list[Point],
+        *,
+        tolerance: float = 1e-3,
+    ) -> None:
+        if len(waypoints) < 2:
+            raise QueryError("a route needs at least two waypoints")
+        if tolerance <= 0:
+            raise QueryError(f"tolerance must be positive, got {tolerance}")
+        self._tree = entity_tree
+        self._source = obstacle_source
+        self._waypoints = list(waypoints)
+        self._tolerance = tolerance
+        self._lengths = [
+            waypoints[i].distance(waypoints[i + 1])
+            for i in range(len(waypoints) - 1)
+        ]
+        self._total = sum(self._lengths)
+        if self._total == 0:
+            raise QueryError("route has zero length")
+        self._computer = ObstructedDistanceComputer(obstacle_source)
+
+    def point_at(self, s: float) -> Point:
+        """The route point at arc-length fraction ``s`` in ``[0, 1]``."""
+        s = min(1.0, max(0.0, s))
+        target = s * self._total
+        walked = 0.0
+        last = len(self._lengths) - 1
+        for i, seg_len in enumerate(self._lengths):
+            if walked + seg_len >= target or i == last:
+                a = self._waypoints[i]
+                b = self._waypoints[i + 1]
+                frac = 0.0 if seg_len == 0 else (target - walked) / seg_len
+                frac = min(1.0, max(0.0, frac))
+                return Point(a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y))
+            walked += seg_len
+        return self._waypoints[-1]
+
+    def nn_at(self, s: float) -> tuple[Point, float]:
+        """The obstructed NN (and its distance) at fraction ``s``."""
+        q = self.point_at(s)
+        result = obstacle_nearest(self._tree, self._source, q, 1)
+        if not result:
+            raise QueryError("entity dataset is empty")
+        return result[0]
+
+    def profile(self) -> list[NNInterval]:
+        """Partition the route into constant-NN intervals."""
+        # Seed with the segment endpoints: NN changes are much more
+        # likely where the direction changes.
+        seeds = [0.0]
+        walked = 0.0
+        for seg_len in self._lengths[:-1]:
+            walked += seg_len
+            seeds.append(walked / self._total)
+        seeds.append(1.0)
+
+        evaluated: dict[float, tuple[Point, float]] = {}
+
+        def nn(s: float) -> tuple[Point, float]:
+            if s not in evaluated:
+                evaluated[s] = self.nn_at(s)
+            return evaluated[s]
+
+        boundaries: list[float] = [0.0]
+        pieces: list[tuple[float, float]] = list(zip(seeds, seeds[1:]))
+        resolved: list[tuple[float, float]] = []
+        while pieces:
+            lo, hi = pieces.pop()
+            p_lo, __ = nn(lo)
+            p_hi, __ = nn(hi)
+            if p_lo == p_hi or (hi - lo) <= self._tolerance:
+                resolved.append((lo, hi))
+                if p_lo != p_hi:
+                    boundaries.append(hi)
+                continue
+            mid = (lo + hi) / 2.0
+            pieces.append((lo, mid))
+            pieces.append((mid, hi))
+
+        # Merge adjacent resolved pieces with the same winner.
+        resolved.sort()
+        intervals: list[NNInterval] = []
+        for lo, hi in resolved:
+            winner, d_lo = nn(lo)
+            if intervals and intervals[-1].neighbor == winner:
+                last = intervals[-1]
+                intervals[-1] = NNInterval(
+                    last.start, hi, winner, last.start_distance, nn(hi)[1]
+                )
+            else:
+                intervals.append(NNInterval(lo, hi, winner, d_lo, nn(hi)[1]))
+        return intervals
+
+
+def path_nearest(
+    entity_tree: RStarTree,
+    obstacle_source: ObstacleSource,
+    waypoints: list[Point],
+    *,
+    tolerance: float = 1e-3,
+) -> list[NNInterval]:
+    """Convenience wrapper: the constant-NN partition of a route."""
+    return PathNearestNeighbor(
+        entity_tree, obstacle_source, waypoints, tolerance=tolerance
+    ).profile()

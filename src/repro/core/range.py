@@ -1,0 +1,81 @@
+"""Obstacle range query — OR (paper Sec. 3, Fig. 5).
+
+Candidates are the entities within *Euclidean* distance ``e`` (a
+superset of the answer); the relevant obstacles are those intersecting
+the same disk (no farther obstacle can shorten or block a path of
+length <= ``e``).  One Dijkstra-style expansion from ``q`` over the
+local visibility graph then reports every candidate whose obstructed
+distance is within ``e`` — a single traversal for all candidates, not
+one shortest-path run each.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Iterable
+
+from repro.core.distance import ObstacleSource
+from repro.errors import QueryError
+from repro.euclidean.range import entities_in_range
+from repro.geometry.point import Point
+from repro.index.rstar import RStarTree
+from repro.visibility.graph import VisibilityGraph
+
+
+def obstacle_range(
+    entity_tree: RStarTree,
+    obstacle_source: ObstacleSource,
+    q: Point,
+    e: float,
+) -> list[tuple[Point, float]]:
+    """Entities within obstructed distance ``e`` of ``q``.
+
+    Returns ``(entity, d_O(entity, q))`` pairs in ascending obstructed
+    distance.
+    """
+    if e < 0:
+        raise QueryError(f"negative range: {e}")
+    candidates = entities_in_range(entity_tree, q, e)
+    if not candidates:
+        return []
+    relevant = obstacle_source.obstacles_in_range(q, e)
+    graph = VisibilityGraph.build([q] + candidates, relevant)
+    return expand_within_range(graph, q, e, candidates)
+
+
+def expand_within_range(
+    graph: VisibilityGraph,
+    q: Point,
+    e: float,
+    candidates: Iterable[Point],
+) -> list[tuple[Point, float]]:
+    """The expansion loop of Fig. 5: one bounded Dijkstra from ``q``,
+    reporting candidate entities as they are settled.
+
+    Shared by OR and the per-seed elimination step of ODJ.  Terminates
+    as soon as the queue empties or every candidate has been reported.
+    """
+    pending = set(candidates)
+    pending.discard(q)
+    result: list[tuple[Point, float]] = []
+    if graph.has_node(q) and q in set(candidates):
+        # The query point coincides with an entity: distance zero.
+        result.append((q, 0.0))
+    visited: set[Point] = set()
+    tiebreak = count()
+    heap: list[tuple[float, int, Point]] = [(0.0, next(tiebreak), q)]
+    while heap and pending:
+        d, __, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node in pending:
+            result.append((node, d))
+            pending.discard(node)
+        for nbr, w in graph.neighbors(node).items():
+            if nbr not in visited:
+                nd = d + w
+                if nd <= e:
+                    heapq.heappush(heap, (nd, next(tiebreak), nbr))
+    return result

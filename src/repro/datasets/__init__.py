@@ -1,0 +1,34 @@
+"""Workload generation and dataset I/O.
+
+The paper's obstacle dataset (131,461 street MBRs of Los Angeles) is no
+longer distributed; :func:`street_grid_obstacles` generates the closest
+synthetic equivalent — disjoint, elongated, axis-aligned rectangles laid
+out along a jittered street grid — and the entity/query samplers follow
+the obstacle distribution exactly as the experimental setup describes
+(entities may lie on obstacle boundaries, never in interiors).
+"""
+
+from repro.datasets.synthetic import (
+    Workload,
+    clustered_obstacles,
+    entities_following_obstacles,
+    make_workload,
+    query_points,
+    street_grid_obstacles,
+    uniform_obstacles,
+)
+from repro.datasets.io import load_obstacles, load_points, save_obstacles, save_points
+
+__all__ = [
+    "Workload",
+    "street_grid_obstacles",
+    "uniform_obstacles",
+    "clustered_obstacles",
+    "entities_following_obstacles",
+    "query_points",
+    "make_workload",
+    "save_obstacles",
+    "load_obstacles",
+    "save_points",
+    "load_points",
+]

@@ -1,0 +1,69 @@
+"""Plain-text dataset persistence.
+
+Formats are deliberately simple and diff-friendly:
+
+* points — one ``x y`` pair per line;
+* obstacles — one polygon per line: ``oid x1 y1 x2 y2 ...``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import DatasetError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.model import Obstacle
+
+
+def save_points(path: str | Path, points: Iterable[Point]) -> None:
+    """Write points, one ``x y`` pair per line."""
+    with open(path, "w", encoding="ascii") as fh:
+        for p in points:
+            fh.write(f"{p.x!r} {p.y!r}\n")
+
+
+def load_points(path: str | Path) -> list[Point]:
+    """Read points written by :func:`save_points`."""
+    points = []
+    with open(path, "r", encoding="ascii") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise DatasetError(f"{path}:{line_no}: expected 'x y', got {line!r}")
+            points.append(Point(float(parts[0]), float(parts[1])))
+    return points
+
+
+def save_obstacles(path: str | Path, obstacles: Sequence[Obstacle]) -> None:
+    """Write obstacles, one ``oid x1 y1 x2 y2 ...`` line per polygon."""
+    with open(path, "w", encoding="ascii") as fh:
+        for obs in obstacles:
+            coords = " ".join(f"{v.x!r} {v.y!r}" for v in obs.polygon.vertices)
+            fh.write(f"{obs.oid} {coords}\n")
+
+
+def load_obstacles(path: str | Path) -> list[Obstacle]:
+    """Read obstacles written by :func:`save_obstacles`."""
+    obstacles = []
+    with open(path, "r", encoding="ascii") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 7 or len(parts) % 2 == 0:
+                raise DatasetError(
+                    f"{path}:{line_no}: expected 'oid x1 y1 x2 y2 x3 y3 ...'"
+                )
+            oid = int(parts[0])
+            coords = [float(v) for v in parts[1:]]
+            vertices = [
+                Point(coords[i], coords[i + 1]) for i in range(0, len(coords), 2)
+            ]
+            obstacles.append(Obstacle(oid, Polygon(vertices)))
+    return obstacles

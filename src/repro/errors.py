@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """An invalid geometric object or operation (e.g. degenerate polygon)."""
+
+
+class IndexError_(ReproError):
+    """An R-tree structural error (invalid capacity, corrupted node, ...).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``SpatialIndexError``.
+    """
+
+
+SpatialIndexError = IndexError_
+
+
+class DatasetError(ReproError):
+    """A dataset cannot be generated, loaded or registered."""
+
+
+class QueryError(ReproError):
+    """A query was issued with invalid parameters (negative range, k < 1, ...)."""
+
+
+class UnreachableError(ReproError):
+    """Raised when a finite obstructed distance was required but the target
+    is fully enclosed by obstacles (no obstacle-avoiding path exists)."""

@@ -1,0 +1,25 @@
+"""Euclidean query processing on R-trees (paper Sec. 2.1).
+
+These are the classical algorithms the obstacle framework uses as its
+candidate generators: range search, the best-first incremental nearest
+neighbour of Hjaltason & Samet [HS99], the R-tree distance join of
+Brinkhoff et al. [BKS93] and the incremental closest-pair algorithm of
+[HS98]/[CMTV00].  Every algorithm reads nodes through the tree's
+counted buffer, so the paper's I/O metric falls out for free.
+"""
+
+from repro.euclidean.range import entities_in_range, obstacles_in_range, range_query
+from repro.euclidean.nearest import IncrementalNearestNeighbors, k_nearest
+from repro.euclidean.join import distance_join
+from repro.euclidean.closest import IncrementalClosestPairs, k_closest_pairs
+
+__all__ = [
+    "entities_in_range",
+    "obstacles_in_range",
+    "range_query",
+    "IncrementalNearestNeighbors",
+    "k_nearest",
+    "distance_join",
+    "IncrementalClosestPairs",
+    "k_closest_pairs",
+]

@@ -1,0 +1,113 @@
+"""Incremental closest pairs over two R-trees [HS98, CMTV00].
+
+OCP (paper Fig. 11) pulls Euclidean closest pairs one at a time until
+the next pair's Euclidean distance exceeds the obstructed-distance
+threshold, so the algorithm must be incremental.  The priority queue
+holds node/node, node/data and data/data combinations keyed by the
+MINDIST lower bound of the pair; when a data/data pair surfaces, its
+distance is exact and no other combination can produce a closer pair.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterator
+
+from repro.errors import QueryError
+from repro.geometry.rect import Rect
+from repro.index.rstar import RStarTree
+
+_NODE = 0
+_DATA = 1
+
+
+class IncrementalClosestPairs:
+    """An iterator yielding ``(s, t, distance)`` in ascending distance.
+
+    Expansion strategy: for node/node combinations the node with the
+    larger MBR area is expanded (the heuristic of [CMTV00]); node/data
+    combinations expand the node side.
+    """
+
+    def __init__(self, tree_s: RStarTree, tree_t: RStarTree) -> None:
+        self._s = tree_s
+        self._t = tree_t
+        self._tiebreak = count()
+        # Heap items: (dist, tb, s_kind, s_payload, s_rect, t_kind, t_payload, t_rect)
+        self._heap: list[tuple] = []
+        if len(tree_s) > 0 and len(tree_t) > 0:
+            root_s = tree_s.read_node(tree_s.root_id)
+            root_t = tree_t.read_node(tree_t.root_id)
+            s_rect = root_s.mbr()
+            t_rect = root_t.mbr()
+            self._push(
+                _NODE, tree_s.root_id, s_rect, _NODE, tree_t.root_id, t_rect
+            )
+
+    def _push(
+        self,
+        s_kind: int,
+        s_payload: Any,
+        s_rect: Rect,
+        t_kind: int,
+        t_payload: Any,
+        t_rect: Rect,
+    ) -> None:
+        dist = s_rect.mindist_rect(t_rect)
+        heapq.heappush(
+            self._heap,
+            (dist, next(self._tiebreak), s_kind, s_payload, s_rect, t_kind, t_payload, t_rect),
+        )
+
+    def __iter__(self) -> Iterator[tuple[Any, Any, float]]:
+        return self
+
+    def __next__(self) -> tuple[Any, Any, float]:
+        while self._heap:
+            dist, __, s_kind, s_pay, s_rect, t_kind, t_pay, t_rect = heapq.heappop(
+                self._heap
+            )
+            if s_kind == _DATA and t_kind == _DATA:
+                return s_pay, t_pay, dist
+            if s_kind == _NODE and t_kind == _NODE:
+                if s_rect.area() >= t_rect.area():
+                    node = self._s.read_node(s_pay)
+                    for e in node.entries:
+                        kind = _DATA if node.is_leaf else _NODE
+                        payload = e.data if node.is_leaf else e.child
+                        self._push(kind, payload, e.rect, t_kind, t_pay, t_rect)
+                else:
+                    node = self._t.read_node(t_pay)
+                    for e in node.entries:
+                        kind = _DATA if node.is_leaf else _NODE
+                        payload = e.data if node.is_leaf else e.child
+                        self._push(s_kind, s_pay, s_rect, kind, payload, e.rect)
+            elif s_kind == _NODE:
+                node = self._s.read_node(s_pay)
+                for e in node.entries:
+                    kind = _DATA if node.is_leaf else _NODE
+                    payload = e.data if node.is_leaf else e.child
+                    self._push(kind, payload, e.rect, t_kind, t_pay, t_rect)
+            else:
+                node = self._t.read_node(t_pay)
+                for e in node.entries:
+                    kind = _DATA if node.is_leaf else _NODE
+                    payload = e.data if node.is_leaf else e.child
+                    self._push(s_kind, s_pay, s_rect, kind, payload, e.rect)
+        raise StopIteration
+
+
+def k_closest_pairs(
+    tree_s: RStarTree, tree_t: RStarTree, k: int
+) -> list[tuple[Any, Any, float]]:
+    """The ``k`` Euclidean closest pairs as ``(s, t, distance)``."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    stream = IncrementalClosestPairs(tree_s, tree_t)
+    result = []
+    for pair in stream:
+        result.append(pair)
+        if len(result) == k:
+            break
+    return result

@@ -1,0 +1,80 @@
+"""Best-first incremental nearest-neighbour search [HS99].
+
+The ONN algorithm (paper Fig. 9) requires *incremental* retrieval: it
+keeps pulling the next Euclidean neighbour until the Euclidean distance
+exceeds the shrinking obstructed-distance threshold ``d_Emax``.  The
+iterator below is the classic optimal algorithm: a priority queue over
+both node MBRs (keyed by MINDIST) and data entries (keyed by actual
+distance), which reports neighbours in exact ascending distance order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterator
+
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.index.rstar import RStarTree
+
+
+class IncrementalNearestNeighbors:
+    """An iterator yielding ``(data, distance)`` in ascending distance.
+
+    The queue mixes two kinds of items distinguished by a flag: R-tree
+    nodes (prioritised by MINDIST of their MBR, a lower bound for every
+    data item beneath them) and data entries (prioritised by their true
+    distance).  When a data entry reaches the queue front, no unexplored
+    subtree can contain anything closer, so it is emitted.
+    """
+
+    def __init__(self, tree: RStarTree, q: Point) -> None:
+        self._tree = tree
+        self._q = q
+        self._tiebreak = count()
+        self._heap: list[tuple[float, int, bool, Any]] = []
+        if len(tree) > 0:
+            root = tree.read_node(tree.root_id)
+            self._push_node_entries(root)
+
+    def _push_node_entries(self, node: Any) -> None:
+        q = self._q
+        for entry in node.entries:
+            if node.is_leaf:
+                dist = entry.rect.mindist_point(q)
+                heapq.heappush(
+                    self._heap, (dist, next(self._tiebreak), True, entry.data)
+                )
+            else:
+                dist = entry.rect.mindist_point(q)
+                heapq.heappush(
+                    self._heap, (dist, next(self._tiebreak), False, entry.child)
+                )
+
+    def __iter__(self) -> Iterator[tuple[Any, float]]:
+        return self
+
+    def __next__(self) -> tuple[Any, float]:
+        while self._heap:
+            dist, __, is_data, payload = heapq.heappop(self._heap)
+            if is_data:
+                return payload, dist
+            self._push_node_entries(self._tree.read_node(payload))
+        raise StopIteration
+
+
+def k_nearest(tree: RStarTree, q: Point, k: int) -> list[tuple[Any, float]]:
+    """The ``k`` nearest data items to ``q`` as ``(data, distance)`` pairs.
+
+    Returns fewer than ``k`` pairs when the tree holds fewer items.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    stream = IncrementalNearestNeighbors(tree, q)
+    result = []
+    for item in stream:
+        result.append(item)
+        if len(result) == k:
+            break
+    return result

@@ -1,0 +1,56 @@
+"""Euclidean range search: the candidate generator of OR and ODJ.
+
+For point entities the R-tree filter is exact (a zero-extent MBR
+intersects the disk iff the point is within range).  For polygonal
+obstacles the filter step returns MBR hits which are refined against
+the actual polygon (paper Sec. 2.1's filter/refinement discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import QueryError
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.rstar import RStarTree
+from repro.model import Obstacle
+
+
+def range_query(tree: RStarTree, region: Rect | Circle) -> list[Any]:
+    """Data payloads whose MBR intersects ``region`` (filter step only)."""
+    if isinstance(region, Rect):
+        return [e.data for e in tree.iter_rect(region)]
+    if isinstance(region, Circle):
+        return [e.data for e in tree.search_circle(region)]
+    raise QueryError(f"unsupported region type: {type(region).__name__}")
+
+
+def entities_in_range(tree: RStarTree, q: Point, e: float) -> list[Point]:
+    """Entities within Euclidean distance ``e`` of ``q`` (exact).
+
+    This is the set ``P'`` of paper Fig. 5 — a superset of the
+    obstructed range result by the Euclidean lower-bound property.
+    """
+    if e < 0:
+        raise QueryError(f"negative range: {e}")
+    return [entry.data for entry in tree.search_circle(Circle(q, e))]
+
+
+def obstacles_in_range(tree: RStarTree, q: Point, e: float) -> list[Obstacle]:
+    """Obstacles intersecting the disk ``(q, e)`` (filtered and refined).
+
+    This is the set ``O'`` of relevant obstacles: by the Euclidean
+    lower-bound argument of paper Sec. 3, obstacles outside the disk
+    cannot affect any path of length <= ``e`` from ``q``.
+    """
+    if e < 0:
+        raise QueryError(f"negative range: {e}")
+    circle = Circle(q, e)
+    result = []
+    for entry in tree.search_circle(circle):
+        obstacle: Obstacle = entry.data
+        if circle.intersects_polygon(obstacle.polygon):
+            result.append(obstacle)
+    return result

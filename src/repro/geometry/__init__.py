@@ -1,0 +1,50 @@
+"""Exact-ish 2-D computational geometry substrate.
+
+Provides the primitives every other layer builds on: points, minimum
+bounding rectangles, segment predicates, simple polygons and circular
+query regions.  All predicates use a relative epsilon
+(:data:`repro.geometry.constants.EPS`) so that the visibility machinery
+behaves sensibly for entities lying exactly on obstacle boundaries,
+which the paper's workloads allow.
+"""
+
+from repro.geometry.constants import EPS
+from repro.geometry.point import Point, distance, distance_sq, midpoint
+from repro.geometry.rect import Rect
+from repro.geometry.segment import (
+    COLLINEAR,
+    CCW,
+    CW,
+    ccw,
+    cross,
+    on_segment,
+    point_segment_distance,
+    segment_intersection_params,
+    segment_intersection_point,
+    segments_intersect,
+    segments_properly_intersect,
+)
+from repro.geometry.polygon import Polygon
+from repro.geometry.circle import Circle
+
+__all__ = [
+    "EPS",
+    "Point",
+    "distance",
+    "distance_sq",
+    "midpoint",
+    "Rect",
+    "COLLINEAR",
+    "CCW",
+    "CW",
+    "ccw",
+    "cross",
+    "on_segment",
+    "point_segment_distance",
+    "segment_intersection_params",
+    "segment_intersection_point",
+    "segments_intersect",
+    "segments_properly_intersect",
+    "Polygon",
+    "Circle",
+]

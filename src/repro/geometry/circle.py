@@ -1,0 +1,65 @@
+"""Circular query regions.
+
+Obstacle query processing is built around *disk* ranges: candidates are
+the entities within Euclidean distance ``e`` of the query point, and the
+relevant obstacles are the ones intersecting the same disk (paper
+Sec. 3).  ``Circle`` packages the center/radius pair with the pruning
+predicates the R-tree needs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+class Circle:
+    """A closed disk ``{p : d(p, center) <= radius}``."""
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center: Point, radius: float) -> None:
+        if radius < 0:
+            raise GeometryError(f"negative circle radius: {radius}")
+        self.center = center
+        self.radius = float(radius)
+
+    def __repr__(self) -> str:
+        return f"Circle({self.center!r}, r={self.radius:g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circle):
+            return NotImplemented
+        return self.center == other.center and self.radius == other.radius
+
+    def __hash__(self) -> int:
+        return hash((self.center, self.radius))
+
+    def contains_point(self, p: Point) -> bool:
+        """True when ``p`` lies in the closed disk."""
+        return self.center.distance_sq(p) <= self.radius * self.radius
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True when the disk and the rectangle share at least one point."""
+        return rect.mindist_point_sq(self.center) <= self.radius * self.radius
+
+    def intersects_polygon(self, poly: Polygon) -> bool:
+        """True when the disk and the polygon share at least one point.
+
+        Used as the refinement step after the R-tree filter when
+        obstacles are general polygons rather than rectangles.
+        """
+        if not self.intersects_rect(poly.mbr):
+            return False
+        return poly.distance_to_point(self.center) <= self.radius
+
+    def bounding_rect(self) -> Rect:
+        """The MBR of the disk (the R-tree filter region)."""
+        return Rect(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )

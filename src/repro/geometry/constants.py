@@ -1,0 +1,17 @@
+"""Numerical tolerances shared by all geometric predicates."""
+
+from __future__ import annotations
+
+#: Relative tolerance used by orientation / incidence predicates.  Two
+#: directions whose angular deviation is below roughly this value are
+#: considered collinear.  The value is a compromise: large enough to
+#: absorb floating-point noise from coordinate arithmetic on
+#: universe-sized coordinates (the benchmarks use a 10,000 x 10,000
+#: universe), small enough not to merge genuinely distinct vertices.
+EPS = 1e-9
+
+#: Absolute slack used when comparing squared distances.
+EPS_SQ = EPS * EPS
+
+#: A value that compares greater than any finite distance in a universe.
+INF = float("inf")

@@ -1,0 +1,230 @@
+"""Axis-aligned rectangles (MBRs).
+
+``Rect`` is the workhorse of the R*-tree: node entries store one, the
+split and ChooseSubtree heuristics are defined in terms of its area,
+margin and overlap, and query pruning uses ``mindist`` metrics
+[HS99].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+
+
+class Rect:
+    """A closed axis-aligned rectangle ``[minx, maxx] x [miny, maxy]``.
+
+    Degenerate rectangles (points, horizontal/vertical segments) are
+    allowed — point data is stored as zero-extent rectangles in leaf
+    entries.
+    """
+
+    __slots__ = ("minx", "miny", "maxx", "maxy")
+
+    def __init__(self, minx: float, miny: float, maxx: float, maxy: float) -> None:
+        if minx > maxx or miny > maxy:
+            raise GeometryError(
+                f"invalid Rect: ({minx}, {miny}, {maxx}, {maxy}) has min > max"
+            )
+        self.minx = float(minx)
+        self.miny = float(miny)
+        self.maxx = float(maxx)
+        self.maxy = float(maxy)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def from_point(cls, p: Point) -> "Rect":
+        """A zero-extent rectangle covering a single point."""
+        return cls(p.x, p.y, p.x, p.y)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Rect":
+        """The MBR of a non-empty collection of points."""
+        pts = list(points)
+        if not pts:
+            raise GeometryError("Rect.from_points requires at least one point")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @classmethod
+    def union_all(cls, rects: Iterable["Rect"]) -> "Rect":
+        """The MBR enclosing a non-empty collection of rectangles."""
+        it = iter(rects)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise GeometryError("Rect.union_all requires at least one rect") from None
+        minx, miny = first.minx, first.miny
+        maxx, maxy = first.maxx, first.maxy
+        for r in it:
+            if r.minx < minx:
+                minx = r.minx
+            if r.miny < miny:
+                miny = r.miny
+            if r.maxx > maxx:
+                maxx = r.maxx
+            if r.maxy > maxy:
+                maxy = r.maxy
+        return cls(minx, miny, maxx, maxy)
+
+    # -- value semantics ---------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return (
+            self.minx == other.minx
+            and self.miny == other.miny
+            and self.maxx == other.maxx
+            and self.maxy == other.maxy
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.minx, self.miny, self.maxx, self.maxy))
+
+    def __repr__(self) -> str:
+        return f"Rect({self.minx:g}, {self.miny:g}, {self.maxx:g}, {self.maxy:g})"
+
+    # -- basic measures ----------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.maxx - self.minx
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.maxy - self.miny
+
+    def area(self) -> float:
+        """Area of the rectangle (0 for degenerate rects)."""
+        return (self.maxx - self.minx) * (self.maxy - self.miny)
+
+    def margin(self) -> float:
+        """Half-perimeter, the R* margin metric."""
+        return (self.maxx - self.minx) + (self.maxy - self.miny)
+
+    def center(self) -> Point:
+        """Center point of the rectangle."""
+        return Point((self.minx + self.maxx) / 2.0, (self.miny + self.maxy) / 2.0)
+
+    def corners(self) -> list[Point]:
+        """The four corner points in counter-clockwise order."""
+        return [
+            Point(self.minx, self.miny),
+            Point(self.maxx, self.miny),
+            Point(self.maxx, self.maxy),
+            Point(self.minx, self.maxy),
+        ]
+
+    # -- relations -----------------------------------------------------------
+    def intersects(self, other: "Rect") -> bool:
+        """True when the closed rectangles share at least one point."""
+        return (
+            self.minx <= other.maxx
+            and other.minx <= self.maxx
+            and self.miny <= other.maxy
+            and other.miny <= self.maxy
+        )
+
+    def contains_point(self, p: Point) -> bool:
+        """True when ``p`` lies inside or on the boundary."""
+        return self.minx <= p.x <= self.maxx and self.miny <= p.y <= self.maxy
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside (or on) this rect."""
+        return (
+            self.minx <= other.minx
+            and self.miny <= other.miny
+            and other.maxx <= self.maxx
+            and other.maxy <= self.maxy
+        )
+
+    # -- combination --------------------------------------------------------
+    def union(self, other: "Rect") -> "Rect":
+        """The MBR of this rect and ``other``."""
+        return Rect(
+            min(self.minx, other.minx),
+            min(self.miny, other.miny),
+            max(self.maxx, other.maxx),
+            max(self.maxy, other.maxy),
+        )
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of the overlap region (0 when disjoint)."""
+        w = min(self.maxx, other.maxx) - max(self.minx, other.minx)
+        if w <= 0.0:
+            return 0.0
+        h = min(self.maxy, other.maxy) - max(self.miny, other.miny)
+        if h <= 0.0:
+            return 0.0
+        return w * h
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed for this rect to also cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    # -- distance metrics ------------------------------------------------------
+    def mindist_point_sq(self, p: Point) -> float:
+        """Squared minimum distance from ``p`` to this rect (0 if inside).
+
+        This is the classic MINDIST lower bound used for best-first
+        R-tree traversal [HS99].
+        """
+        dx = 0.0
+        if p.x < self.minx:
+            dx = self.minx - p.x
+        elif p.x > self.maxx:
+            dx = p.x - self.maxx
+        dy = 0.0
+        if p.y < self.miny:
+            dy = self.miny - p.y
+        elif p.y > self.maxy:
+            dy = p.y - self.maxy
+        return dx * dx + dy * dy
+
+    def mindist_point(self, p: Point) -> float:
+        """Minimum distance from ``p`` to this rect (0 if inside)."""
+        return math.sqrt(self.mindist_point_sq(p))
+
+    def maxdist_point_sq(self, p: Point) -> float:
+        """Squared maximum distance from ``p`` to any point of this rect."""
+        dx = max(abs(p.x - self.minx), abs(p.x - self.maxx))
+        dy = max(abs(p.y - self.miny), abs(p.y - self.maxy))
+        return dx * dx + dy * dy
+
+    def maxdist_point(self, p: Point) -> float:
+        """Maximum distance from ``p`` to any point of this rect."""
+        return math.sqrt(self.maxdist_point_sq(p))
+
+    def mindist_rect_sq(self, other: "Rect") -> float:
+        """Squared minimum distance between two rects (0 when intersecting).
+
+        This is the MBR-to-MBR pruning metric of R-tree joins [BKS93]
+        and closest-pair algorithms [CMTV00].
+        """
+        dx = 0.0
+        if other.maxx < self.minx:
+            dx = self.minx - other.maxx
+        elif self.maxx < other.minx:
+            dx = other.minx - self.maxx
+        dy = 0.0
+        if other.maxy < self.miny:
+            dy = self.miny - other.maxy
+        elif self.maxy < other.miny:
+            dy = other.miny - self.maxy
+        return dx * dx + dy * dy
+
+    def mindist_rect(self, other: "Rect") -> float:
+        """Minimum distance between two rects (0 when intersecting)."""
+        return math.sqrt(self.mindist_rect_sq(other))
+
+    def expanded(self, delta: float) -> "Rect":
+        """A rect grown by ``delta`` on every side (shrunk when negative)."""
+        return Rect(
+            self.minx - delta, self.miny - delta, self.maxx + delta, self.maxy + delta
+        )

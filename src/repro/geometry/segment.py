@@ -1,0 +1,155 @@
+"""Segment predicates: orientation, incidence and intersection.
+
+These predicates are the robustness-critical kernel of the visibility
+machinery.  Orientation uses a *relative* epsilon (proportional to the
+product of the arm lengths), so the collinearity decision is a bound on
+the sine of the angle rather than on an absolute area, which keeps the
+predicates scale-invariant across universe sizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.constants import EPS
+from repro.geometry.point import Point
+
+#: Orientation constants returned by :func:`ccw`.
+CCW = 1
+CW = -1
+COLLINEAR = 0
+
+
+def cross(o: Point, a: Point, b: Point) -> float:
+    """Cross product of vectors ``o->a`` and ``o->b`` (signed area x2)."""
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def ccw(a: Point, b: Point, c: Point) -> int:
+    """Orientation of the ordered triple ``(a, b, c)``.
+
+    Returns :data:`CCW` for a left turn, :data:`CW` for a right turn and
+    :data:`COLLINEAR` when the points are collinear within tolerance.
+    The tolerance is scale-invariant (``|sin(angle)| <= EPS``), compared
+    in squared form to avoid square roots on this hot path.
+    """
+    abx = b.x - a.x
+    aby = b.y - a.y
+    acx = c.x - a.x
+    acy = c.y - a.y
+    area2 = abx * acy - aby * acx
+    tol_sq = (EPS * EPS) * (abx * abx + aby * aby) * (acx * acx + acy * acy)
+    if area2 * area2 <= tol_sq:
+        return COLLINEAR
+    if area2 > 0.0:
+        return CCW
+    return CW
+
+
+def on_segment(a: Point, b: Point, p: Point) -> bool:
+    """True when ``p`` lies on the closed segment ``ab`` (within tolerance)."""
+    if ccw(a, b, p) != COLLINEAR:
+        return False
+    seg_len = math.hypot(b.x - a.x, b.y - a.y)
+    tol = EPS * (seg_len + 1.0)
+    return (
+        min(a.x, b.x) - tol <= p.x <= max(a.x, b.x) + tol
+        and min(a.y, b.y) - tol <= p.y <= max(a.y, b.y) + tol
+    )
+
+
+def segments_properly_intersect(p1: Point, p2: Point, p3: Point, p4: Point) -> bool:
+    """True when open segments ``p1p2`` and ``p3p4`` cross at a single
+    interior point of both (no endpoint touching, no collinear overlap)."""
+    d1 = ccw(p3, p4, p1)
+    d2 = ccw(p3, p4, p2)
+    d3 = ccw(p1, p2, p3)
+    d4 = ccw(p1, p2, p4)
+    return d1 * d2 < 0 and d3 * d4 < 0
+
+
+def segments_intersect(p1: Point, p2: Point, p3: Point, p4: Point) -> bool:
+    """True when the closed segments share at least one point."""
+    if segments_properly_intersect(p1, p2, p3, p4):
+        return True
+    return (
+        on_segment(p3, p4, p1)
+        or on_segment(p3, p4, p2)
+        or on_segment(p1, p2, p3)
+        or on_segment(p1, p2, p4)
+    )
+
+
+def segment_intersection_point(
+    p1: Point, p2: Point, p3: Point, p4: Point
+) -> Point | None:
+    """Intersection point of the closed segments, or ``None``.
+
+    For collinear overlaps an arbitrary shared point is returned.
+    """
+    params = segment_intersection_params(p1, p2, p3, p4)
+    if not params:
+        return None
+    t = params[0]
+    return Point(p1.x + t * (p2.x - p1.x), p1.y + t * (p2.y - p1.y))
+
+
+def segment_intersection_params(
+    a: Point, b: Point, c: Point, d: Point
+) -> list[float]:
+    """Parameters ``t`` in ``[0, 1]`` along ``ab`` where ``ab`` meets ``cd``.
+
+    Returns an empty list when the segments are disjoint, a single
+    parameter for a point intersection, and the two endpoints of the
+    shared sub-segment (sorted) for a collinear overlap.  This is the
+    kernel of the interval-based "does a segment cross a polygon
+    interior" test in :class:`repro.geometry.polygon.Polygon`.
+    """
+    rx, ry = b.x - a.x, b.y - a.y
+    sx, sy = d.x - c.x, d.y - c.y
+    denom = rx * sy - ry * sx
+    qpx, qpy = c.x - a.x, c.y - a.y
+    r_len = math.hypot(rx, ry)
+    s_len = math.hypot(sx, sy)
+    tol = EPS * (r_len * s_len + 1.0)
+    if abs(denom) > tol:
+        # Lines cross at a single point; check it lies on both segments.
+        t = (qpx * sy - qpy * sx) / denom
+        u = (qpx * ry - qpy * rx) / denom
+        t_tol = EPS * (1.0 + 1.0 / (r_len + EPS))
+        u_tol = EPS * (1.0 + 1.0 / (s_len + EPS))
+        if -t_tol <= t <= 1.0 + t_tol and -u_tol <= u <= 1.0 + u_tol:
+            return [min(1.0, max(0.0, t))]
+        return []
+    # Parallel.  If not collinear, no intersection.
+    if abs(qpx * ry - qpy * rx) > EPS * (math.hypot(qpx, qpy) * r_len + 1.0):
+        return []
+    if r_len <= EPS:
+        # ``ab`` is a degenerate point; report t=0 if it lies on cd.
+        if on_segment(c, d, a):
+            return [0.0]
+        return []
+    # Collinear: project c and d onto ab's parameter space.
+    r_sq = rx * rx + ry * ry
+    t0 = (qpx * rx + qpy * ry) / r_sq
+    t1 = ((d.x - a.x) * rx + (d.y - a.y) * ry) / r_sq
+    lo, hi = min(t0, t1), max(t0, t1)
+    lo = max(lo, 0.0)
+    hi = min(hi, 1.0)
+    if lo > hi + EPS:
+        return []
+    if hi - lo <= EPS:
+        return [lo]
+    return [lo, hi]
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Minimum distance from point ``p`` to the closed segment ``ab``."""
+    abx, aby = b.x - a.x, b.y - a.y
+    ab_sq = abx * abx + aby * aby
+    if ab_sq == 0.0:
+        return p.distance(a)
+    t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / ab_sq
+    t = max(0.0, min(1.0, t))
+    cx, cy = a.x + t * abx, a.y + t * aby
+    return math.hypot(p.x - cx, p.y - cy)

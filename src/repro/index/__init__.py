@@ -1,0 +1,26 @@
+"""Disk-style R*-tree index substrate.
+
+The paper assumes both entities and obstacles are indexed by R*-trees
+[BKSS90] with 4 KB pages (204 entries per node) behind an LRU buffer
+holding 10 % of each tree.  This subpackage reproduces that stack in
+memory: an explicit page store, a counting LRU buffer, a full R*-tree
+(ChooseSubtree, margin-driven split, forced reinsert, deletion) plus
+STR bulk loading [see Leutenegger et al.] and Hilbert-curve keys used
+by the ODJ seed ordering.
+"""
+
+from repro.index.pagestore import LRUBuffer, PageStore
+from repro.index.node import Entry, Node
+from repro.index.rstar import RStarTree
+from repro.index.bulk import str_pack
+from repro.index.hilbert import hilbert_index
+
+__all__ = [
+    "LRUBuffer",
+    "PageStore",
+    "Entry",
+    "Node",
+    "RStarTree",
+    "str_pack",
+    "hilbert_index",
+]

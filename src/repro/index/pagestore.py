@@ -1,0 +1,117 @@
+"""Simulated page storage with a counting LRU buffer.
+
+Physical I/O does not exist in this reproduction — what the paper
+measures is the *number of page accesses* that survive an LRU buffer
+sized at 10 % of each R-tree.  That number is a deterministic function
+of the access sequence, so we reproduce it exactly: every node fetch
+goes through :class:`LRUBuffer`, and misses are tallied by the tree's
+:class:`repro.stats.PageAccessCounter`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import SpatialIndexError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.index.node import Node
+
+
+class LRUBuffer:
+    """A least-recently-used page buffer that only tracks page ids.
+
+    ``capacity`` may be a fixed page count or ``None``, in which case it
+    is derived on demand as ``max(1, fraction * store_pages)`` — the
+    paper's "10 % of each R-tree" policy, kept current as trees grow.
+    """
+
+    __slots__ = ("_fraction", "_fixed_capacity", "_pages")
+
+    def __init__(self, fraction: float = 0.1, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SpatialIndexError(f"buffer capacity must be >= 1, got {capacity}")
+        if not 0.0 < fraction <= 1.0:
+            raise SpatialIndexError(f"buffer fraction must be in (0, 1], got {fraction}")
+        self._fraction = fraction
+        self._fixed_capacity = capacity
+        self._pages: OrderedDict[int, None] = OrderedDict()
+
+    def capacity_for(self, store_pages: int) -> int:
+        """Effective capacity given the current store size."""
+        if self._fixed_capacity is not None:
+            return self._fixed_capacity
+        return max(1, int(self._fraction * store_pages))
+
+    def set_capacity(self, capacity: int | None) -> None:
+        """Pin the capacity to a page count (``None`` restores fraction mode)."""
+        if capacity is not None and capacity < 1:
+            raise SpatialIndexError(f"buffer capacity must be >= 1, got {capacity}")
+        self._fixed_capacity = capacity
+        self._evict_to(self.capacity_for(len(self._pages)))
+
+    def access(self, page_id: int, store_pages: int) -> bool:
+        """Touch a page; returns ``True`` on a buffer hit."""
+        hit = page_id in self._pages
+        if hit:
+            self._pages.move_to_end(page_id)
+        else:
+            self._pages[page_id] = None
+            self._evict_to(self.capacity_for(store_pages))
+        return hit
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page from the buffer (on page deallocation)."""
+        self._pages.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the buffer (cold-start a workload)."""
+        self._pages.clear()
+
+    def _evict_to(self, capacity: int) -> None:
+        while len(self._pages) > capacity:
+            self._pages.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+
+class PageStore:
+    """An in-memory page-id -> node map standing in for a disk file."""
+
+    __slots__ = ("_pages", "_next_id")
+
+    def __init__(self) -> None:
+        self._pages: dict[int, "Node"] = {}
+        self._next_id = 0
+
+    def allocate(self) -> int:
+        """Reserve and return a fresh page id."""
+        pid = self._next_id
+        self._next_id += 1
+        return pid
+
+    def write(self, node: "Node") -> None:
+        """Persist a node at its page id."""
+        self._pages[node.page_id] = node
+
+    def read(self, page_id: int) -> "Node":
+        """Fetch the node stored at ``page_id``."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise SpatialIndexError(f"page {page_id} does not exist") from None
+
+    def free(self, page_id: int) -> None:
+        """Deallocate a page."""
+        self._pages.pop(page_id, None)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._pages)

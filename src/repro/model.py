@@ -1,0 +1,39 @@
+"""Shared data model: the obstacle record.
+
+Entities are plain :class:`~repro.geometry.point.Point` objects (the
+paper's entities are points of interest).  Obstacles pair a polygon
+with a stable id so that visibility graphs can track which obstacles
+they already contain (paper Fig. 8 keeps the set ``O'`` of obstacles in
+the current graph).
+"""
+
+from __future__ import annotations
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+class Obstacle:
+    """A polygonal obstacle with a dataset-stable identifier."""
+
+    __slots__ = ("oid", "polygon")
+
+    def __init__(self, oid: int, polygon: Polygon) -> None:
+        self.oid = int(oid)
+        self.polygon = polygon
+
+    @property
+    def mbr(self) -> Rect:
+        """The polygon's minimum bounding rectangle."""
+        return self.polygon.mbr
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Obstacle):
+            return NotImplemented
+        return self.oid == other.oid
+
+    def __hash__(self) -> int:
+        return hash(self.oid)
+
+    def __repr__(self) -> str:
+        return f"Obstacle(oid={self.oid}, {len(self.polygon.vertices)} vertices)"

@@ -1,0 +1,138 @@
+"""SVG rendering of obstacle scenes, query results and paths.
+
+Dependency-free visual debugging: obstacles as filled polygons,
+entities/queries as dots, shortest paths as polylines, query ranges as
+circles.  Produces a standalone ``<svg>`` document string.
+
+Example::
+
+    svg = scene_to_svg(obstacles, entities=points, query=q,
+                       paths=[route], ranges=[(q, e)])
+    save_svg("scene.svg", svg)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.model import Obstacle
+
+_STYLE = {
+    "obstacle_fill": "#c8c8c8",
+    "obstacle_stroke": "#707070",
+    "entity_fill": "#1f77b4",
+    "query_fill": "#d62728",
+    "path_stroke": "#2ca02c",
+    "range_stroke": "#d62728",
+    "highlight_fill": "#ff7f0e",
+}
+
+
+def scene_to_svg(
+    obstacles: Sequence[Obstacle],
+    *,
+    entities: Iterable[Point] = (),
+    highlights: Iterable[Point] = (),
+    query: Point | None = None,
+    paths: Iterable[Sequence[Point]] = (),
+    ranges: Iterable[tuple[Point, float]] = (),
+    width: int = 800,
+) -> str:
+    """Render a scene to an SVG document string.
+
+    ``highlights`` draws selected entities (e.g. query results) in a
+    distinct colour; ``ranges`` draws ``(center, radius)`` disks.
+    """
+    bounds = _scene_bounds(obstacles, entities, highlights, query, paths, ranges)
+    pad = 0.05 * max(bounds.width, bounds.height, 1.0)
+    bounds = bounds.expanded(pad)
+    scale = width / max(bounds.width, 1e-12)
+    height = max(1, int(bounds.height * scale))
+
+    def sx(x: float) -> float:
+        return (x - bounds.minx) * scale
+
+    def sy(y: float) -> float:
+        # flip: SVG y grows downward
+        return (bounds.maxy - y) * scale
+
+    dot = max(2.0, 0.004 * width)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for obs in obstacles:
+        pts = " ".join(
+            f"{sx(v.x):.2f},{sy(v.y):.2f}" for v in obs.polygon.vertices
+        )
+        parts.append(
+            f'<polygon points="{pts}" fill="{_STYLE["obstacle_fill"]}" '
+            f'stroke="{_STYLE["obstacle_stroke"]}" stroke-width="1"/>'
+        )
+    for center, radius in ranges:
+        parts.append(
+            f'<circle cx="{sx(center.x):.2f}" cy="{sy(center.y):.2f}" '
+            f'r="{radius * scale:.2f}" fill="none" '
+            f'stroke="{_STYLE["range_stroke"]}" stroke-width="1" '
+            f'stroke-dasharray="6 4"/>'
+        )
+    for path in paths:
+        coords = " ".join(f"{sx(p.x):.2f},{sy(p.y):.2f}" for p in path)
+        parts.append(
+            f'<polyline points="{coords}" fill="none" '
+            f'stroke="{_STYLE["path_stroke"]}" stroke-width="2"/>'
+        )
+    for p in entities:
+        parts.append(
+            f'<circle cx="{sx(p.x):.2f}" cy="{sy(p.y):.2f}" r="{dot:.2f}" '
+            f'fill="{_STYLE["entity_fill"]}"/>'
+        )
+    for p in highlights:
+        parts.append(
+            f'<circle cx="{sx(p.x):.2f}" cy="{sy(p.y):.2f}" '
+            f'r="{dot * 1.4:.2f}" fill="{_STYLE["highlight_fill"]}"/>'
+        )
+    if query is not None:
+        parts.append(
+            f'<circle cx="{sx(query.x):.2f}" cy="{sy(query.y):.2f}" '
+            f'r="{dot * 1.8:.2f}" fill="{_STYLE["query_fill"]}"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(path: str, svg: str) -> None:
+    """Write an SVG document to a file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)
+
+
+def _scene_bounds(
+    obstacles: Sequence[Obstacle],
+    entities: Iterable[Point],
+    highlights: Iterable[Point],
+    query: Point | None,
+    paths: Iterable[Sequence[Point]],
+    ranges: Iterable[tuple[Point, float]],
+) -> Rect:
+    rects = [o.mbr for o in obstacles]
+    points = list(entities) + list(highlights)
+    if query is not None:
+        points.append(query)
+    for path in paths:
+        points.extend(path)
+    for center, radius in ranges:
+        rects.append(
+            Rect(
+                center.x - radius, center.y - radius,
+                center.x + radius, center.y + radius,
+            )
+        )
+    if points:
+        rects.append(Rect.from_points(points))
+    if not rects:
+        return Rect(0.0, 0.0, 1.0, 1.0)
+    return Rect.union_all(rects)

@@ -1,0 +1,12 @@
+"""Instrumentation: page-access counters, timers and experiment records.
+
+The paper's I/O metric is the number of R-tree page accesses with an
+LRU buffer sized at 10 % of each tree.  These helpers make that metric
+a first-class, resettable observable on every index.
+"""
+
+from repro.stats.counters import PageAccessCounter
+from repro.stats.timing import Timer
+from repro.stats.experiment import ExperimentSeries, format_table
+
+__all__ = ["PageAccessCounter", "Timer", "ExperimentSeries", "format_table"]

@@ -1,0 +1,37 @@
+"""Local visibility graphs (paper Secs. 2.3 and 4).
+
+The obstructed distance between two points equals the shortest path in
+the *visibility graph* over the obstacle vertices plus the two points
+[LW79].  The paper builds **local** graphs on-line from only the
+obstacles relevant to a query, and maintains them dynamically with
+``add_obstacle`` / ``add_entity`` / ``delete_entity``.
+
+Construction uses the rotational plane sweep of Sharir & Schorr [SS84]
+(:mod:`repro.visibility.sweep`); a naive exact checker
+(:mod:`repro.visibility.naive`) serves as the reference oracle for the
+property-based tests and as the fallback for degenerate contact cases.
+"""
+
+from repro.visibility.edges import BoundaryEdge, OpenEdges
+from repro.visibility.graph import VisibilityGraph
+from repro.visibility.naive import is_visible, naive_visible_from
+from repro.visibility.shortest_path import (
+    bounded_dijkstra,
+    dijkstra,
+    shortest_path,
+    shortest_path_dist,
+)
+from repro.visibility.sweep import visible_from
+
+__all__ = [
+    "BoundaryEdge",
+    "OpenEdges",
+    "VisibilityGraph",
+    "is_visible",
+    "naive_visible_from",
+    "visible_from",
+    "dijkstra",
+    "bounded_dijkstra",
+    "shortest_path",
+    "shortest_path_dist",
+]

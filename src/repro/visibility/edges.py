@@ -1,0 +1,233 @@
+"""Boundary edges and the rotational sweep's open-edge ordering.
+
+``OpenEdges`` maintains the obstacle edges currently crossed by the
+sweep ray, ordered by their intersection distance from the sweep
+center.  The closest open edge decides visibility of the current event
+point.  The structure follows the classic formulation (a sorted list
+with an on-the-fly comparator relative to the current ray), tuned for
+the sweep's access pattern:
+
+* the current ray is set once per event (``set_ray``), caching the ray
+  direction and memoising each edge's intersection parameter for the
+  duration of the event;
+* ordering uses the *parametric* distance along the ray (no square
+  roots);
+* the tie-break angle — needed only when two edges touch the ray at the
+  same point, i.e. at a shared vertex — is computed lazily on exact
+  ties instead of for every comparison.
+
+Deletions fall back to a linear scan if floating-point noise perturbed
+the ordering, so correctness never depends on perfect comparator
+consistency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.constants import EPS
+from repro.geometry.point import Point
+
+
+class BoundaryEdge:
+    """One obstacle boundary edge, tagged with its obstacle id."""
+
+    __slots__ = ("p1", "p2", "oid")
+
+    def __init__(self, p1: Point, p2: Point, oid: int) -> None:
+        self.p1 = p1
+        self.p2 = p2
+        self.oid = oid
+
+    def has_endpoint(self, p: Point) -> bool:
+        """True when ``p`` is one of the edge's endpoints."""
+        p1 = self.p1
+        if p.x == p1.x and p.y == p1.y:
+            return True
+        p2 = self.p2
+        return p.x == p2.x and p.y == p2.y
+
+    def other(self, p: Point) -> Point:
+        """The endpoint that is not ``p``."""
+        return self.p2 if p == self.p1 else self.p1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoundaryEdge):
+            return NotImplemented
+        return self.oid == other.oid and (
+            (self.p1 == other.p1 and self.p2 == other.p2)
+            or (self.p1 == other.p2 and self.p2 == other.p1)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.oid, frozenset((self.p1.as_tuple(), self.p2.as_tuple()))))
+
+    def __repr__(self) -> str:
+        return f"BoundaryEdge({self.p1!r}, {self.p2!r}, oid={self.oid})"
+
+
+def ray_edge_distance(p: Point, w: Point, edge: BoundaryEdge) -> float:
+    """Distance from ``p`` to where ray ``p -> w`` meets ``edge``.
+
+    The open-edge invariant guarantees the edge straddles or touches the
+    ray; if numeric noise makes them barely miss, the distance to the
+    edge endpoint nearest the ray is used, keeping the comparator total.
+    """
+    param = _ray_edge_param(p.x, p.y, w.x, w.y, edge)
+    return param * math.hypot(w.x - p.x, w.y - p.y)
+
+
+def _ray_edge_param(
+    px: float, py: float, wx: float, wy: float, edge: BoundaryEdge
+) -> float:
+    """Intersection parameter ``t`` (``p + t * (w - p)``) of the ray with
+    ``edge``; for (nearly) parallel edges, the closest endpoint's
+    projection-free distance ratio keeps the value monotone-compatible."""
+    rx, ry = wx - px, wy - py
+    e1, e2 = edge.p1, edge.p2
+    sx, sy = e2.x - e1.x, e2.y - e1.y
+    denom = rx * sy - ry * sx
+    r_len_sq = rx * rx + ry * ry
+    if denom * denom <= (EPS * EPS) * r_len_sq * (sx * sx + sy * sy) + 1e-300:
+        # Edge (nearly) parallel to the ray: closest endpoint wins.
+        d1 = math.hypot(e1.x - px, e1.y - py)
+        d2 = math.hypot(e2.x - px, e2.y - py)
+        return min(d1, d2) / (math.sqrt(r_len_sq) or 1.0)
+    qpx, qpy = e1.x - px, e1.y - py
+    t = (qpx * sy - qpy * sx) / denom
+    u = (qpx * ry - qpy * rx) / denom
+    if u < 0.0 or u > 1.0:
+        # Clamp to the nearest edge endpoint actually on the segment.
+        u = 0.0 if u < 0.0 else 1.0
+        ex = e1.x + u * sx - px
+        ey = e1.y + u * sy - py
+        return math.hypot(ex, ey) / (math.sqrt(r_len_sq) or 1.0)
+    if t < 0.0:
+        ex = e1.x + u * sx - px
+        ey = e1.y + u * sy - py
+        return math.hypot(ex, ey) / (math.sqrt(r_len_sq) or 1.0)
+    return t
+
+
+def _tiebreak_angle(p: Point, w: Point, edge: BoundaryEdge) -> float:
+    """Tiebreak for edges meeting the ray at the same point.
+
+    Distance ties occur when two edges touch the current ray at a
+    shared vertex.  Their order for all *subsequent* sweep angles is
+    decided by how sharply each edge bends back toward the center: the
+    edge forming the smaller angle (at the on-ray endpoint, between the
+    direction back to ``p`` and the edge's direction) stays closer.
+    This is the classic open-edge comparator refinement.
+    """
+    from repro.geometry.segment import CCW, ccw  # local import, cycle-free
+
+    side1 = ccw(p, w, edge.p1)
+    side2 = ccw(p, w, edge.p2)
+    if side1 == CCW and side2 != CCW:
+        ahead, base = edge.p1, edge.p2
+    elif side2 == CCW and side1 != CCW:
+        ahead, base = edge.p2, edge.p1
+    else:
+        # Degenerate (both endpoints ahead/behind): deterministic fallback.
+        ahead, base = edge.p2, edge.p1
+    bx, by = p.x - base.x, p.y - base.y
+    ax, ay = ahead.x - base.x, ahead.y - base.y
+    return abs(math.atan2(bx * ay - by * ax, bx * ax + by * ay))
+
+
+class OpenEdges:
+    """Edges crossing the current sweep ray, nearest first."""
+
+    __slots__ = ("_center", "_edges", "_w", "_params", "_ties")
+
+    def __init__(self, center: Point) -> None:
+        self._center = center
+        self._edges: list[BoundaryEdge] = []
+        self._w: Point | None = None
+        self._params: dict[int, float] = {}
+        self._ties: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __bool__(self) -> bool:
+        return bool(self._edges)
+
+    def smallest(self) -> BoundaryEdge:
+        """The open edge nearest the center along the current ray."""
+        return self._edges[0]
+
+    def set_ray(self, w: Point) -> None:
+        """Fix the current ray (center -> ``w``) for subsequent ops.
+
+        Resets the per-event memo of edge intersection parameters.
+        """
+        self._w = w
+        self._params.clear()
+        self._ties.clear()
+
+    def _param(self, edge: BoundaryEdge) -> float:
+        key = id(edge)
+        cached = self._params.get(key)
+        if cached is None:
+            p, w = self._center, self._w
+            cached = _ray_edge_param(p.x, p.y, w.x, w.y, edge)  # type: ignore[union-attr]
+            self._params[key] = cached
+        return cached
+
+    def _less(self, a: BoundaryEdge, b: BoundaryEdge) -> bool:
+        pa = self._param(a)
+        pb = self._param(b)
+        if pa < pb - EPS:
+            return True
+        if pb < pa - EPS:
+            return False
+        # Exact tie (shared vertex on the ray): lazy angular tiebreak,
+        # memoised for the duration of the event.
+        return self._tie(a) < self._tie(b)
+
+    def _tie(self, edge: BoundaryEdge) -> float:
+        key = id(edge)
+        cached = self._ties.get(key)
+        if cached is None:
+            cached = _tiebreak_angle(self._center, self._w, edge)  # type: ignore[arg-type]
+            self._ties[key] = cached
+        return cached
+
+    def insert(self, w: Point, edge: BoundaryEdge) -> None:
+        """Insert ``edge`` keeping distance order relative to ray
+        ``center -> w`` (``w`` must match the current ``set_ray``)."""
+        if self._w is not w:
+            self.set_ray(w)
+        lo, hi = 0, len(self._edges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._less(self._edges[mid], edge):
+                lo = mid + 1
+            else:
+                hi = mid
+        self._edges.insert(lo, edge)
+
+    def delete(self, w: Point, edge: BoundaryEdge) -> None:
+        """Remove ``edge``; tolerant of comparator drift (linear fallback)."""
+        if self._w is not w:
+            self.set_ray(w)
+        lo, hi = 0, len(self._edges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._less(self._edges[mid], edge):
+                lo = mid + 1
+            else:
+                hi = mid
+        # Scan outward from the insertion point for the exact edge.
+        n = len(self._edges)
+        for offset in range(n):
+            for idx in (lo - offset - 1, lo + offset):
+                if 0 <= idx < n and self._edges[idx] == edge:
+                    del self._edges[idx]
+                    return
+        # Edge was not present (e.g. never opened) — a harmless no-op.
+
+    def as_list(self) -> list[BoundaryEdge]:
+        """Snapshot of the open edges, nearest first."""
+        return list(self._edges)

@@ -1,0 +1,263 @@
+"""The dynamic local visibility graph (paper Sec. 4).
+
+Nodes are obstacle vertices plus *free points* (query points and
+entities); an edge connects two mutually visible nodes, weighted by
+Euclidean distance.  The paper's three maintenance operations are
+implemented exactly as described:
+
+* ``add_obstacle`` — used by the iterative obstructed-distance
+  computation (Fig. 8) to grow the graph: removes existing edges that
+  cross the new polygon's interior, then sweeps each new vertex;
+* ``add_entity`` — one rotational sweep for the new point;
+* ``delete_entity`` — removes the point and its incident edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.model import Obstacle
+from repro.visibility.edges import BoundaryEdge
+from repro.visibility.sweep import visible_from
+
+
+class VisibilityGraph:
+    """A local visibility graph with dynamic maintenance operations.
+
+    ``method`` selects the visibility kernel: ``"sweep"`` (default) is
+    the paper's rotational plane sweep [SS84] and assumes obstacle
+    boundaries do not cross each other (disjoint interiors — the
+    paper's standing assumption); ``"naive"`` is the exact pairwise
+    oracle, slower but valid even for overlapping obstacles.
+    """
+
+    __slots__ = (
+        "_adj",
+        "_obstacles",
+        "_incident",
+        "_free",
+        "_boundary",
+        "_edges",
+        "method",
+    )
+
+    def __init__(self, method: str = "sweep") -> None:
+        if method not in ("sweep", "naive"):
+            raise QueryError(f"unknown visibility method {method!r}")
+        self.method = method
+        self._adj: dict[Point, dict[Point, float]] = {}
+        self._obstacles: dict[int, Obstacle] = {}
+        self._incident: dict[Point, list[BoundaryEdge]] = {}
+        self._free: set[Point] = set()
+        self._boundary: dict[Point, tuple[Obstacle, ...]] = {}
+        self._edges: list[BoundaryEdge] = []
+
+    # -------------------------------------------------------------- build
+    @classmethod
+    def build(
+        cls,
+        points: Iterable[Point],
+        obstacles: Iterable[Obstacle],
+        *,
+        method: str = "sweep",
+    ) -> "VisibilityGraph":
+        """Construct a graph over ``points`` and ``obstacles`` in one pass.
+
+        With the default method this is the paper's
+        ``build_visibility_graph`` ([SS84], one rotational sweep per
+        node, no tangent simplification).
+        """
+        graph = cls(method=method)
+        for obs in obstacles:
+            graph._register_obstacle(obs)
+        for p in points:
+            graph._register_free_point(p)
+        for node in list(graph._adj):
+            for w in graph._visible_from(node):
+                graph._set_edge(node, w)
+        return graph
+
+    def _visible_from(self, node: Point) -> list[Point]:
+        if self.method == "sweep":
+            return visible_from(node, self)
+        from repro.visibility.naive import naive_visible_from
+
+        targets = [v for v in self._adj if v != node]
+        return naive_visible_from(node, targets, list(self._obstacles.values()))
+
+    # ------------------------------------------------------- SweepScene API
+    def sweep_points(self) -> Iterator[Point]:
+        """Every node (obstacle vertices and free points)."""
+        return iter(self._adj)
+
+    def incident_edges(self, v: Point) -> Sequence[BoundaryEdge]:
+        """Boundary edges having ``v`` as an endpoint."""
+        return self._incident.get(v, ())
+
+    def boundary_edges(self) -> Iterable[BoundaryEdge]:
+        """All obstacle boundary edges."""
+        return self._edges
+
+    def boundary_obstacles(self, p: Point) -> Sequence[Obstacle]:
+        """Obstacles whose boundary contains ``p``.
+
+        Known nodes answer from the registration-time cache; unknown
+        probe points (e.g. ONN candidates evaluated against a shared
+        distance field without being added to the graph) are checked on
+        the fly, so the sweep's interior-departure test stays correct
+        for entities lying exactly on obstacle boundaries.
+        """
+        cached = self._boundary.get(p)
+        if cached is not None:
+            return cached
+        if p in self._adj:
+            return ()
+        return tuple(
+            obs
+            for obs in self._obstacles.values()
+            if obs.mbr.expanded(1e-9).contains_point(p)
+            and obs.polygon.on_boundary(p)
+        )
+
+    def scene_obstacles(self) -> Sequence[Obstacle]:
+        """All obstacles currently in the graph."""
+        return list(self._obstacles.values())
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def node_count(self) -> int:
+        """Number of graph nodes."""
+        return len(self._adj)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected visibility edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def nodes(self) -> Iterator[Point]:
+        """Iterate over all nodes."""
+        return iter(self._adj)
+
+    def has_node(self, p: Point) -> bool:
+        """True when ``p`` is a node."""
+        return p in self._adj
+
+    def neighbors(self, p: Point) -> Mapping[Point, float]:
+        """Adjacent nodes with edge weights (Euclidean lengths)."""
+        try:
+            return self._adj[p]
+        except KeyError:
+            raise QueryError(f"{p!r} is not a node of this visibility graph") from None
+
+    def has_obstacle(self, oid: int) -> bool:
+        """True when the obstacle with id ``oid`` is in the graph."""
+        return oid in self._obstacles
+
+    def obstacle_ids(self) -> set[int]:
+        """Ids of all obstacles in the graph."""
+        return set(self._obstacles)
+
+    def free_points(self) -> set[Point]:
+        """The current free points (entities / query points)."""
+        return set(self._free)
+
+    # ------------------------------------------------------- dynamic updates
+    def add_obstacle(self, obs: Obstacle) -> bool:
+        """Incorporate a new obstacle (paper's ``add_obstacle``).
+
+        Removes existing edges crossing the polygon's interior, then
+        runs one rotational sweep per new vertex.  Returns ``False``
+        when the obstacle was already present.
+        """
+        if obs.oid in self._obstacles:
+            return False
+        poly = obs.polygon
+        self._remove_edges_crossing(poly)
+        new_vertices = self._register_obstacle(obs)
+        # Entities lying on the new polygon's boundary gain a membership.
+        for p in self._free:
+            if poly.on_boundary(p):
+                self._boundary[p] = self._boundary.get(p, ()) + (obs,)
+        for v in new_vertices:
+            for w in self._visible_from(v):
+                self._set_edge(v, w)
+        return True
+
+    def add_entity(self, p: Point) -> bool:
+        """Add a free point and connect it to all visible nodes.
+
+        Returns ``False`` when ``p`` already is a node (e.g. the query
+        point, a duplicate entity, or an obstacle vertex).
+        """
+        if p in self._adj:
+            return False
+        self._register_free_point(p)
+        for w in self._visible_from(p):
+            self._set_edge(p, w)
+        return True
+
+    def delete_entity(self, p: Point) -> bool:
+        """Remove a free point and its incident edges.
+
+        Obstacle vertices cannot be deleted; returns ``False`` for them
+        and for unknown points.
+        """
+        if p not in self._free:
+            return False
+        for nbr in list(self._adj[p]):
+            del self._adj[nbr][p]
+        del self._adj[p]
+        self._free.discard(p)
+        self._boundary.pop(p, None)
+        return True
+
+    # ------------------------------------------------------------- internals
+    def _register_obstacle(self, obs: Obstacle) -> list[Point]:
+        self._obstacles[obs.oid] = obs
+        new_vertices: list[Point] = []
+        for a, b in obs.polygon.edges():
+            edge = BoundaryEdge(a, b, obs.oid)
+            self._edges.append(edge)
+            for v in (a, b):
+                self._incident.setdefault(v, []).append(edge)
+        for v in obs.polygon.vertices:
+            if v not in self._adj:
+                self._adj[v] = {}
+                new_vertices.append(v)
+            self._boundary[v] = self._boundary.get(v, ()) + (obs,)
+        return new_vertices
+
+    def _register_free_point(self, p: Point) -> None:
+        self._adj.setdefault(p, {})
+        self._free.add(p)
+        membership = tuple(
+            obs
+            for obs in self._obstacles.values()
+            if obs.polygon.on_boundary(p)
+        )
+        if membership:
+            self._boundary[p] = membership
+
+    def _set_edge(self, u: Point, v: Point) -> None:
+        if u == v:
+            return
+        w = u.distance(v)
+        self._adj[u][v] = w
+        self._adj[v][u] = w
+
+    def _remove_edges_crossing(self, poly: Polygon) -> None:
+        mbr = poly.mbr
+        for u in list(self._adj):
+            for v in list(self._adj[u]):
+                if not (u < v):
+                    continue
+                seg = Rect(
+                    min(u.x, v.x), min(u.y, v.y), max(u.x, v.x), max(u.y, v.y)
+                )
+                if mbr.intersects(seg) and poly.crosses_interior(u, v):
+                    del self._adj[u][v]
+                    del self._adj[v][u]

@@ -1,0 +1,112 @@
+"""Shortest paths over visibility graphs.
+
+Plain binary-heap Dijkstra [D59] — exactly what the paper applies to
+its local graphs — plus a bounded variant used by the OR algorithm's
+single shared expansion (Fig. 5) and by ODJ's per-seed elimination.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from math import inf
+from typing import Iterable
+
+from repro.geometry.point import Point
+from repro.visibility.graph import VisibilityGraph
+
+
+def dijkstra(
+    graph: VisibilityGraph,
+    source: Point,
+    *,
+    bound: float = inf,
+    targets: Iterable[Point] | None = None,
+) -> dict[Point, float]:
+    """Distances from ``source`` to settled nodes.
+
+    Expansion stops beyond ``bound`` and, when ``targets`` is given, as
+    soon as every target has been settled (or proven unreachable within
+    the bound).  Unreached nodes are absent from the result.
+    """
+    if not graph.has_node(source):
+        return {}
+    remaining = set(targets) if targets is not None else None
+    dist: dict[Point, float] = {}
+    tiebreak = count()
+    heap: list[tuple[float, int, Point]] = [(0.0, next(tiebreak), source)]
+    while heap:
+        d, __, node = heapq.heappop(heap)
+        if node in dist:
+            continue
+        if d > bound:
+            break
+        dist[node] = d
+        if remaining is not None:
+            remaining.discard(node)
+            if not remaining:
+                break
+        for nbr, w in graph.neighbors(node).items():
+            if nbr not in dist:
+                nd = d + w
+                if nd <= bound:
+                    heapq.heappush(heap, (nd, next(tiebreak), nbr))
+    return dist
+
+
+def bounded_dijkstra(
+    graph: VisibilityGraph, source: Point, bound: float
+) -> dict[Point, float]:
+    """All nodes within obstructed distance ``bound`` of ``source``."""
+    return dijkstra(graph, source, bound=bound)
+
+
+def shortest_path_dist(graph: VisibilityGraph, source: Point, target: Point) -> float:
+    """Obstructed distance between two nodes (``inf`` when disconnected)."""
+    if source == target:
+        return 0.0
+    if not graph.has_node(source) or not graph.has_node(target):
+        return inf
+    dist = dijkstra(graph, source, targets=[target])
+    return dist.get(target, inf)
+
+
+def shortest_path(
+    graph: VisibilityGraph, source: Point, target: Point
+) -> tuple[float, list[Point]]:
+    """Distance and one shortest node sequence from ``source`` to ``target``.
+
+    Returns ``(inf, [])`` when no obstacle-avoiding path exists in the
+    graph.
+    """
+    if source == target:
+        return 0.0, [source]
+    if not graph.has_node(source) or not graph.has_node(target):
+        return inf, []
+    settled: set[Point] = set()
+    best: dict[Point, float] = {source: 0.0}
+    parent: dict[Point, Point] = {}
+    tiebreak = count()
+    heap: list[tuple[float, int, Point]] = [(0.0, next(tiebreak), source)]
+    while heap:
+        d, __, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if node == target:
+            break
+        for nbr, w in graph.neighbors(node).items():
+            if nbr in settled:
+                continue
+            nd = d + w
+            if nd < best.get(nbr, inf):
+                best[nbr] = nd
+                parent[nbr] = node
+                heapq.heappush(heap, (nd, next(tiebreak), nbr))
+    if target not in settled:
+        return inf, []
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return best[target], path

@@ -1,0 +1,133 @@
+"""Tests for moving-query nearest neighbours (paper future work)."""
+
+import random
+
+import pytest
+
+from repro.core.continuous import PathNearestNeighbor, path_nearest
+from repro.core.source import build_obstacle_index
+from repro.errors import QueryError
+from repro.geometry import Point, Rect
+from repro.index import RStarTree, str_pack
+from tests.conftest import (
+    oracle_distance,
+    random_disjoint_rects,
+    random_free_points,
+    rect_obstacle,
+)
+
+
+def _setup(obstacles, entities):
+    tree = RStarTree(max_entries=8, min_entries=3)
+    str_pack(tree, [(p, Rect.from_point(p)) for p in entities])
+    return tree, build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+
+
+class TestValidation:
+    def test_needs_two_waypoints(self):
+        tree, idx = _setup([rect_obstacle(0, 0, 0, 1, 1)], [Point(5, 5)])
+        with pytest.raises(QueryError):
+            PathNearestNeighbor(tree, idx, [Point(0, 0)])
+
+    def test_needs_positive_tolerance(self):
+        tree, idx = _setup([rect_obstacle(0, 0, 0, 1, 1)], [Point(5, 5)])
+        with pytest.raises(QueryError):
+            PathNearestNeighbor(
+                tree, idx, [Point(0, 0), Point(1, 0)], tolerance=0.0
+            )
+
+    def test_zero_length_route_rejected(self):
+        tree, idx = _setup([rect_obstacle(0, 0, 0, 1, 1)], [Point(5, 5)])
+        with pytest.raises(QueryError):
+            PathNearestNeighbor(tree, idx, [Point(0, 0), Point(0, 0)])
+
+    def test_empty_dataset(self):
+        tree, idx = _setup([rect_obstacle(0, 0, 0, 1, 1)], [])
+        nn = PathNearestNeighbor(tree, idx, [Point(0, 0), Point(1, 0)])
+        with pytest.raises(QueryError):
+            nn.nn_at(0.5)
+
+
+class TestGeometryOfRoute:
+    def test_point_at_endpoints(self):
+        tree, idx = _setup([rect_obstacle(0, 50, 50, 51, 51)], [Point(5, 5)])
+        nn = PathNearestNeighbor(tree, idx, [Point(0, 0), Point(10, 0)])
+        assert nn.point_at(0.0) == Point(0, 0)
+        assert nn.point_at(1.0) == Point(10, 0)
+        assert nn.point_at(0.5) == Point(5, 0)
+
+    def test_point_at_multi_segment(self):
+        tree, idx = _setup([rect_obstacle(0, 50, 50, 51, 51)], [Point(5, 5)])
+        nn = PathNearestNeighbor(
+            tree, idx, [Point(0, 0), Point(10, 0), Point(10, 10)]
+        )
+        assert nn.point_at(0.25) == Point(5, 0)
+        assert nn.point_at(0.75) == Point(10, 5)
+
+    def test_point_at_clamped(self):
+        tree, idx = _setup([rect_obstacle(0, 50, 50, 51, 51)], [Point(5, 5)])
+        nn = PathNearestNeighbor(tree, idx, [Point(0, 0), Point(10, 0)])
+        assert nn.point_at(-0.5) == Point(0, 0)
+        assert nn.point_at(1.5) == Point(10, 0)
+
+
+class TestProfile:
+    def test_single_entity_single_interval(self):
+        obstacles = [rect_obstacle(0, 50, 50, 60, 60)]
+        tree, idx = _setup(obstacles, [Point(5, 5)])
+        intervals = path_nearest(tree, idx, [Point(0, 0), Point(10, 0)])
+        assert len(intervals) == 1
+        assert intervals[0].neighbor == Point(5, 5)
+        assert intervals[0].start == 0.0
+        assert intervals[0].end == 1.0
+
+    def test_handover_between_two_entities(self):
+        # walking east between two POIs: the NN switches halfway
+        obstacles = [rect_obstacle(0, 100, 100, 110, 110)]
+        a, b = Point(0, 5), Point(20, 5)
+        tree, idx = _setup(obstacles, [a, b])
+        intervals = path_nearest(
+            tree, idx, [Point(0, 0), Point(20, 0)], tolerance=1e-4
+        )
+        assert [iv.neighbor for iv in intervals] == [a, b]
+        # switch near the midpoint
+        assert intervals[0].end == pytest.approx(0.5, abs=1e-3)
+
+    def test_obstacle_shifts_handover(self):
+        # a wall near entity a makes it obstructed-farther, so b wins
+        # earlier than the Euclidean midpoint
+        wall = rect_obstacle(0, 2, -1, 4, 6)
+        a, b = Point(0, 4), Point(20, 4)
+        tree, idx = _setup([wall], [a, b])
+        intervals = path_nearest(
+            tree, idx, [Point(0, -5), Point(20, -5)], tolerance=1e-4
+        )
+        assert intervals[-1].neighbor == b
+        switch = intervals[0].end
+        assert switch < 0.5  # b takes over before the midpoint
+
+    def test_profile_matches_dense_sampling(self):
+        rng = random.Random(100)
+        obstacles = random_disjoint_rects(rng, 8)
+        entities = random_free_points(rng, 6, obstacles)
+        waypoints = random_free_points(random.Random(5), 3, obstacles)
+        tree, idx = _setup(obstacles, entities)
+        pnn = PathNearestNeighbor(tree, idx, waypoints, tolerance=1e-3)
+        intervals = pnn.profile()
+        assert intervals[0].start == 0.0
+        assert intervals[-1].end == pytest.approx(1.0)
+        # intervals tile [0, 1] in order
+        for prev, nxt in zip(intervals, intervals[1:]):
+            assert prev.end == pytest.approx(nxt.start)
+        # winner agrees with the oracle away from boundaries
+        for iv in intervals:
+            mid = (iv.start + iv.end) / 2.0
+            if iv.end - iv.start < 0.01:
+                continue
+            q = pnn.point_at(mid)
+            best = min(
+                entities, key=lambda p: oracle_distance(q, p, obstacles)
+            )
+            d_best = oracle_distance(q, best, obstacles)
+            d_winner = oracle_distance(q, iv.neighbor, obstacles)
+            assert d_winner == pytest.approx(d_best)

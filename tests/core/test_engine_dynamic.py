@@ -1,0 +1,80 @@
+"""Dynamic-update behaviour of ObstacleDatabase: inserted and deleted
+entities must be reflected in all query types immediately."""
+
+import pytest
+
+from repro import ObstacleDatabase, Point, Rect
+
+
+@pytest.fixture
+def db():
+    database = ObstacleDatabase(
+        [Rect(4, -10, 6, 10)], max_entries=8, min_entries=3
+    )
+    database.add_entity_set("pois", [Point(0, 0), Point(10, 0)])
+    database.add_entity_set("homes", [Point(0, 5)])
+    return database
+
+
+class TestInsertVisibleToQueries:
+    def test_nearest_sees_new_entity(self, db):
+        q = Point(-1, 0)
+        [(before, __)] = db.nearest("pois", q, 1)
+        assert before == Point(0, 0)
+        db.insert_entity("pois", Point(-1, 0.5))
+        [(after, d)] = db.nearest("pois", q, 1)
+        assert after == Point(-1, 0.5)
+        assert d == pytest.approx(0.5)
+
+    def test_range_sees_new_entity(self, db):
+        q = Point(0, 20)
+        assert dict(db.range("pois", q, 3.0)) == {}
+        db.insert_entity("pois", Point(0, 18))
+        got = dict(db.range("pois", q, 3.0))
+        assert Point(0, 18) in got
+
+    def test_join_sees_new_entity(self, db):
+        before = db.distance_join("homes", "pois", 5.0)
+        db.insert_entity("homes", Point(9, 1))
+        after = db.distance_join("homes", "pois", 5.0)
+        assert len(after) > len(before)
+
+    def test_closest_pair_improves(self, db):
+        [(s, t, d0)] = db.closest_pairs("homes", "pois", 1)
+        db.insert_entity("homes", Point(10, 0.25))
+        [(s1, t1, d1)] = db.closest_pairs("homes", "pois", 1)
+        assert d1 < d0
+        assert (s1, t1) == (Point(10, 0.25), Point(10, 0))
+
+
+class TestDeleteInvisibleToQueries:
+    def test_nearest_skips_deleted(self, db):
+        q = Point(-1, 0)
+        assert db.delete_entity("pois", Point(0, 0))
+        [(winner, __)] = db.nearest("pois", q, 1)
+        assert winner == Point(10, 0)
+
+    def test_range_skips_deleted(self, db):
+        q = Point(1, 0)
+        assert Point(0, 0) in dict(db.range("pois", q, 2.0))
+        db.delete_entity("pois", Point(0, 0))
+        assert dict(db.range("pois", q, 2.0)) == {}
+
+    def test_delete_then_reinsert(self, db):
+        p = Point(0, 0)
+        db.delete_entity("pois", p)
+        db.insert_entity("pois", p)
+        [(winner, d)] = db.nearest("pois", p, 1)
+        assert winner == p and d == 0.0
+
+
+class TestTreeConsistencyUnderChurn:
+    def test_many_updates_keep_invariants(self, db):
+        tree = db.entity_tree("pois")
+        for i in range(100):
+            db.insert_entity("pois", Point(float(i), float(i % 7)))
+        for i in range(0, 100, 2):
+            assert db.delete_entity("pois", Point(float(i), float(i % 7)))
+        tree.check_invariants()
+        res = db.nearest("pois", Point(51, 51 % 7), 3)
+        assert res[0][0] == Point(51, 51 % 7)

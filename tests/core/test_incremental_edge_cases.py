@@ -1,0 +1,110 @@
+"""Edge cases for the incremental obstructed streams (iONN / iOCP)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    iter_obstacle_closest_pairs,
+    iter_obstacle_nearest,
+)
+from repro.core.source import build_obstacle_index
+from repro.geometry import Point, Rect
+from repro.index import RStarTree, str_pack
+from tests.conftest import (
+    oracle_distance,
+    random_disjoint_rects,
+    random_free_points,
+    rect_obstacle,
+)
+
+
+def _tree(points):
+    tree = RStarTree(max_entries=8, min_entries=3)
+    str_pack(tree, [(p, Rect.from_point(p)) for p in points])
+    return tree
+
+
+def _index(obstacles):
+    return build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+
+
+class TestIncrementalNearestEdgeCases:
+    def test_single_entity(self):
+        idx = _index([rect_obstacle(0, 50, 50, 60, 60)])
+        stream = iter_obstacle_nearest(_tree([Point(3, 4)]), idx, Point(0, 0))
+        assert list(stream) == [(Point(3, 4), pytest.approx(5.0))]
+
+    def test_entity_at_query_point(self):
+        idx = _index([rect_obstacle(0, 50, 50, 60, 60)])
+        stream = iter_obstacle_nearest(
+            _tree([Point(0, 0), Point(1, 0)]), idx, Point(0, 0)
+        )
+        first = next(stream)
+        assert first == (Point(0, 0), 0.0)
+
+    def test_heavy_reordering_by_obstacles(self):
+        # a wall makes the Euclidean order strongly disagree with the
+        # obstructed order; the stream must still be sorted by d_O
+        wall = rect_obstacle(0, 2, -20, 4, 20)
+        entities = [Point(5, 0), Point(6, 0), Point(-1, 30), Point(0, -25)]
+        idx = _index([wall])
+        stream = iter_obstacle_nearest(_tree(entities), idx, Point(0, 0))
+        dists = [d for __, d in stream]
+        assert dists == sorted(dists)
+        want = sorted(oracle_distance(Point(0, 0), p, [wall]) for p in entities)
+        assert dists == pytest.approx(want)
+
+    def test_partial_consumption_is_cheap_and_correct(self):
+        rng = random.Random(77)
+        obstacles = random_disjoint_rects(rng, 10)
+        entities = random_free_points(rng, 20, obstacles)
+        idx = _index(obstacles)
+        q = random_free_points(random.Random(5), 1, obstacles)[0]
+        stream = iter_obstacle_nearest(_tree(entities), idx, q)
+        three = list(itertools.islice(stream, 3))
+        want = sorted(oracle_distance(q, p, obstacles) for p in entities)[:3]
+        assert [d for __, d in three] == pytest.approx(want)
+
+
+class TestIncrementalClosestPairsEdgeCases:
+    def test_single_pair(self):
+        idx = _index([rect_obstacle(0, 50, 50, 60, 60)])
+        stream = iter_obstacle_closest_pairs(
+            _tree([Point(0, 0)]), _tree([Point(3, 4)]), idx
+        )
+        assert list(stream) == [(Point(0, 0), Point(3, 4), pytest.approx(5.0))]
+
+    def test_coincident_pair_first(self):
+        idx = _index([rect_obstacle(0, 50, 50, 60, 60)])
+        shared = Point(5, 5)
+        stream = iter_obstacle_closest_pairs(
+            _tree([shared, Point(0, 0)]), _tree([shared, Point(9, 9)]), idx
+        )
+        s, t, d = next(stream)
+        assert (s, t, d) == (shared, shared, 0.0)
+
+    def test_wall_reorders_pairs(self):
+        wall = rect_obstacle(0, 4, -10, 6, 10)
+        s = [Point(3, 0), Point(0, 12)]
+        t = [Point(7, 0), Point(2, 12)]
+        idx = _index([wall])
+        stream = iter_obstacle_closest_pairs(_tree(s), _tree(t), idx)
+        pairs = list(stream)
+        dists = [d for __, __, d in pairs]
+        assert dists == sorted(dists)
+        # Euclidean closest pair (3,0)-(7,0) is separated by the wall;
+        # the top pair must be reported first
+        assert pairs[0][0] == Point(0, 12)
+        assert pairs[0][1] == Point(2, 12)
+
+    def test_stream_restartable(self):
+        rng = random.Random(31)
+        obstacles = random_disjoint_rects(rng, 8)
+        s = random_free_points(rng, 5, obstacles)
+        t = random_free_points(rng, 4, obstacles)
+        idx = _index(obstacles)
+        first_run = [d for *__, d in iter_obstacle_closest_pairs(_tree(s), _tree(t), idx)]
+        second_run = [d for *__, d in iter_obstacle_closest_pairs(_tree(s), _tree(t), idx)]
+        assert first_run == pytest.approx(second_run)

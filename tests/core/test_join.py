@@ -1,0 +1,100 @@
+"""Tests for the obstacle e-distance join ODJ (paper Fig. 10)."""
+
+import random
+
+import pytest
+
+from repro.core import obstacle_distance_join
+from repro.core.source import build_obstacle_index
+from repro.errors import QueryError
+from repro.geometry import Point, Rect
+from repro.index import RStarTree, str_pack
+from tests.conftest import (
+    oracle_distance,
+    random_disjoint_rects,
+    random_free_points,
+    rect_obstacle,
+)
+
+
+def _tree(points):
+    tree = RStarTree(max_entries=8, min_entries=3)
+    str_pack(tree, [(p, Rect.from_point(p)) for p in points])
+    return tree
+
+
+def _setup(seed, n_obs=12, n_s=15, n_t=12):
+    rng = random.Random(seed)
+    obstacles = random_disjoint_rects(rng, n_obs)
+    s = random_free_points(rng, n_s, obstacles)
+    t = random_free_points(rng, n_t, obstacles)
+    idx = build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+    return obstacles, s, t, _tree(s), _tree(t), idx
+
+
+class TestObstacleDistanceJoin:
+    def test_negative_distance_rejected(self):
+        __, __, __, ts, tt, idx = _setup(1)
+        with pytest.raises(QueryError):
+            obstacle_distance_join(ts, tt, idx, -5.0)
+
+    def test_empty_result_when_far_apart(self):
+        obstacles = [rect_obstacle(0, 40, 40, 50, 50)]
+        idx = build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+        ts = _tree([Point(0, 0)])
+        tt = _tree([Point(100, 100)])
+        assert obstacle_distance_join(ts, tt, idx, 5.0) == []
+
+    def test_matches_oracle(self):
+        obstacles, s, t, ts, tt, idx = _setup(7)
+        e = 30.0
+        got = {(a, b): d for a, b, d in obstacle_distance_join(ts, tt, idx, e)}
+        want = {}
+        for a in s:
+            for b in t:
+                if a.distance(b) <= e:
+                    d = oracle_distance(a, b, obstacles)
+                    if d <= e:
+                        want[(a, b)] = d
+        assert set(got) == set(want)
+        for pair, d in got.items():
+            assert d == pytest.approx(want[pair])
+
+    def test_orientation_preserved(self):
+        # results must be (s, t) even when T provides the seeds
+        obstacles = [rect_obstacle(0, 500, 500, 510, 510)]
+        idx = build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+        s = [Point(i, 0) for i in range(10)]          # many distinct s
+        t = [Point(0, 1)]                             # single t -> seed side
+        got = obstacle_distance_join(_tree(s), _tree(t), idx, 5.0)
+        assert got
+        for a, b, __ in got:
+            assert a in s and b in t
+
+    def test_hilbert_off_same_result(self):
+        obstacles, s, t, ts, tt, idx = _setup(13)
+        e = 25.0
+        with_h = {(a, b) for a, b, __ in obstacle_distance_join(ts, tt, idx, e)}
+        without = {
+            (a, b)
+            for a, b, __ in obstacle_distance_join(
+                ts, tt, idx, e, hilbert_order_seeds=False
+            )
+        }
+        assert with_h == without
+
+    def test_pairs_within_euclidean_bound(self):
+        __, __, __, ts, tt, idx = _setup(21)
+        e = 20.0
+        for a, b, d in obstacle_distance_join(ts, tt, idx, e):
+            assert a.distance(b) <= e + 1e-9
+            assert a.distance(b) - 1e-9 <= d <= e + 1e-9
+
+    def test_zero_distance_join(self):
+        shared = Point(5, 5)
+        obstacles = [rect_obstacle(0, 50, 50, 60, 60)]
+        idx = build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+        ts = _tree([shared, Point(1, 1)])
+        tt = _tree([shared, Point(9, 9)])
+        got = obstacle_distance_join(ts, tt, idx, 0.0)
+        assert got == [(shared, shared, 0.0)]

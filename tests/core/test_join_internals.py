@@ -1,0 +1,75 @@
+"""White-box tests for ODJ internals: seed-side selection and the
+per-seed graph reuse the paper motivates (Sec. 5's five-pairs example)."""
+
+import pytest
+
+from repro.core import obstacle_distance_join
+from repro.core.source import build_obstacle_index
+from repro.geometry import Point, Rect
+from repro.index import RStarTree, str_pack
+from tests.conftest import rect_obstacle
+
+
+def _tree(points):
+    tree = RStarTree(max_entries=8, min_entries=3)
+    str_pack(tree, [(p, Rect.from_point(p)) for p in points])
+    return tree
+
+
+class TestSeedSideSelection:
+    """The paper's example: five candidate pairs over two distinct
+    s-objects need only two visibility graphs (seeded from S)."""
+
+    def _paper_example(self):
+        # s1 pairs with t1, t2, t3; s2 pairs with t1, t4 (as in Sec. 5)
+        far = [rect_obstacle(0, 500, 500, 510, 510)]
+        s1, s2 = Point(0, 0), Point(10, 0)
+        t = [Point(5.5, 1), Point(0, 2), Point(-1, 1), Point(11, 1)]
+        idx = build_obstacle_index(far, max_entries=8, min_entries=3)
+        return _tree([s1, s2]), _tree(t), idx, (s1, s2), t
+
+    def test_seeds_come_from_smaller_distinct_side(self):
+        ts, tt, idx, (s1, s2), t = self._paper_example()
+        # count obstacle range retrievals: one per seed => 2 when seeded
+        # from S (|distinct S| = 2 < |distinct T| = 4)
+        calls = []
+        original = idx.obstacles_in_range
+
+        def spy(center, radius):
+            calls.append(center)
+            return original(center, radius)
+
+        idx.obstacles_in_range = spy  # type: ignore[assignment]
+        result = obstacle_distance_join(ts, tt, idx, 6.0)
+        assert {c for c in calls} <= {s1, s2}
+        assert len(calls) == 2
+        assert len(result) == 5
+
+    def test_orientation_after_t_seeding(self):
+        # invert the cardinalities so T provides the seeds
+        far = [rect_obstacle(0, 500, 500, 510, 510)]
+        s = [Point(float(i), 0.0) for i in range(6)]
+        t = [Point(2.5, 1.0)]
+        idx = build_obstacle_index(far, max_entries=8, min_entries=3)
+        result = obstacle_distance_join(_tree(s), _tree(t), idx, 3.0)
+        assert result
+        for a, b, __ in result:
+            assert a in s and b in t
+
+
+class TestJoinDistances:
+    def test_distances_exact_around_wall(self):
+        wall = rect_obstacle(0, 4, -5, 6, 5)
+        s = [Point(3, 0)]
+        t = [Point(7, 0)]
+        idx = build_obstacle_index([wall], max_entries=8, min_entries=3)
+        detour = (
+            Point(3, 0).distance(Point(4, 5))
+            + 2.0
+            + Point(6, 5).distance(Point(7, 0))
+        )
+        got = obstacle_distance_join(_tree(s), _tree(t), idx, detour + 0.01)
+        assert len(got) == 1
+        assert got[0][2] == pytest.approx(detour)
+        # with the bound just below the detour, the pair is a false hit
+        assert obstacle_distance_join(_tree(s), _tree(t), idx, detour - 0.01) == []

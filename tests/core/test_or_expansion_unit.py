@@ -1,0 +1,71 @@
+"""Unit tests for the shared expansion step of OR (Fig. 5 internals)."""
+
+import pytest
+
+from repro.core.range import expand_within_range
+from repro.geometry import Point
+from repro.visibility import VisibilityGraph
+from tests.conftest import rect_obstacle
+
+
+class TestExpandWithinRange:
+    def test_empty_candidates(self):
+        g = VisibilityGraph.build([Point(0, 0)], [])
+        assert expand_within_range(g, Point(0, 0), 10.0, []) == []
+
+    def test_direct_neighbors_reported_with_distance(self):
+        q = Point(0, 0)
+        a, b = Point(3, 0), Point(0, 4)
+        g = VisibilityGraph.build([q, a, b], [])
+        got = dict(expand_within_range(g, q, 10.0, [a, b]))
+        assert got[a] == pytest.approx(3.0)
+        assert got[b] == pytest.approx(4.0)
+
+    def test_bound_excludes_far_entities(self):
+        q = Point(0, 0)
+        a, b = Point(3, 0), Point(9, 0)
+        g = VisibilityGraph.build([q, a, b], [])
+        got = dict(expand_within_range(g, q, 5.0, [a, b]))
+        assert a in got and b not in got
+
+    def test_path_through_intermediate_entity(self):
+        # b is only reachable within the bound via the detour that the
+        # wall forces; the expansion must route around the wall corner.
+        wall = rect_obstacle(0, 2, -4, 4, 4)
+        q, b = Point(0, 0), Point(6, 0)
+        g = VisibilityGraph.build([q, b], [wall])
+        got = dict(expand_within_range(g, q, 20.0, [b]))
+        direct = q.distance(b)
+        assert got[b] > direct
+
+    def test_query_point_as_candidate(self):
+        q = Point(1, 1)
+        g = VisibilityGraph.build([q], [])
+        got = dict(expand_within_range(g, q, 5.0, [q]))
+        assert got[q] == 0.0
+
+    def test_early_termination_when_all_found(self):
+        # all candidates adjacent to q; far nodes must not be expanded
+        # (observable through the result only — a behavioural check
+        # that the function stops once `pending` empties)
+        q = Point(0, 0)
+        near = [Point(1, 0), Point(0, 1)]
+        far = [Point(100, 0)]
+        g = VisibilityGraph.build([q] + near + far, [])
+        got = expand_within_range(g, q, 1000.0, near)
+        assert {p for p, __ in got} == set(near)
+
+    def test_duplicate_candidates_reported_once(self):
+        q = Point(0, 0)
+        a = Point(2, 0)
+        g = VisibilityGraph.build([q, a], [])
+        got = expand_within_range(g, q, 5.0, [a, a])
+        assert len(got) == 1
+
+    def test_results_ascending(self):
+        q = Point(0, 0)
+        pts = [Point(5, 0), Point(1, 0), Point(3, 0), Point(0, 2)]
+        g = VisibilityGraph.build([q] + pts, [])
+        got = expand_within_range(g, q, 10.0, pts)
+        dists = [d for __, d in got]
+        assert dists == sorted(dists)

@@ -1,0 +1,97 @@
+"""Tests for the obstacle range query OR (paper Fig. 5)."""
+
+import random
+
+import pytest
+
+from repro.core import obstacle_range
+from repro.core.source import build_obstacle_index
+from repro.errors import QueryError
+from repro.geometry import Point, Rect
+from repro.index import RStarTree, str_pack
+from tests.conftest import (
+    oracle_distance,
+    random_disjoint_rects,
+    random_free_points,
+    rect_obstacle,
+)
+
+
+def _setup(obstacles, entities):
+    tree = RStarTree(max_entries=8, min_entries=3)
+    str_pack(tree, [(p, Rect.from_point(p)) for p in entities])
+    return tree, build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+
+
+class TestObstacleRange:
+    def test_negative_range_rejected(self):
+        tree, idx = _setup([rect_obstacle(0, 0, 0, 1, 1)], [Point(5, 5)])
+        with pytest.raises(QueryError):
+            obstacle_range(tree, idx, Point(0, 0), -1.0)
+
+    def test_empty_entities(self):
+        tree, idx = _setup([rect_obstacle(0, 0, 0, 1, 1)], [])
+        assert obstacle_range(tree, idx, Point(0, 0), 10.0) == []
+
+    def test_no_obstacles_equals_euclidean_range(self):
+        entities = [Point(i, 0) for i in range(10)]
+        tree, idx = _setup([rect_obstacle(0, 100, 100, 101, 101)], entities)
+        got = {p for p, __ in obstacle_range(tree, idx, Point(0, 0), 4.5)}
+        assert got == {Point(i, 0) for i in range(5)}
+
+    def test_false_hit_eliminated(self):
+        # entity Euclidean-near but behind a wall
+        wall = rect_obstacle(0, 4, -10, 6, 10)
+        near = Point(3, 0)          # visible, d = 3
+        behind = Point(7, 0)        # d_E = 7 but d_O ~ 24
+        tree, idx = _setup([wall], [near, behind])
+        got = dict(obstacle_range(tree, idx, Point(0, 0), 8.0))
+        assert near in got and behind not in got
+        assert got[near] == pytest.approx(3.0)
+
+    def test_results_sorted_by_distance(self):
+        rng = random.Random(3)
+        obstacles = random_disjoint_rects(rng, 12)
+        entities = random_free_points(rng, 30, obstacles)
+        tree, idx = _setup(obstacles, entities)
+        q = random_free_points(random.Random(55), 1, obstacles)[0]
+        res = obstacle_range(tree, idx, q, 40.0)
+        dists = [d for __, d in res]
+        assert dists == sorted(dists)
+
+    def test_query_point_coincides_with_entity(self):
+        entities = [Point(5, 5), Point(6, 6)]
+        tree, idx = _setup([rect_obstacle(0, 50, 50, 60, 60)], entities)
+        got = dict(obstacle_range(tree, idx, Point(5, 5), 3.0))
+        assert got[Point(5, 5)] == 0.0
+
+    def test_matches_oracle(self):
+        rng = random.Random(9)
+        obstacles = random_disjoint_rects(rng, 15)
+        entities = random_free_points(rng, 40, obstacles)
+        tree, idx = _setup(obstacles, entities)
+        for qseed in (1, 2):
+            q = random_free_points(random.Random(qseed * 100), 1, obstacles)[0]
+            e = 35.0
+            got = dict(obstacle_range(tree, idx, q, e))
+            want = {}
+            for p in entities:
+                if p.distance(q) <= e:
+                    d = oracle_distance(q, p, obstacles)
+                    if d <= e:
+                        want[p] = d
+            assert set(got) == set(want)
+            for p, d in got.items():
+                assert d == pytest.approx(want[p])
+
+    def test_result_is_subset_of_euclidean_range(self):
+        rng = random.Random(17)
+        obstacles = random_disjoint_rects(rng, 10)
+        entities = random_free_points(rng, 25, obstacles)
+        tree, idx = _setup(obstacles, entities)
+        q = Point(50, 50)
+        e = 30.0
+        got = obstacle_range(tree, idx, q, e)
+        for p, d in got:
+            assert p.distance(q) <= e + 1e-9  # Euclidean lower bound
+            assert d >= p.distance(q) - 1e-9

@@ -1,0 +1,86 @@
+"""Tests for the obstacle distance semi-join (paper Sec. 2.1)."""
+
+import random
+
+import pytest
+
+from repro import ObstacleDatabase
+from repro.core import obstacle_semijoin
+from repro.core.source import build_obstacle_index
+from repro.errors import QueryError
+from repro.geometry import Point, Rect
+from repro.index import RStarTree, str_pack
+from tests.conftest import (
+    oracle_distance,
+    random_disjoint_rects,
+    random_free_points,
+    rect_obstacle,
+)
+
+
+def _tree(points):
+    tree = RStarTree(max_entries=8, min_entries=3)
+    str_pack(tree, [(p, Rect.from_point(p)) for p in points])
+    return tree
+
+
+def _setup(seed, n_obs=10, n_s=8, n_t=6):
+    rng = random.Random(seed)
+    obstacles = random_disjoint_rects(rng, n_obs)
+    s = random_free_points(rng, n_s, obstacles)
+    t = random_free_points(rng, n_t, obstacles)
+    idx = build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+    return obstacles, s, t, _tree(s), _tree(t), idx
+
+
+class TestObstacleSemijoin:
+    def test_unknown_strategy(self):
+        __, __, __, ts, tt, idx = _setup(1)
+        with pytest.raises(QueryError):
+            obstacle_semijoin(ts, tt, idx, strategy="magic")
+
+    def test_empty_inputs(self):
+        obstacles = [rect_obstacle(0, 0, 0, 1, 1)]
+        idx = build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+        empty = RStarTree(max_entries=8)
+        full = _tree([Point(5, 5)])
+        assert obstacle_semijoin(empty, full, idx) == {}
+        assert obstacle_semijoin(full, empty, idx) == {}
+
+    @pytest.mark.parametrize("strategy", ["nn", "cp"])
+    def test_matches_oracle(self, strategy):
+        obstacles, s, t, ts, tt, idx = _setup(5)
+        got = obstacle_semijoin(ts, tt, idx, strategy=strategy)
+        assert set(got) == set(s)
+        for src, (__, d) in got.items():
+            best = min(oracle_distance(src, cand, obstacles) for cand in t)
+            assert d == pytest.approx(best)
+
+    def test_strategies_agree(self):
+        obstacles, s, t, ts, tt, idx = _setup(9)
+        by_nn = obstacle_semijoin(ts, tt, idx, strategy="nn")
+        by_cp = obstacle_semijoin(ts, tt, idx, strategy="cp")
+        assert set(by_nn) == set(by_cp)
+        for key in by_nn:
+            assert by_nn[key][1] == pytest.approx(by_cp[key][1])
+
+    def test_obstacle_changes_assignment(self):
+        wall = rect_obstacle(0, 4, -5, 6, 5)
+        s = [Point(3.5, 0)]
+        t = [Point(6.5, 0), Point(3.5, 8)]
+        idx = build_obstacle_index([wall], max_entries=8, min_entries=3)
+        got = obstacle_semijoin(_tree(s), _tree(t), idx)
+        # Euclidean NN is (6.5, 0) across the wall; obstructed NN is the
+        # point above the wall.
+        assert got[s[0]][0] == Point(3.5, 8)
+
+    def test_engine_api(self):
+        obstacles, s, t, __, __, __ = _setup(13)
+        db = ObstacleDatabase(obstacles, max_entries=8, min_entries=3)
+        db.add_entity_set("s", s)
+        db.add_entity_set("t", t)
+        got = db.semijoin("s", "t")
+        assert set(got) == set(s)
+        alt = db.semijoin("s", "t", strategy="nn")
+        for key in got:
+            assert got[key][1] == pytest.approx(alt[key][1])

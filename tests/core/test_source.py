@@ -1,0 +1,95 @@
+"""Tests for obstacle sources (single and composite indexes)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.source import (
+    CompositeObstacleIndex,
+    ObstacleIndex,
+    build_obstacle_index,
+)
+from repro.errors import DatasetError
+from repro.geometry import Point
+from tests.conftest import random_disjoint_rects, rect_obstacle
+
+
+class TestObstacleIndex:
+    def test_range_refined(self):
+        obstacles = [rect_obstacle(0, 10, 0, 12, 2), rect_obstacle(1, 50, 50, 52, 52)]
+        idx = build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+        got = idx.obstacles_in_range(Point(0, 0), 15.0)
+        assert [o.oid for o in got] == [0]
+
+    def test_infinite_range_returns_all(self):
+        rng = random.Random(1)
+        obstacles = random_disjoint_rects(rng, 8)
+        idx = build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+        got = idx.obstacles_in_range(Point(0, 0), math.inf)
+        assert {o.oid for o in got} == {o.oid for o in obstacles}
+
+    def test_universe(self):
+        obstacles = [rect_obstacle(0, 1, 2, 3, 4), rect_obstacle(1, 10, 10, 12, 14)]
+        idx = build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+        u = idx.universe()
+        assert (u.minx, u.miny, u.maxx, u.maxy) == (1, 2, 12, 14)
+
+    def test_len(self):
+        obstacles = random_disjoint_rects(random.Random(2), 5)
+        idx = build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+        assert len(idx) == len(obstacles)
+
+    def test_bulk_false_inserts_dynamically(self):
+        obstacles = random_disjoint_rects(random.Random(3), 10)
+        idx = build_obstacle_index(
+            obstacles, bulk=False, max_entries=8, min_entries=3
+        )
+        assert len(idx) == len(obstacles)
+        idx.tree.check_invariants()
+
+
+class TestCompositeObstacleIndex:
+    def test_requires_members(self):
+        with pytest.raises(DatasetError):
+            CompositeObstacleIndex([])
+
+    def test_union_of_ranges(self):
+        near = [rect_obstacle(0, 5, 0, 7, 2)]
+        far = [rect_obstacle(100, 8, 8, 10, 10)]
+        composite = CompositeObstacleIndex(
+            [
+                build_obstacle_index(near, max_entries=8, min_entries=3),
+                build_obstacle_index(far, max_entries=8, min_entries=3),
+            ]
+        )
+        got = {o.oid for o in composite.obstacles_in_range(Point(0, 0), 12.0)}
+        assert got == {0, 100}
+
+    def test_dedupes_by_oid(self):
+        obs = [rect_obstacle(7, 0, 0, 2, 2)]
+        idx = build_obstacle_index(obs, max_entries=8, min_entries=3)
+        composite = CompositeObstacleIndex([idx, idx])
+        got = composite.obstacles_in_range(Point(0, 0), 5.0)
+        assert len(got) == 1
+
+    def test_universe_union(self):
+        a = build_obstacle_index(
+            [rect_obstacle(0, 0, 0, 1, 1)], max_entries=8, min_entries=3
+        )
+        b = build_obstacle_index(
+            [rect_obstacle(1, 10, 10, 20, 20)], max_entries=8, min_entries=3
+        )
+        u = CompositeObstacleIndex([a, b]).universe()
+        assert (u.minx, u.miny, u.maxx, u.maxy) == (0, 0, 20, 20)
+
+    def test_len_sums(self):
+        a = build_obstacle_index(
+            [rect_obstacle(0, 0, 0, 1, 1)], max_entries=8, min_entries=3
+        )
+        b = build_obstacle_index(
+            [rect_obstacle(1, 5, 5, 6, 6), rect_obstacle(2, 8, 8, 9, 9)],
+            max_entries=8,
+            min_entries=3,
+        )
+        assert len(CompositeObstacleIndex([a, b])) == 3

@@ -1,0 +1,107 @@
+"""Statistical properties of the workload generators.
+
+The benchmarks' validity rests on the generators actually having the
+properties DESIGN.md claims (hotspot bias, entities tracking the
+obstacle distribution); these tests measure them.
+"""
+
+import math
+import random
+
+from repro.datasets import (
+    clustered_obstacles,
+    entities_following_obstacles,
+    street_grid_obstacles,
+    uniform_obstacles,
+)
+from repro.geometry import Point, Rect
+
+
+def _density_in(rect, obstacles):
+    return sum(1 for o in obstacles if rect.contains_point(o.mbr.center()))
+
+
+class TestHotspotBias:
+    def test_hotspots_concentrate_streets(self):
+        universe = Rect(0, 0, 10_000, 10_000)
+        biased = street_grid_obstacles(
+            800, universe=universe, seed=3, hotspots=1, hotspot_bias=8.0
+        )
+        flat = street_grid_obstacles(
+            800, universe=universe, seed=3, hotspots=0
+        )
+        # variance of per-quadrant counts should be higher with a hotspot
+        def quadrant_counts(obs):
+            mid_x, mid_y = 5000, 5000
+            quads = [0, 0, 0, 0]
+            for o in obs:
+                c = o.mbr.center()
+                quads[(c.x >= mid_x) * 2 + (c.y >= mid_y)] += 1
+            return quads
+
+        def variance(xs):
+            mean = sum(xs) / len(xs)
+            return sum((x - mean) ** 2 for x in xs) / len(xs)
+
+        assert variance(quadrant_counts(biased)) > variance(quadrant_counts(flat))
+
+
+class TestEntityDistributionTracking:
+    def test_entities_denser_where_obstacles_denser(self):
+        universe = Rect(0, 0, 10_000, 10_000)
+        obstacles = street_grid_obstacles(
+            600, universe=universe, seed=11, hotspots=1, hotspot_bias=8.0
+        )
+        entities = entities_following_obstacles(2000, obstacles, seed=12)
+        # split universe into 4 quadrants; entity share should track
+        # obstacle share within a loose factor
+        for quad in (
+            Rect(0, 0, 5000, 5000),
+            Rect(5000, 0, 10_000, 5000),
+            Rect(0, 5000, 5000, 10_000),
+            Rect(5000, 5000, 10_000, 10_000),
+        ):
+            obs_share = _density_in(quad, obstacles) / len(obstacles)
+            ent_share = sum(1 for p in entities if quad.contains_point(p)) / len(
+                entities
+            )
+            assert abs(obs_share - ent_share) < 0.12
+
+    def test_boundary_fraction_honoured(self):
+        obstacles = street_grid_obstacles(100, seed=21)
+        entities = entities_following_obstacles(
+            400, obstacles, seed=22, on_boundary_fraction=0.5
+        )
+        on_boundary = sum(
+            1
+            for p in entities
+            if any(o.polygon.on_boundary(p) for o in obstacles)
+        )
+        # rejection re-draws blur the ratio; expect it in a wide band
+        assert 0.3 <= on_boundary / len(entities) <= 0.75
+
+
+class TestGeneratorsScale:
+    def test_uniform_density_spread(self):
+        obstacles = uniform_obstacles(300, seed=5)
+        xs = sorted(o.mbr.center().x for o in obstacles)
+        # roughly uniform: the median should sit near the universe middle
+        median = xs[len(xs) // 2]
+        assert 3000 < median < 7000
+
+    def test_clustered_more_concentrated_than_uniform(self):
+        uniform = uniform_obstacles(300, seed=6)
+        clustered = clustered_obstacles(300, seed=6, clusters=2, spread=0.05)
+
+        def mean_nn_dist(obs, sample=60):
+            rng = random.Random(1)
+            centers = [o.mbr.center() for o in obs]
+            picks = rng.sample(centers, sample)
+            total = 0.0
+            for p in picks:
+                total += min(
+                    p.distance(c) for c in centers if c != p
+                )
+            return total / sample
+
+        assert mean_nn_dist(clustered) < mean_nn_dist(uniform)

@@ -1,0 +1,67 @@
+"""Tests for dataset persistence round-trips."""
+
+import pytest
+
+from repro.datasets import (
+    load_obstacles,
+    load_points,
+    save_obstacles,
+    save_points,
+    street_grid_obstacles,
+)
+from repro.errors import DatasetError
+from repro.geometry import Point
+
+
+class TestPointsIO:
+    def test_roundtrip(self, tmp_path):
+        pts = [Point(1.5, 2.25), Point(-3.125, 4.0), Point(0.1, 0.2)]
+        path = tmp_path / "points.txt"
+        save_points(path, pts)
+        assert load_points(path) == pts
+
+    def test_exact_float_roundtrip(self, tmp_path):
+        pts = [Point(1 / 3, 2 / 7)]
+        path = tmp_path / "points.txt"
+        save_points(path, pts)
+        assert load_points(path) == pts  # repr() round-trips floats
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "points.txt"
+        path.write_text("# header\n\n1.0 2.0\n")
+        assert load_points(path) == [Point(1, 2)]
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "points.txt"
+        path.write_text("1.0 2.0 3.0\n")
+        with pytest.raises(DatasetError):
+            load_points(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "points.txt"
+        path.write_text("")
+        assert load_points(path) == []
+
+
+class TestObstaclesIO:
+    def test_roundtrip(self, tmp_path):
+        obstacles = street_grid_obstacles(12, seed=3)
+        path = tmp_path / "obstacles.txt"
+        save_obstacles(path, obstacles)
+        loaded = load_obstacles(path)
+        assert len(loaded) == len(obstacles)
+        for a, b in zip(loaded, obstacles):
+            assert a.oid == b.oid
+            assert a.polygon.vertices == b.polygon.vertices
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "obstacles.txt"
+        path.write_text("0 1.0 2.0\n")  # too few coordinates
+        with pytest.raises(DatasetError):
+            load_obstacles(path)
+
+    def test_even_field_count_rejected(self, tmp_path):
+        path = tmp_path / "obstacles.txt"
+        path.write_text("0 1.0 2.0 3.0 4.0 5.0 6.0 7.0\n")  # 7 coords
+        with pytest.raises(DatasetError):
+            load_obstacles(path)

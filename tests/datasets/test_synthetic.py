@@ -1,0 +1,155 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    clustered_obstacles,
+    entities_following_obstacles,
+    make_workload,
+    query_points,
+    street_grid_obstacles,
+    uniform_obstacles,
+)
+from repro.errors import DatasetError
+from repro.geometry import Rect
+
+
+def _pairwise_disjoint(obstacles):
+    rects = [o.mbr for o in obstacles]
+    for i, a in enumerate(rects):
+        for b in rects[i + 1 :]:
+            if a.expanded(-1e-9).intersects(b.expanded(-1e-9)):
+                return False
+    return True
+
+
+class TestStreetGrid:
+    def test_count_and_ids(self):
+        obs = street_grid_obstacles(50, seed=1)
+        assert len(obs) == 50
+        assert sorted(o.oid for o in obs) == list(range(50))
+
+    def test_disjoint(self):
+        obs = street_grid_obstacles(120, seed=2)
+        assert _pairwise_disjoint(obs)
+
+    def test_deterministic(self):
+        a = street_grid_obstacles(30, seed=3)
+        b = street_grid_obstacles(30, seed=3)
+        assert [o.mbr for o in a] == [o.mbr for o in b]
+
+    def test_different_seeds_differ(self):
+        a = street_grid_obstacles(30, seed=3)
+        b = street_grid_obstacles(30, seed=4)
+        assert [o.mbr for o in a] != [o.mbr for o in b]
+
+    def test_elongated_streets(self):
+        obs = street_grid_obstacles(80, seed=5)
+        elongated = sum(
+            1
+            for o in obs
+            if max(o.mbr.width, o.mbr.height) > 3 * min(o.mbr.width, o.mbr.height)
+        )
+        assert elongated > len(obs) * 0.9  # streets are thin
+
+    def test_within_universe(self):
+        universe = Rect(0, 0, 500, 500)
+        obs = street_grid_obstacles(40, universe=universe, seed=6)
+        for o in obs:
+            assert universe.contains_rect(o.mbr)
+
+    def test_invalid_n(self):
+        with pytest.raises(DatasetError):
+            street_grid_obstacles(0)
+
+    def test_impossible_density(self):
+        with pytest.raises(DatasetError):
+            street_grid_obstacles(10_000, universe=Rect(0, 0, 10, 10),
+                                  street_width=(5.0, 6.0))
+
+
+class TestUniformAndClustered:
+    def test_uniform_disjoint(self):
+        obs = uniform_obstacles(60, seed=1)
+        assert len(obs) == 60
+        assert _pairwise_disjoint(obs)
+
+    def test_clustered_disjoint(self):
+        obs = clustered_obstacles(60, seed=1, clusters=4)
+        assert len(obs) == 60
+        assert _pairwise_disjoint(obs)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            uniform_obstacles(0)
+        with pytest.raises(DatasetError):
+            clustered_obstacles(5, clusters=0)
+
+    def test_unachievable_density_raises(self):
+        with pytest.raises(DatasetError):
+            uniform_obstacles(
+                1000,
+                universe=Rect(0, 0, 10, 10),
+                size_range=(5.0, 8.0),
+                max_attempts_factor=5,
+            )
+
+
+class TestEntitySampler:
+    def test_never_inside_obstacles(self):
+        obs = street_grid_obstacles(60, seed=7)
+        pts = entities_following_obstacles(200, obs, seed=8)
+        assert len(pts) == 200
+        for p in pts:
+            assert not any(o.polygon.contains(p) for o in obs)
+
+    def test_follows_obstacle_distribution(self):
+        # each point must be near some obstacle (the sampler anchors on
+        # boundaries)
+        obs = street_grid_obstacles(60, seed=9)
+        pts = entities_following_obstacles(100, obs, seed=10)
+        for p in pts:
+            nearest = min(o.polygon.distance_to_point(p) for o in obs)
+            size = max(max(o.mbr.width, o.mbr.height) for o in obs)
+            assert nearest <= size
+
+    def test_boundary_fraction_one_puts_all_on_boundaries(self):
+        obs = street_grid_obstacles(20, seed=11)
+        pts = entities_following_obstacles(
+            50, obs, seed=12, on_boundary_fraction=1.0
+        )
+        for p in pts:
+            assert any(o.polygon.on_boundary(p) for o in obs)
+
+    def test_requires_obstacles(self):
+        with pytest.raises(DatasetError):
+            entities_following_obstacles(5, [], seed=1)
+
+    def test_zero_entities(self):
+        obs = street_grid_obstacles(10, seed=13)
+        assert entities_following_obstacles(0, obs) == []
+
+    def test_query_points_outside_interiors(self):
+        obs = street_grid_obstacles(30, seed=14)
+        qs = query_points(40, obs, seed=15)
+        assert len(qs) == 40
+        for q in qs:
+            assert not any(o.polygon.contains(q) for o in obs)
+
+
+class TestWorkload:
+    def test_make_workload(self):
+        w = make_workload(40, {"s": 20, "t": 10}, 5, seed=3)
+        assert len(w.obstacles) == 40
+        assert len(w.entity_sets["s"]) == 20
+        assert len(w.entity_sets["t"]) == 10
+        assert len(w.queries) == 5
+        assert w.universe.area() > 0
+
+    def test_workload_deterministic(self):
+        w1 = make_workload(20, {"s": 10}, 3, seed=5)
+        w2 = make_workload(20, {"s": 10}, 3, seed=5)
+        assert w1.entity_sets["s"] == w2.entity_sets["s"]
+        assert w1.queries == w2.queries

@@ -1,0 +1,91 @@
+"""Property tests on the incremental Euclidean streams.
+
+The obstructed algorithms' correctness rests on two contracts of the
+Euclidean layer: streams are globally sorted, and they are *complete*
+supersets under the lower-bound property.  These tests pin the
+contracts directly.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.euclidean import (
+    IncrementalClosestPairs,
+    IncrementalNearestNeighbors,
+)
+from repro.geometry import Point, Rect
+from repro.index import RStarTree, str_pack
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+coords = st.tuples(
+    st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)
+)
+
+
+def _tree(pts):
+    tree = RStarTree(max_entries=4, min_entries=2)
+    str_pack(tree, [(p, Rect.from_point(p)) for p in pts])
+    return tree
+
+
+@SETTINGS
+@given(st.lists(coords, min_size=1, max_size=40), coords)
+def test_nn_stream_is_sorted_and_complete(raw, q_raw):
+    pts = [Point(x, y) for x, y in raw]
+    q = Point(*q_raw)
+    stream = list(IncrementalNearestNeighbors(_tree(pts), q))
+    dists = [d for __, d in stream]
+    assert dists == sorted(dists)
+    assert len(stream) == len(pts)
+    assert dists == pytest.approx(sorted(p.distance(q) for p in pts))
+
+
+@SETTINGS
+@given(st.lists(coords, min_size=1, max_size=40), coords)
+def test_nn_stream_prefix_property(raw, q_raw):
+    # stopping after j items gives exactly the j nearest
+    pts = [Point(x, y) for x, y in raw]
+    q = Point(*q_raw)
+    j = max(1, len(pts) // 2)
+    stream = IncrementalNearestNeighbors(_tree(pts), q)
+    prefix = [next(stream) for __ in range(j)]
+    want = sorted(p.distance(q) for p in pts)[:j]
+    assert [d for __, d in prefix] == pytest.approx(want)
+
+
+@SETTINGS
+@given(
+    st.lists(coords, min_size=1, max_size=12),
+    st.lists(coords, min_size=1, max_size=12),
+)
+def test_cp_stream_is_sorted_and_complete(s_raw, t_raw):
+    s = [Point(x, y) for x, y in s_raw]
+    t = [Point(x, y) for x, y in t_raw]
+    stream = list(IncrementalClosestPairs(_tree(s), _tree(t)))
+    dists = [d for __, __, d in stream]
+    assert dists == sorted(dists)
+    assert len(stream) == len(s) * len(t)
+    assert dists == pytest.approx(
+        sorted(a.distance(b) for a in s for b in t)
+    )
+
+
+@SETTINGS
+@given(
+    st.lists(coords, min_size=1, max_size=12),
+    st.lists(coords, min_size=1, max_size=12),
+)
+def test_cp_stream_sides_preserved(s_raw, t_raw):
+    s = {Point(x, y) for x, y in s_raw}
+    t = {Point(x, y) for x, y in t_raw}
+    for a, b, __ in IncrementalClosestPairs(
+        _tree(list(s)), _tree(list(t))
+    ):
+        assert a in s
+        assert b in t

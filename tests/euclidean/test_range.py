@@ -1,0 +1,96 @@
+"""Tests for Euclidean range search (filter + refinement)."""
+
+import random
+
+import pytest
+
+from repro.errors import QueryError
+from repro.euclidean import entities_in_range, obstacles_in_range, range_query
+from repro.geometry import Circle, Point, Polygon, Rect
+from repro.index import RStarTree, str_pack
+from repro.model import Obstacle
+from tests.conftest import random_disjoint_rects
+
+
+def _entity_tree(pts):
+    tree = RStarTree(max_entries=8, min_entries=3)
+    str_pack(tree, [(p, Rect.from_point(p)) for p in pts])
+    return tree
+
+
+def _obstacle_tree(obstacles):
+    tree = RStarTree(max_entries=8, min_entries=3)
+    str_pack(tree, [(o, o.mbr) for o in obstacles])
+    return tree
+
+
+class TestEntitiesInRange:
+    def test_exact_for_points(self):
+        rng = random.Random(0)
+        pts = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(200)]
+        tree = _entity_tree(pts)
+        q = Point(50, 50)
+        got = sorted(p.as_tuple() for p in entities_in_range(tree, q, 20))
+        want = sorted(p.as_tuple() for p in pts if p.distance(q) <= 20)
+        assert got == want
+
+    def test_zero_radius(self):
+        pts = [Point(1, 1), Point(2, 2)]
+        tree = _entity_tree(pts)
+        assert entities_in_range(tree, Point(1, 1), 0.0) == [Point(1, 1)]
+
+    def test_negative_radius_rejected(self):
+        tree = _entity_tree([Point(1, 1)])
+        with pytest.raises(QueryError):
+            entities_in_range(tree, Point(0, 0), -1.0)
+
+    def test_empty_tree(self):
+        tree = RStarTree(max_entries=8)
+        assert entities_in_range(tree, Point(0, 0), 100) == []
+
+
+class TestObstaclesInRange:
+    def test_refinement_rejects_mbr_only_hits(self):
+        # A thin diagonal triangle: MBR reaches the query disk, body not.
+        tri = Obstacle(0, Polygon([Point(10, 4), Point(10, 10), Point(4, 10)]))
+        tree = _obstacle_tree([tri])
+        assert obstacles_in_range(tree, Point(0, 0), 7.0) == []
+        assert obstacles_in_range(tree, Point(0, 0), 10.0) == [tri]
+
+    def test_matches_bruteforce(self):
+        rng = random.Random(7)
+        obstacles = random_disjoint_rects(rng, 30)
+        tree = _obstacle_tree(obstacles)
+        q = Point(50, 50)
+        for radius in (5.0, 15.0, 40.0):
+            got = {o.oid for o in obstacles_in_range(tree, q, radius)}
+            want = {
+                o.oid
+                for o in obstacles
+                if o.polygon.distance_to_point(q) <= radius
+            }
+            assert got == want
+
+    def test_negative_radius_rejected(self):
+        tree = _obstacle_tree(random_disjoint_rects(random.Random(1), 3))
+        with pytest.raises(QueryError):
+            obstacles_in_range(tree, Point(0, 0), -0.5)
+
+
+class TestRangeQuery:
+    def test_rect_region(self):
+        pts = [Point(i, i) for i in range(10)]
+        tree = _entity_tree(pts)
+        got = set(range_query(tree, Rect(2, 2, 5, 5)))
+        assert got == {Point(2, 2), Point(3, 3), Point(4, 4), Point(5, 5)}
+
+    def test_circle_region(self):
+        pts = [Point(i, 0) for i in range(10)]
+        tree = _entity_tree(pts)
+        got = set(range_query(tree, Circle(Point(0, 0), 2.5)))
+        assert got == {Point(0, 0), Point(1, 0), Point(2, 0)}
+
+    def test_unsupported_region(self):
+        tree = _entity_tree([Point(0, 0)])
+        with pytest.raises(QueryError):
+            range_query(tree, "not-a-region")

@@ -1,0 +1,81 @@
+"""Unit tests for repro.geometry.circle."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Circle, Point, Polygon, Rect
+from tests.strategies import points, rects
+
+
+class TestCircleBasics:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Circle(Point(0, 0), -1.0)
+
+    def test_zero_radius_allowed(self):
+        c = Circle(Point(1, 1), 0.0)
+        assert c.contains_point(Point(1, 1))
+        assert not c.contains_point(Point(1, 1.001))
+
+    def test_contains_point(self):
+        c = Circle(Point(0, 0), 5.0)
+        assert c.contains_point(Point(3, 4))  # on the boundary
+        assert c.contains_point(Point(1, 1))
+        assert not c.contains_point(Point(4, 4))
+
+    def test_equality_hash(self):
+        assert Circle(Point(0, 0), 2.0) == Circle(Point(0, 0), 2.0)
+        assert hash(Circle(Point(0, 0), 2.0)) == hash(Circle(Point(0, 0), 2.0))
+
+    def test_bounding_rect(self):
+        r = Circle(Point(5, 5), 2.0).bounding_rect()
+        assert r == Rect(3, 3, 7, 7)
+
+
+class TestCircleRect:
+    def test_intersects_overlapping(self):
+        assert Circle(Point(0, 0), 5).intersects_rect(Rect(3, 3, 10, 10))
+
+    def test_intersects_containing(self):
+        assert Circle(Point(5, 5), 1).intersects_rect(Rect(0, 0, 10, 10))
+
+    def test_disjoint_corner(self):
+        # nearest corner at distance sqrt(2) * 4 > 5
+        assert not Circle(Point(0, 0), 5).intersects_rect(Rect(4, 4, 10, 10))
+
+    def test_touching(self):
+        assert Circle(Point(0, 0), 4).intersects_rect(Rect(4, -1, 10, 1))
+
+    @given(rects(), points, st.floats(0, 100))
+    def test_consistent_with_mindist(self, r, p, radius):
+        hit = Circle(p, radius).intersects_rect(r)
+        md = r.mindist_point(p)
+        if md < radius - 1e-9:
+            assert hit
+        elif md > radius + 1e-9:
+            assert not hit
+
+
+class TestCirclePolygon:
+    def test_polygon_inside_circle(self):
+        poly = Polygon.from_rect(Rect(1, 1, 2, 2))
+        assert Circle(Point(0, 0), 10).intersects_polygon(poly)
+
+    def test_center_inside_polygon(self):
+        poly = Polygon.from_rect(Rect(0, 0, 10, 10))
+        assert Circle(Point(5, 5), 0.1).intersects_polygon(poly)
+
+    def test_disjoint(self):
+        poly = Polygon.from_rect(Rect(10, 10, 12, 12))
+        assert not Circle(Point(0, 0), 5).intersects_polygon(poly)
+
+    def test_mbr_hit_polygon_miss(self):
+        # triangle whose MBR intersects the circle but whose body does
+        # not: nearest triangle point is on the chord x + y = 14, at
+        # distance 14/sqrt(2) ~ 9.9, while the MBR corner is at ~5.66.
+        tri = Polygon([Point(10, 4), Point(10, 10), Point(4, 10)])
+        c = Circle(Point(0, 0), 7.0)
+        assert c.intersects_rect(tri.mbr)
+        assert not c.intersects_polygon(tri)

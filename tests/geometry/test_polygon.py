@@ -1,0 +1,193 @@
+"""Unit and property tests for repro.geometry.polygon."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Polygon, Rect
+
+SQUARE = Polygon.from_rect(Rect(0, 0, 10, 10))
+L_SHAPE = Polygon(
+    [Point(0, 0), Point(4, 0), Point(4, 2), Point(2, 2), Point(2, 4), Point(0, 4)]
+)
+
+
+class TestConstruction:
+    def test_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_repeated_vertex_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(0, 0), Point(1, 1), Point(0, 1)])
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(5, 0), Point(10, 0)])
+
+    def test_orientation_normalised_to_ccw(self):
+        cw = Polygon([Point(0, 0), Point(0, 10), Point(10, 10), Point(10, 0)])
+        assert cw.area() > 0
+
+    def test_closing_vertex_dropped(self):
+        p = Polygon([Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 0)])
+        assert len(p.vertices) == 3
+
+    def test_from_rect_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon.from_rect(Rect(0, 0, 0, 5))
+
+    def test_regular_polygon(self):
+        hexagon = Polygon.regular(Point(0, 0), 10, 6)
+        assert len(hexagon.vertices) == 6
+        assert hexagon.is_convex()
+        with pytest.raises(GeometryError):
+            Polygon.regular(Point(0, 0), 10, 2)
+        with pytest.raises(GeometryError):
+            Polygon.regular(Point(0, 0), -1, 5)
+
+    def test_validate_simple_accepts_square(self):
+        SQUARE.validate_simple()
+
+    def test_zero_area_bowtie_rejected_at_construction(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(10, 10), Point(10, 0), Point(0, 10)])
+
+    def test_validate_simple_rejects_self_intersection(self):
+        # non-zero-area self-intersecting quad: edge 2 crosses edge 0
+        crossed = Polygon(
+            [Point(0, 0), Point(6, 0), Point(6, 6), Point(2, -2)]
+        )
+        with pytest.raises(GeometryError):
+            crossed.validate_simple()
+
+
+class TestMeasures:
+    def test_square_area_perimeter(self):
+        assert SQUARE.area() == pytest.approx(100.0)
+        assert SQUARE.perimeter() == pytest.approx(40.0)
+
+    def test_l_shape_area(self):
+        assert L_SHAPE.area() == pytest.approx(12.0)
+
+    def test_centroid_square(self):
+        assert SQUARE.centroid().distance(Point(5, 5)) < 1e-9
+
+    def test_convexity(self):
+        assert SQUARE.is_convex()
+        assert not L_SHAPE.is_convex()
+
+    def test_mbr(self):
+        assert L_SHAPE.mbr == Rect(0, 0, 4, 4)
+
+    def test_edges_count(self):
+        assert len(SQUARE.edges()) == 4
+        assert len(L_SHAPE.edges()) == 6
+
+
+class TestContainment:
+    def test_interior(self):
+        assert SQUARE.contains(Point(5, 5))
+
+    def test_boundary_not_strict_interior(self):
+        assert not SQUARE.contains(Point(0, 5))
+        assert not SQUARE.contains(Point(10, 10))
+        assert SQUARE.contains_or_boundary(Point(0, 5))
+
+    def test_outside(self):
+        assert not SQUARE.contains(Point(-1, 5))
+        assert not SQUARE.contains_or_boundary(Point(11, 5))
+
+    def test_l_shape_notch_outside(self):
+        assert not L_SHAPE.contains(Point(3, 3))
+        assert L_SHAPE.contains(Point(1, 1))
+
+    def test_on_boundary(self):
+        assert SQUARE.on_boundary(Point(5, 0))
+        assert SQUARE.on_boundary(Point(10, 10))
+        assert not SQUARE.on_boundary(Point(5, 5))
+
+    def test_ray_through_vertex_counted_once(self):
+        diamond = Polygon([Point(5, 0), Point(10, 5), Point(5, 10), Point(0, 5)])
+        # horizontal ray from this point passes exactly through vertex (10, 5)
+        assert diamond.contains(Point(5, 5))
+        assert not diamond.contains(Point(-1, 5))
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    def test_boundary_point_at_is_on_boundary(self, s, t):
+        p = L_SHAPE.boundary_point_at(s)
+        assert L_SHAPE.on_boundary(p)
+        q = SQUARE.boundary_point_at(t)
+        assert SQUARE.on_boundary(q)
+
+
+class TestCrossesInterior:
+    def test_straight_through(self):
+        assert SQUARE.crosses_interior(Point(-5, 5), Point(15, 5))
+
+    def test_along_edge_is_grazing(self):
+        assert not SQUARE.crosses_interior(Point(-5, 0), Point(15, 0))
+        assert not SQUARE.crosses_interior(Point(0, 0), Point(10, 0))
+
+    def test_diagonal_of_square(self):
+        assert SQUARE.crosses_interior(Point(0, 0), Point(10, 10))
+
+    def test_corner_graze(self):
+        # passes exactly through corner (0, 10) staying outside
+        assert not SQUARE.crosses_interior(Point(-5, 5), Point(5, 15))
+
+    def test_corner_entering(self):
+        # enters through corner (0, 0) diagonally
+        assert SQUARE.crosses_interior(Point(-5, -5), Point(5, 5))
+
+    def test_fully_outside(self):
+        assert not SQUARE.crosses_interior(Point(-5, -5), Point(15, -5))
+
+    def test_endpoint_on_boundary_leaving_outward(self):
+        assert not SQUARE.crosses_interior(Point(5, 0), Point(5, -10))
+
+    def test_endpoint_on_boundary_entering(self):
+        assert SQUARE.crosses_interior(Point(5, 0), Point(5, 10 - 1e-6))
+
+    def test_chord_between_boundary_points(self):
+        assert SQUARE.crosses_interior(Point(0, 5), Point(10, 5))
+
+    def test_l_shape_notch_pass(self):
+        # passes through the notch region (outside the L)
+        assert not L_SHAPE.crosses_interior(Point(3, 5), Point(5, 3))
+
+    def test_l_shape_through_arm(self):
+        assert L_SHAPE.crosses_interior(Point(-1, 1), Point(5, 1))
+
+    def test_segment_far_away(self):
+        assert not SQUARE.crosses_interior(Point(100, 100), Point(200, 200))
+
+
+class TestDistanceToPoint:
+    def test_inside_zero(self):
+        assert SQUARE.distance_to_point(Point(5, 5)) == 0.0
+
+    def test_boundary_zero(self):
+        assert SQUARE.distance_to_point(Point(0, 5)) == 0.0
+
+    def test_outside_axis(self):
+        assert SQUARE.distance_to_point(Point(13, 5)) == pytest.approx(3.0)
+
+    def test_outside_corner(self):
+        assert SQUARE.distance_to_point(Point(13, 14)) == pytest.approx(5.0)
+
+
+@given(st.integers(3, 12), st.floats(1.0, 50.0))
+def test_regular_polygon_area_formula(sides, radius):
+    poly = Polygon.regular(Point(0, 0), radius, sides)
+    expected = 0.5 * sides * radius * radius * math.sin(2 * math.pi / sides)
+    assert poly.area() == pytest.approx(expected, rel=1e-9)
+
+
+@given(st.integers(3, 10))
+def test_regular_polygon_centroid_is_center(sides):
+    poly = Polygon.regular(Point(3, 7), 5.0, sides)
+    assert poly.centroid().distance(Point(3, 7)) < 1e-9

@@ -1,0 +1,145 @@
+"""Unit and property tests for repro.geometry.rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect
+from tests.strategies import points, rects
+
+
+class TestConstruction:
+    def test_invalid_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(5, 0, 4, 1)
+        with pytest.raises(GeometryError):
+            Rect(0, 5, 1, 4)
+
+    def test_degenerate_point_rect_allowed(self):
+        r = Rect.from_point(Point(2, 3))
+        assert r.area() == 0.0
+        assert r.contains_point(Point(2, 3))
+
+    def test_from_points(self):
+        r = Rect.from_points([Point(1, 5), Point(3, 2), Point(2, 8)])
+        assert (r.minx, r.miny, r.maxx, r.maxy) == (1, 2, 3, 8)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.from_points([])
+
+    def test_union_all(self):
+        r = Rect.union_all([Rect(0, 0, 1, 1), Rect(5, 5, 6, 7)])
+        assert (r.minx, r.miny, r.maxx, r.maxy) == (0, 0, 6, 7)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.union_all([])
+
+    def test_equality_and_hash(self):
+        assert Rect(0, 0, 1, 1) == Rect(0, 0, 1, 1)
+        assert hash(Rect(0, 0, 1, 1)) == hash(Rect(0, 0, 1, 1))
+        assert Rect(0, 0, 1, 1) != Rect(0, 0, 1, 2)
+
+
+class TestMeasures:
+    def test_area_margin(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.area() == 12.0
+        assert r.margin() == 7.0
+        assert r.width == 4.0 and r.height == 3.0
+
+    def test_center_and_corners(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.center() == Point(2, 1)
+        assert len(r.corners()) == 4
+
+    def test_expanded(self):
+        r = Rect(1, 1, 3, 3).expanded(1)
+        assert (r.minx, r.miny, r.maxx, r.maxy) == (0, 0, 4, 4)
+
+
+class TestRelations:
+    def test_intersects_overlapping(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+
+    def test_intersects_touching_edge(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(2, 0, 4, 2))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+    def test_contains(self):
+        outer, inner = Rect(0, 0, 10, 10), Rect(2, 2, 5, 5)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_point(Point(0, 0))  # boundary included
+        assert not outer.contains_point(Point(-0.1, 5))
+
+    def test_union_and_intersection_area(self):
+        a, b = Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)
+        assert a.union(b) == Rect(0, 0, 3, 3)
+        assert a.intersection_area(b) == pytest.approx(1.0)
+        assert a.intersection_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_enlargement(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.enlargement(Rect(1, 1, 2, 2)) == 0.0
+        assert a.enlargement(Rect(0, 0, 4, 2)) == pytest.approx(4.0)
+
+
+class TestDistanceMetrics:
+    def test_mindist_point_inside_zero(self):
+        assert Rect(0, 0, 4, 4).mindist_point(Point(2, 2)) == 0.0
+
+    def test_mindist_point_axis(self):
+        assert Rect(0, 0, 4, 4).mindist_point(Point(7, 2)) == pytest.approx(3.0)
+
+    def test_mindist_point_corner(self):
+        assert Rect(0, 0, 4, 4).mindist_point(Point(7, 8)) == pytest.approx(5.0)
+
+    def test_maxdist_point(self):
+        assert Rect(0, 0, 3, 4).maxdist_point(Point(0, 0)) == pytest.approx(5.0)
+
+    def test_mindist_rect_zero_when_intersecting(self):
+        assert Rect(0, 0, 2, 2).mindist_rect(Rect(1, 1, 3, 3)) == 0.0
+
+    def test_mindist_rect_diagonal(self):
+        assert Rect(0, 0, 1, 1).mindist_rect(Rect(4, 5, 6, 6)) == pytest.approx(5.0)
+
+    @given(rects(), points)
+    def test_mindist_lower_bounds_all_contained_points(self, r, p):
+        # mindist to the rect never exceeds the distance to its corners
+        # or center (all points of the rect).
+        md = r.mindist_point(p)
+        for corner in r.corners():
+            assert md <= p.distance(corner) + 1e-6
+
+    @given(rects(), points)
+    def test_maxdist_upper_bounds_corners(self, r, p):
+        xd = r.maxdist_point(p)
+        for corner in r.corners():
+            assert xd >= p.distance(corner) - 1e-6
+
+    @given(rects(), rects())
+    def test_mindist_rect_symmetric(self, a, b):
+        assert a.mindist_rect(b) == pytest.approx(b.mindist_rect(a))
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_enlargement_nonnegative(self, a, b):
+        assert a.enlargement(b) >= -1e-9
+
+    @given(rects(), rects(), points)
+    def test_mindist_rect_lower_bounds_point_pairs(self, a, b, p):
+        # distance between the rects lower-bounds distance from any
+        # point of a to any point of b; spot-check with corners.
+        d = a.mindist_rect(b)
+        for ca in a.corners():
+            for cb in b.corners():
+                assert d <= ca.distance(cb) + 1e-6

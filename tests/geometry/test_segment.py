@@ -1,0 +1,180 @@
+"""Unit and property tests for repro.geometry.segment predicates."""
+
+import pytest
+from hypothesis import given
+
+from repro.geometry import (
+    CCW,
+    COLLINEAR,
+    CW,
+    Point,
+    ccw,
+    cross,
+    on_segment,
+    point_segment_distance,
+    segment_intersection_params,
+    segment_intersection_point,
+    segments_intersect,
+    segments_properly_intersect,
+)
+from tests.strategies import points
+
+O = Point(0, 0)
+X = Point(10, 0)
+Y = Point(0, 10)
+
+
+class TestOrientation:
+    def test_ccw_left_turn(self):
+        assert ccw(O, X, Point(5, 5)) == CCW
+
+    def test_ccw_right_turn(self):
+        assert ccw(O, X, Point(5, -5)) == CW
+
+    def test_collinear(self):
+        assert ccw(O, X, Point(20, 0)) == COLLINEAR
+        assert ccw(O, X, Point(-7, 0)) == COLLINEAR
+
+    def test_near_collinear_within_eps(self):
+        assert ccw(O, Point(1000, 0), Point(500, 1e-8)) == COLLINEAR
+
+    def test_cross_sign(self):
+        assert cross(O, X, Y) > 0
+        assert cross(O, Y, X) < 0
+
+    @given(points, points, points)
+    def test_antisymmetry(self, a, b, c):
+        assert ccw(a, b, c) == -ccw(a, c, b)
+
+    @given(points, points)
+    def test_degenerate_is_collinear(self, a, b):
+        assert ccw(a, a, b) == COLLINEAR
+        assert ccw(a, b, b) == COLLINEAR
+
+
+class TestOnSegment:
+    def test_midpoint_on(self):
+        assert on_segment(O, X, Point(5, 0))
+
+    def test_endpoints_on(self):
+        assert on_segment(O, X, O)
+        assert on_segment(O, X, X)
+
+    def test_beyond_not_on(self):
+        assert not on_segment(O, X, Point(11, 0))
+        assert not on_segment(O, X, Point(-1, 0))
+
+    def test_off_line_not_on(self):
+        assert not on_segment(O, X, Point(5, 1))
+
+    @given(points, points)
+    def test_midpoint_always_on(self, a, b):
+        m = Point((a.x + b.x) / 2, (a.y + b.y) / 2)
+        assert on_segment(a, b, m)
+
+
+class TestProperIntersection:
+    def test_crossing(self):
+        assert segments_properly_intersect(
+            Point(0, 0), Point(10, 10), Point(0, 10), Point(10, 0)
+        )
+
+    def test_t_junction_not_proper(self):
+        # touches at an endpoint of the second segment
+        assert not segments_properly_intersect(
+            Point(0, 0), Point(10, 0), Point(5, 0), Point(5, 10)
+        )
+
+    def test_shared_endpoint_not_proper(self):
+        assert not segments_properly_intersect(O, X, X, Point(20, 10))
+
+    def test_collinear_overlap_not_proper(self):
+        assert not segments_properly_intersect(O, X, Point(5, 0), Point(20, 0))
+
+    def test_disjoint(self):
+        assert not segments_properly_intersect(O, X, Point(0, 5), Point(10, 5))
+
+    @given(points, points, points, points)
+    def test_symmetry(self, a, b, c, d):
+        assert segments_properly_intersect(a, b, c, d) == segments_properly_intersect(
+            c, d, a, b
+        )
+
+
+class TestClosedIntersection:
+    def test_touching_counts(self):
+        assert segments_intersect(Point(0, 0), Point(10, 0), Point(5, 0), Point(5, 10))
+
+    def test_shared_endpoint_counts(self):
+        assert segments_intersect(O, X, X, Point(20, 10))
+
+    def test_disjoint_parallel(self):
+        assert not segments_intersect(O, X, Point(0, 5), Point(10, 5))
+
+    @given(points, points, points, points)
+    def test_symmetry(self, a, b, c, d):
+        assert segments_intersect(a, b, c, d) == segments_intersect(c, d, a, b)
+
+    @given(points, points)
+    def test_self_intersection(self, a, b):
+        assert segments_intersect(a, b, a, b)
+
+
+class TestIntersectionParams:
+    def test_proper_cross_param(self):
+        params = segment_intersection_params(
+            Point(0, 0), Point(10, 0), Point(5, -5), Point(5, 5)
+        )
+        assert params == [pytest.approx(0.5)]
+
+    def test_no_intersection(self):
+        assert (
+            segment_intersection_params(O, X, Point(0, 1), Point(10, 1)) == []
+        )
+
+    def test_collinear_overlap_interval(self):
+        params = segment_intersection_params(
+            Point(0, 0), Point(10, 0), Point(4, 0), Point(20, 0)
+        )
+        assert params == [pytest.approx(0.4), pytest.approx(1.0)]
+
+    def test_collinear_disjoint(self):
+        assert (
+            segment_intersection_params(O, X, Point(11, 0), Point(20, 0)) == []
+        )
+
+    def test_touch_at_endpoint(self):
+        params = segment_intersection_params(O, X, X, Point(20, 5))
+        assert params == [pytest.approx(1.0)]
+
+    def test_degenerate_first_segment(self):
+        assert segment_intersection_params(O, O, Point(-1, 0), Point(1, 0)) == [0.0]
+        assert segment_intersection_params(O, O, Point(1, 1), Point(2, 2)) == []
+
+    def test_intersection_point(self):
+        ip = segment_intersection_point(
+            Point(0, 0), Point(10, 10), Point(0, 10), Point(10, 0)
+        )
+        assert ip is not None
+        assert ip.distance(Point(5, 5)) < 1e-9
+        assert segment_intersection_point(O, X, Point(0, 5), Point(10, 5)) is None
+
+
+class TestPointSegmentDistance:
+    def test_projection_interior(self):
+        assert point_segment_distance(Point(5, 3), O, X) == pytest.approx(3.0)
+
+    def test_clamped_to_endpoint(self):
+        assert point_segment_distance(Point(13, 4), O, X) == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance(Point(3, 4), O, O) == pytest.approx(5.0)
+
+    def test_on_segment_zero(self):
+        assert point_segment_distance(Point(5, 0), O, X) == 0.0
+
+    @given(points, points, points)
+    def test_lower_bounds_endpoint_distance(self, p, a, b):
+        d = point_segment_distance(p, a, b)
+        assert d <= p.distance(a) + 1e-9
+        assert d <= p.distance(b) + 1e-9

@@ -1,0 +1,91 @@
+"""Behavioural tests for buffered page accesses at the tree level.
+
+The paper's I/O metric depends on the interaction of access patterns
+with the LRU buffer; these tests pin the properties the benchmarks
+rely on (locality helps, bigger buffers never hurt, counters compose).
+"""
+
+import random
+
+from repro.geometry import Circle, Point, Rect
+from repro.index import RStarTree, str_pack
+
+
+def _tree(n=2000, max_entries=16, buffer_fraction=0.1):
+    rng = random.Random(42)
+    pts = [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for __ in range(n)]
+    tree = RStarTree(
+        max_entries=max_entries,
+        min_entries=max_entries // 3,
+        buffer_fraction=buffer_fraction,
+    )
+    str_pack(tree, [(p, Rect.from_point(p)) for p in pts])
+    return tree
+
+
+def _query_centers(n, seed, span=1000.0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, span), rng.uniform(0, span)) for __ in range(n)]
+
+
+class TestBufferLocality:
+    def test_repeated_query_costs_less(self):
+        tree = _tree()
+        region = Circle(Point(500, 500), 50)
+        tree.reset_stats(clear_buffer=True)
+        tree.search_circle(region)
+        cold = tree.counter.misses
+        tree.counter.reset()
+        tree.search_circle(region)
+        warm = tree.counter.misses
+        assert warm <= cold
+
+    def test_hilbert_ordered_queries_fewer_misses(self):
+        # The ODJ seed-ordering rationale at the index level: visiting
+        # query centers in Hilbert order produces no more buffer misses
+        # than a shuffled order of the same centers.
+        from repro.index.hilbert import hilbert_key
+
+        tree = _tree(buffer_fraction=0.1)
+        centers = _query_centers(80, seed=3)
+        universe = Rect(0, 0, 1000, 1000)
+
+        def run(order):
+            tree.reset_stats(clear_buffer=True)
+            for c in order:
+                tree.search_circle(Circle(c, 40))
+            return tree.counter.misses
+
+        ordered = run(sorted(centers, key=lambda p: hilbert_key(p, universe)))
+        rng = random.Random(99)
+        shuffled = centers[:]
+        rng.shuffle(shuffled)
+        unordered = run(shuffled)
+        assert ordered <= unordered
+
+    def test_larger_buffer_never_more_misses(self):
+        centers = _query_centers(40, seed=5)
+        misses = []
+        for fraction in (0.02, 0.1, 0.5):
+            tree = _tree(buffer_fraction=fraction)
+            tree.reset_stats(clear_buffer=True)
+            for c in centers:
+                tree.search_circle(Circle(c, 40))
+            misses.append(tree.counter.misses)
+        assert misses[0] >= misses[1] >= misses[2]
+
+    def test_reads_bound_misses(self):
+        tree = _tree()
+        tree.reset_stats(clear_buffer=True)
+        for c in _query_centers(20, seed=8):
+            tree.search_circle(Circle(c, 60))
+        assert tree.counter.misses <= tree.counter.reads
+
+    def test_full_buffer_only_compulsory_misses(self):
+        tree = _tree(buffer_fraction=1.0)
+        tree.reset_stats(clear_buffer=True)
+        for c in _query_centers(30, seed=9):
+            tree.search_circle(Circle(c, 60))
+        # with a buffer covering the whole tree, misses are at most one
+        # per page (compulsory)
+        assert tree.counter.misses <= tree.page_count

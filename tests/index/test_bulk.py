@@ -1,0 +1,101 @@
+"""Tests for STR bulk loading."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpatialIndexError
+from repro.geometry import Point, Rect
+from repro.index import RStarTree, str_pack
+
+
+def _items(seed: int, n: int):
+    rng = random.Random(seed)
+    pts = [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for __ in range(n)]
+    return [(p, Rect.from_point(p)) for p in pts]
+
+
+class TestStrPack:
+    def test_empty_ok(self):
+        tree = RStarTree(max_entries=8)
+        str_pack(tree, [])
+        assert len(tree) == 0
+
+    def test_single_item(self):
+        tree = RStarTree(max_entries=8)
+        str_pack(tree, _items(0, 1))
+        assert len(tree) == 1
+        assert tree.height == 1
+
+    def test_requires_empty_tree(self):
+        tree = RStarTree(max_entries=8)
+        tree.insert(Point(1, 1), Rect.from_point(Point(1, 1)))
+        with pytest.raises(SpatialIndexError):
+            str_pack(tree, _items(0, 10))
+
+    def test_fill_factor_validation(self):
+        tree = RStarTree(max_entries=8)
+        with pytest.raises(SpatialIndexError):
+            str_pack(tree, _items(0, 10), fill=0.0)
+        with pytest.raises(SpatialIndexError):
+            str_pack(tree, _items(0, 10), fill=1.5)
+
+    def test_invariants_hold(self):
+        tree = RStarTree(max_entries=8, min_entries=3)
+        str_pack(tree, _items(1, 500))
+        tree.check_invariants()
+        assert len(tree) == 500
+
+    def test_query_equivalence_with_dynamic_tree(self):
+        items = _items(2, 400)
+        bulk = RStarTree(max_entries=8, min_entries=3)
+        str_pack(bulk, items)
+        dynamic = RStarTree(max_entries=8, min_entries=3)
+        for data, rect in items:
+            dynamic.insert(data, rect)
+        q = Rect(100, 200, 600, 700)
+        got_bulk = sorted(e.data.as_tuple() for e in bulk.search_rect(q))
+        got_dyn = sorted(e.data.as_tuple() for e in dynamic.search_rect(q))
+        assert got_bulk == got_dyn
+
+    def test_full_fill_packs_tighter_than_low_fill(self):
+        items = _items(3, 1000)
+        t_full = RStarTree(max_entries=16, min_entries=4)
+        str_pack(t_full, items, fill=1.0)
+        t_loose = RStarTree(max_entries=16, min_entries=4)
+        str_pack(t_loose, items, fill=0.5)
+        assert t_full.page_count < t_loose.page_count
+
+    def test_insert_after_bulk_load(self):
+        tree = RStarTree(max_entries=8, min_entries=3)
+        str_pack(tree, _items(4, 300))
+        extra = Point(-50, -50)
+        tree.insert(extra, Rect.from_point(extra))
+        tree.check_invariants()
+        assert len(tree) == 301
+        assert any(p == extra for p, __ in tree.items())
+
+    def test_delete_after_bulk_load(self):
+        items = _items(5, 300)
+        tree = RStarTree(max_entries=8, min_entries=3)
+        str_pack(tree, items)
+        for data, rect in items[:100]:
+            assert tree.delete(data, rect)
+        tree.check_invariants()
+        assert len(tree) == 200
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 400), st.integers(4, 32), st.sampled_from([0.5, 0.7, 1.0]))
+def test_property_bulk_load_sound(n, max_entries, fill):
+    items = _items(n * 7 + 1, n)
+    tree = RStarTree(max_entries=max_entries, min_entries=2)
+    str_pack(tree, items, fill=fill)
+    assert len(tree) == n
+    if n:
+        tree.check_invariants()
+        assert sorted(p.as_tuple() for p, __ in tree.items()) == sorted(
+            d.as_tuple() for d, __ in items
+        )

@@ -1,0 +1,79 @@
+"""Tests for the Hilbert curve keys."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect
+from repro.index import hilbert_index
+from repro.index.hilbert import hilbert_key
+
+
+class TestHilbertIndex:
+    def test_order_1_layout(self):
+        # The order-1 curve visits (0,0) (0,1) (1,1) (1,0).
+        assert hilbert_index(0, 0, order=1) == 0
+        assert hilbert_index(0, 1, order=1) == 1
+        assert hilbert_index(1, 1, order=1) == 2
+        assert hilbert_index(1, 0, order=1) == 3
+
+    def test_bijective_order_4(self):
+        side = 16
+        seen = {
+            hilbert_index(x, y, order=4) for x in range(side) for y in range(side)
+        }
+        assert seen == set(range(side * side))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GeometryError):
+            hilbert_index(-1, 0, order=4)
+        with pytest.raises(GeometryError):
+            hilbert_index(16, 0, order=4)
+
+    def test_adjacency_order_4(self):
+        # Consecutive curve positions are grid neighbours (the locality
+        # property ODJ's seed ordering relies on).
+        side = 16
+        inverse = {}
+        for x in range(side):
+            for y in range(side):
+                inverse[hilbert_index(x, y, order=4)] = (x, y)
+        for d in range(side * side - 1):
+            x0, y0 = inverse[d]
+            x1, y1 = inverse[d + 1]
+            assert abs(x0 - x1) + abs(y0 - y1) == 1
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_deterministic(self, x, y):
+        assert hilbert_index(x, y, order=8) == hilbert_index(x, y, order=8)
+
+
+class TestHilbertKey:
+    UNIVERSE = Rect(0, 0, 100, 100)
+
+    def test_corners_distinct(self):
+        keys = {
+            hilbert_key(Point(0, 0), self.UNIVERSE),
+            hilbert_key(Point(100, 0), self.UNIVERSE),
+            hilbert_key(Point(0, 100), self.UNIVERSE),
+            hilbert_key(Point(100, 100), self.UNIVERSE),
+        }
+        assert len(keys) == 4
+
+    def test_outside_clamped(self):
+        inside = hilbert_key(Point(0, 0), self.UNIVERSE)
+        outside = hilbert_key(Point(-50, -50), self.UNIVERSE)
+        assert inside == outside
+
+    def test_degenerate_universe(self):
+        degenerate = Rect(5, 5, 5, 5)
+        assert hilbert_key(Point(5, 5), degenerate) >= 0
+
+    def test_nearby_points_nearby_keys(self):
+        # Not universally true for Hilbert curves, but holds on average;
+        # check a specific non-boundary pair.
+        a = hilbert_key(Point(10.0, 10.0), self.UNIVERSE)
+        b = hilbert_key(Point(10.2, 10.0), self.UNIVERSE)
+        far = hilbert_key(Point(90.0, 90.0), self.UNIVERSE)
+        assert abs(a - b) < abs(a - far)

@@ -1,0 +1,100 @@
+"""Unit tests for the simulated page store and LRU buffer."""
+
+import pytest
+
+from repro.errors import SpatialIndexError
+from repro.index.node import Node
+from repro.index.pagestore import LRUBuffer, PageStore
+
+
+class TestPageStore:
+    def test_allocate_monotonic(self):
+        store = PageStore()
+        ids = [store.allocate() for __ in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_write_read_roundtrip(self):
+        store = PageStore()
+        node = Node(store.allocate(), level=0)
+        store.write(node)
+        assert store.read(node.page_id) is node
+
+    def test_read_missing_raises(self):
+        with pytest.raises(SpatialIndexError):
+            PageStore().read(42)
+
+    def test_free(self):
+        store = PageStore()
+        node = Node(store.allocate(), level=0)
+        store.write(node)
+        store.free(node.page_id)
+        with pytest.raises(SpatialIndexError):
+            store.read(node.page_id)
+        assert len(store) == 0
+
+    def test_len_and_iter(self):
+        store = PageStore()
+        for __ in range(3):
+            store.write(Node(store.allocate(), level=0))
+        assert len(store) == 3
+        assert sorted(store) == [0, 1, 2]
+
+
+class TestLRUBuffer:
+    def test_invalid_params(self):
+        with pytest.raises(SpatialIndexError):
+            LRUBuffer(capacity=0)
+        with pytest.raises(SpatialIndexError):
+            LRUBuffer(fraction=0.0)
+        with pytest.raises(SpatialIndexError):
+            LRUBuffer(fraction=1.5)
+
+    def test_miss_then_hit(self):
+        buf = LRUBuffer(capacity=2)
+        assert buf.access(1, store_pages=10) is False
+        assert buf.access(1, store_pages=10) is True
+
+    def test_lru_eviction_order(self):
+        buf = LRUBuffer(capacity=2)
+        buf.access(1, 10)
+        buf.access(2, 10)
+        buf.access(1, 10)  # 1 is now most recent
+        buf.access(3, 10)  # evicts 2
+        assert 1 in buf and 3 in buf and 2 not in buf
+
+    def test_fraction_capacity(self):
+        buf = LRUBuffer(fraction=0.1)
+        assert buf.capacity_for(100) == 10
+        assert buf.capacity_for(5) == 1  # never below one page
+
+    def test_fraction_mode_grows_with_store(self):
+        buf = LRUBuffer(fraction=0.5)
+        for pid in range(4):
+            buf.access(pid, store_pages=4)
+        assert len(buf) == 2
+
+    def test_set_capacity_evicts(self):
+        buf = LRUBuffer(capacity=4)
+        for pid in range(4):
+            buf.access(pid, 10)
+        buf.set_capacity(2)
+        assert len(buf) == 2
+        assert 3 in buf and 2 in buf  # most recent survive
+
+    def test_set_capacity_validation(self):
+        with pytest.raises(SpatialIndexError):
+            LRUBuffer().set_capacity(0)
+
+    def test_invalidate(self):
+        buf = LRUBuffer(capacity=4)
+        buf.access(1, 10)
+        buf.invalidate(1)
+        assert 1 not in buf
+        assert buf.access(1, 10) is False
+
+    def test_clear(self):
+        buf = LRUBuffer(capacity=4)
+        buf.access(1, 10)
+        buf.access(2, 10)
+        buf.clear()
+        assert len(buf) == 0

@@ -1,0 +1,238 @@
+"""Unit and property tests for the R*-tree."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpatialIndexError
+from repro.geometry import Circle, Point, Rect
+from repro.index import Entry, Node, RStarTree
+
+
+def _points(seed: int, n: int, universe: float = 1000.0) -> list[Point]:
+    rng = random.Random(seed)
+    return [
+        Point(rng.uniform(0, universe), rng.uniform(0, universe)) for __ in range(n)
+    ]
+
+
+def _build(points: list[Point], max_entries: int = 8) -> RStarTree:
+    tree = RStarTree(max_entries=max_entries, min_entries=max(2, max_entries // 3))
+    for p in points:
+        tree.insert(p, Rect.from_point(p))
+    return tree
+
+
+class TestConfiguration:
+    def test_paper_page_layout_gives_204_entries(self):
+        tree = RStarTree(page_size=4096, entry_size=20, header_size=16)
+        assert tree.max_entries == 204
+
+    def test_capacity_too_small_rejected(self):
+        with pytest.raises(SpatialIndexError):
+            RStarTree(max_entries=3)
+
+    def test_min_entries_validation(self):
+        with pytest.raises(SpatialIndexError):
+            RStarTree(max_entries=8, min_entries=5)  # > M/2
+        with pytest.raises(SpatialIndexError):
+            RStarTree(max_entries=8, min_entries=1)
+
+    def test_empty_tree(self):
+        tree = RStarTree(max_entries=8)
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.mbr() is None
+        assert tree.search_rect(Rect(0, 0, 1, 1)) == []
+
+
+class TestEntryNode:
+    def test_entry_must_have_exactly_one_payload(self):
+        with pytest.raises(SpatialIndexError):
+            Entry(Rect(0, 0, 1, 1))
+        with pytest.raises(SpatialIndexError):
+            Entry(Rect(0, 0, 1, 1), child=1, data="x")
+
+    def test_leaf_entry_flag(self):
+        assert Entry(Rect(0, 0, 1, 1), data="x").is_leaf_entry
+        assert not Entry(Rect(0, 0, 1, 1), child=3).is_leaf_entry
+
+    def test_node_mbr_empty_raises(self):
+        with pytest.raises(SpatialIndexError):
+            Node(0, level=0).mbr()
+
+    def test_node_mbr(self):
+        node = Node(0, 0, [Entry(Rect(0, 0, 1, 1), data="a"),
+                           Entry(Rect(5, 5, 6, 8), data="b")])
+        assert node.mbr() == Rect(0, 0, 6, 8)
+
+
+class TestInsertSearch:
+    def test_single_insert(self):
+        tree = _build([Point(5, 5)])
+        assert len(tree) == 1
+        assert [e.data for e in tree.search_rect(Rect(0, 0, 10, 10))] == [Point(5, 5)]
+
+    def test_range_matches_bruteforce(self):
+        pts = _points(1, 300)
+        tree = _build(pts)
+        tree.check_invariants()
+        q = Rect(100, 100, 400, 350)
+        got = sorted(e.data.as_tuple() for e in tree.search_rect(q))
+        want = sorted(p.as_tuple() for p in pts if q.contains_point(p))
+        assert got == want
+
+    def test_circle_matches_bruteforce(self):
+        pts = _points(2, 300)
+        tree = _build(pts)
+        c = Circle(Point(500, 500), 150)
+        got = sorted(e.data.as_tuple() for e in tree.search_circle(c))
+        want = sorted(p.as_tuple() for p in pts if c.contains_point(p))
+        assert got == want
+
+    def test_invalid_circle_rejected_by_geometry(self):
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError):
+            Circle(Point(0, 0), -1.0)
+
+    def test_duplicate_points_allowed(self):
+        tree = RStarTree(max_entries=4)
+        for __ in range(10):
+            tree.insert(Point(1, 1), Rect.from_point(Point(1, 1)))
+        assert len(tree.search_rect(Rect(0, 0, 2, 2))) == 10
+        tree.check_invariants()
+
+    def test_items_iterates_everything(self):
+        pts = _points(4, 120)
+        tree = _build(pts)
+        assert sorted(p.as_tuple() for p, __ in tree.items()) == sorted(
+            p.as_tuple() for p in pts
+        )
+
+    def test_tree_grows_in_height(self):
+        tree = _build(_points(5, 200), max_entries=4)
+        assert tree.height >= 3
+        tree.check_invariants()
+
+    def test_mbr_covers_all(self):
+        pts = _points(6, 100)
+        tree = _build(pts)
+        mbr = tree.mbr()
+        assert all(mbr.contains_point(p) for p in pts)
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        pts = _points(7, 100)
+        tree = _build(pts)
+        assert tree.delete(pts[0], Rect.from_point(pts[0]))
+        assert len(tree) == 99
+        tree.check_invariants()
+
+    def test_delete_missing_returns_false(self):
+        tree = _build(_points(8, 20))
+        assert not tree.delete(Point(-1, -1), Rect.from_point(Point(-1, -1)))
+        assert len(tree) == 20
+
+    def test_delete_all_then_reuse(self):
+        pts = _points(9, 60)
+        tree = _build(pts, max_entries=4)
+        for p in pts:
+            assert tree.delete(p, Rect.from_point(p))
+        assert len(tree) == 0
+        tree.insert(Point(1, 2), Rect.from_point(Point(1, 2)))
+        assert len(tree) == 1
+        tree.check_invariants()
+
+    def test_root_shrinks_after_mass_delete(self):
+        pts = _points(10, 300)
+        tree = _build(pts, max_entries=4)
+        for p in pts[:290]:
+            tree.delete(p, Rect.from_point(p))
+        tree.check_invariants()
+        assert tree.height <= 3
+
+    def test_delete_keeps_query_correct(self):
+        pts = _points(11, 200)
+        tree = _build(pts)
+        kept = pts[::2]
+        for p in pts[1::2]:
+            assert tree.delete(p, Rect.from_point(p))
+        q = Rect(0, 0, 600, 600)
+        got = sorted(e.data.as_tuple() for e in tree.search_rect(q))
+        want = sorted(p.as_tuple() for p in kept if q.contains_point(p))
+        assert got == want
+
+
+class TestStats:
+    def test_reads_counted(self):
+        tree = _build(_points(12, 200))
+        tree.reset_stats(clear_buffer=True)
+        tree.search_rect(Rect(0, 0, 1000, 1000))
+        assert tree.counter.reads > 0
+        assert tree.counter.misses > 0
+
+    def test_buffer_hits_cheaper_second_time(self):
+        tree = _build(_points(13, 500), max_entries=16)
+        tree.buffer.set_capacity(tree.page_count)  # everything fits
+        tree.reset_stats(clear_buffer=True)
+        tree.search_rect(Rect(0, 0, 1000, 1000))
+        cold = tree.counter.misses
+        tree.counter.reset()
+        tree.search_rect(Rect(0, 0, 1000, 1000))
+        assert tree.counter.misses == 0
+        assert cold > 0
+
+    def test_reset_stats(self):
+        tree = _build(_points(14, 50))
+        tree.search_rect(Rect(0, 0, 1000, 1000))
+        tree.reset_stats()
+        assert tree.counter.reads == 0
+        assert tree.counter.misses == 0
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 1000, allow_nan=False), st.floats(0, 1000, allow_nan=False)
+        ),
+        min_size=1,
+        max_size=120,
+    ),
+    st.integers(4, 16),
+)
+def test_property_invariants_and_query_equivalence(coords, max_entries):
+    pts = [Point(x, y) for x, y in coords]
+    tree = RStarTree(max_entries=max_entries, min_entries=2)
+    for p in pts:
+        tree.insert(p, Rect.from_point(p))
+    tree.check_invariants()
+    q = Rect(200, 200, 700, 800)
+    got = sorted(e.data.as_tuple() for e in tree.search_rect(q))
+    want = sorted(p.as_tuple() for p in pts if q.contains_point(p))
+    assert got == want
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.data())
+def test_property_random_insert_delete_interleaving(data):
+    n = data.draw(st.integers(5, 80))
+    rng = random.Random(data.draw(st.integers(0, 10_000)))
+    pts = _points(rng.randrange(1 << 20), n)
+    tree = RStarTree(max_entries=6, min_entries=2)
+    live: list[Point] = []
+    for p in pts:
+        if live and rng.random() < 0.35:
+            victim = live.pop(rng.randrange(len(live)))
+            assert tree.delete(victim, Rect.from_point(victim))
+        tree.insert(p, Rect.from_point(p))
+        live.append(p)
+    tree.check_invariants()
+    assert len(tree) == len(live)
+    assert sorted(p.as_tuple() for p, __ in tree.items()) == sorted(
+        p.as_tuple() for p in live
+    )

@@ -1,0 +1,82 @@
+"""Tests for counters, timers and experiment series."""
+
+import time
+
+import pytest
+
+from repro.stats import ExperimentSeries, PageAccessCounter, Timer, format_table
+
+
+class TestPageAccessCounter:
+    def test_initial_zero(self):
+        c = PageAccessCounter()
+        assert c.reads == c.misses == c.writes == 0
+
+    def test_record_read_hit_miss(self):
+        c = PageAccessCounter()
+        c.record_read(hit=True)
+        c.record_read(hit=False)
+        assert c.reads == 2
+        assert c.misses == 1
+
+    def test_record_write(self):
+        c = PageAccessCounter()
+        c.record_write()
+        assert c.writes == 1
+
+    def test_reset(self):
+        c = PageAccessCounter()
+        c.record_read(hit=False)
+        c.record_write()
+        c.reset()
+        assert c.snapshot() == {"reads": 0, "misses": 0, "writes": 0}
+
+    def test_snapshot(self):
+        c = PageAccessCounter()
+        c.record_read(hit=False)
+        assert c.snapshot() == {"reads": 1, "misses": 1, "writes": 0}
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first
+        assert t.elapsed_ms == pytest.approx(t.elapsed * 1000)
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+
+class TestExperimentSeries:
+    def test_add_and_rows(self):
+        s = ExperimentSeries("cpu")
+        s.add(1, 10.0)
+        s.add(2, 20.0)
+        assert s.as_rows() == [(1, 10.0), (2, 20.0)]
+
+    def test_format_table(self):
+        a = ExperimentSeries("data R-tree", xs=[0.1, 1.0], ys=[2, 4])
+        b = ExperimentSeries("obstacle R-tree", xs=[0.1, 1.0], ys=[7, 7])
+        text = format_table("Fig. 13a", "|P|/|O|", [a, b])
+        assert "Fig. 13a" in text
+        assert "data R-tree" in text
+        assert "obstacle R-tree" in text
+        assert "0.1" in text
+
+    def test_format_table_mismatched_x_rejected(self):
+        a = ExperimentSeries("x", xs=[1], ys=[1])
+        b = ExperimentSeries("y", xs=[2], ys=[1])
+        with pytest.raises(ValueError):
+            format_table("t", "x", [a, b])
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table("t", "x", [])

@@ -1,0 +1,85 @@
+"""Hypothesis strategies shared across property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polygon, Rect
+from repro.model import Obstacle
+
+#: Bounded, finite coordinates: keeps geometry well-conditioned without
+#: hiding interesting magnitudes.
+coords = st.floats(
+    min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+points = st.builds(Point, coords, coords)
+
+
+@st.composite
+def rects(draw: st.DrawFn, min_extent: float = 0.0) -> Rect:
+    """A valid Rect; ``min_extent`` forces positive width/height."""
+    x0 = draw(coords)
+    y0 = draw(coords)
+    w = draw(st.floats(min_value=min_extent, max_value=500.0, allow_nan=False))
+    h = draw(st.floats(min_value=min_extent, max_value=500.0, allow_nan=False))
+    return Rect(x0, y0, x0 + w, y0 + h)
+
+
+@st.composite
+def disjoint_rect_obstacles(
+    draw: st.DrawFn, max_count: int = 6, universe: float = 100.0
+) -> list[Obstacle]:
+    """A small set of pairwise-disjoint rectangle obstacles.
+
+    Built on a coarse grid so disjointness holds by construction and
+    shrinking stays effective.
+    """
+    cells = draw(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)),
+            min_size=1,
+            max_size=max_count,
+            unique=True,
+        )
+    )
+    cell_size = universe / 5.0
+    obstacles = []
+    for oid, (i, j) in enumerate(cells):
+        inset_x = draw(st.floats(min_value=0.05, max_value=0.3))
+        inset_y = draw(st.floats(min_value=0.05, max_value=0.3))
+        frac_w = draw(st.floats(min_value=0.2, max_value=0.6))
+        frac_h = draw(st.floats(min_value=0.2, max_value=0.6))
+        x0 = i * cell_size + inset_x * cell_size
+        y0 = j * cell_size + inset_y * cell_size
+        rect = Rect(x0, y0, x0 + frac_w * cell_size, y0 + frac_h * cell_size)
+        obstacles.append(Obstacle(oid, Polygon.from_rect(rect)))
+    return obstacles
+
+
+@st.composite
+def free_points(
+    draw: st.DrawFn,
+    obstacles: list[Obstacle],
+    min_count: int = 1,
+    max_count: int = 8,
+    universe: float = 100.0,
+) -> list[Point]:
+    """Points guaranteed outside every obstacle (interior and boundary)."""
+    raw = draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-5.0, max_value=universe + 5.0, allow_nan=False),
+                st.floats(min_value=-5.0, max_value=universe + 5.0, allow_nan=False),
+            ),
+            min_size=min_count,
+            max_size=max_count,
+            unique=True,
+        )
+    )
+    pts = []
+    for x, y in raw:
+        p = Point(x, y)
+        if not any(o.polygon.contains_or_boundary(p) for o in obstacles):
+            pts.append(p)
+    return pts

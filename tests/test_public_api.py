@@ -1,0 +1,88 @@
+"""Public API integrity checks.
+
+Locks in the package contract: everything in ``__all__`` is importable,
+public objects are documented, and the version is sane.
+"""
+
+import ast
+import pathlib
+
+import repro
+
+SRC = pathlib.Path(repro.__file__).parent
+
+
+class TestAllExports:
+    def test_every_name_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version_present(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_key_queries_exported(self):
+        for name in (
+            "ObstacleDatabase",
+            "obstacle_range",
+            "obstacle_nearest",
+            "obstacle_distance_join",
+            "obstacle_closest_pairs",
+            "obstacle_semijoin",
+            "compute_obstructed_distance",
+            "RStarTree",
+            "VisibilityGraph",
+        ):
+            assert name in repro.__all__, name
+
+
+class TestDocumentation:
+    def test_all_modules_have_docstrings(self):
+        for path in SRC.rglob("*.py"):
+            tree = ast.parse(path.read_text())
+            assert ast.get_docstring(tree), f"{path} lacks a module docstring"
+
+    def test_public_classes_and_functions_documented(self):
+        undocumented = []
+        for path in SRC.rglob("*.py"):
+            tree = ast.parse(path.read_text())
+            for node in tree.body:  # top-level only
+                if isinstance(node, (ast.FunctionDef, ast.ClassDef)):
+                    if node.name.startswith("_"):
+                        continue
+                    if not ast.get_docstring(node):
+                        undocumented.append(f"{path.name}:{node.name}")
+                if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                    for member in node.body:
+                        if isinstance(member, ast.FunctionDef):
+                            if member.name.startswith("_"):
+                                continue
+                            if not ast.get_docstring(member):
+                                undocumented.append(
+                                    f"{path.name}:{node.name}.{member.name}"
+                                )
+        assert undocumented == []
+
+    def test_exported_objects_have_docstrings(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            if isinstance(obj, type) or callable(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+
+class TestPackagingMetadata:
+    def test_py_typed_marker_shipped(self):
+        assert (SRC / "py.typed").exists()
+
+    def test_no_top_level_side_effects(self):
+        # importing repro must not create files or mutate cwd state;
+        # (a re-import exercising the module cache is a cheap proxy)
+        import importlib
+
+        importlib.reload(repro)

@@ -1,0 +1,66 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+from repro.geometry import Point
+from repro.render import save_svg, scene_to_svg
+from tests.conftest import rect_obstacle
+
+_SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSceneToSvg:
+    def test_empty_scene_valid(self):
+        root = _parse(scene_to_svg([]))
+        assert root.tag == f"{_SVG_NS}svg"
+
+    def test_obstacles_rendered_as_polygons(self):
+        svg = scene_to_svg([rect_obstacle(0, 0, 0, 10, 10)])
+        root = _parse(svg)
+        polygons = root.findall(f"{_SVG_NS}polygon")
+        assert len(polygons) == 1
+        assert len(polygons[0].get("points").split()) == 4
+
+    def test_entities_query_highlights(self):
+        svg = scene_to_svg(
+            [rect_obstacle(0, 0, 0, 5, 5)],
+            entities=[Point(10, 10), Point(20, 20)],
+            highlights=[Point(10, 10)],
+            query=Point(0, -5),
+        )
+        root = _parse(svg)
+        circles = root.findall(f"{_SVG_NS}circle")
+        assert len(circles) == 4  # 2 entities + 1 highlight + 1 query
+
+    def test_paths_and_ranges(self):
+        svg = scene_to_svg(
+            [rect_obstacle(0, 0, 0, 5, 5)],
+            paths=[[Point(0, 0), Point(5, 8), Point(9, 9)]],
+            ranges=[(Point(0, 0), 4.0)],
+        )
+        root = _parse(svg)
+        assert len(root.findall(f"{_SVG_NS}polyline")) == 1
+        circles = root.findall(f"{_SVG_NS}circle")
+        assert any(c.get("fill") == "none" for c in circles)  # the range
+
+    def test_y_axis_flipped(self):
+        # the higher point must have the smaller SVG y
+        svg = scene_to_svg([], entities=[Point(0, 0), Point(0, 100)])
+        root = _parse(svg)
+        circles = root.findall(f"{_SVG_NS}circle")
+        ys = sorted(float(c.get("cy")) for c in circles)
+        assert ys[0] < ys[1]
+
+    def test_save_svg(self, tmp_path):
+        out = tmp_path / "scene.svg"
+        save_svg(str(out), scene_to_svg([rect_obstacle(0, 0, 0, 1, 1)]))
+        assert out.exists()
+        _parse(out.read_text())
+
+    def test_custom_width(self):
+        root = _parse(scene_to_svg([rect_obstacle(0, 0, 0, 2, 1)], width=400))
+        assert root.get("width") == "400"

@@ -1,0 +1,99 @@
+"""Tests for BoundaryEdge and the OpenEdges ordering structure."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.visibility.edges import BoundaryEdge, OpenEdges, ray_edge_distance
+
+
+def edge(x1, y1, x2, y2, oid=0):
+    return BoundaryEdge(Point(x1, y1), Point(x2, y2), oid)
+
+
+class TestBoundaryEdge:
+    def test_endpoints(self):
+        e = edge(0, 0, 1, 1)
+        assert e.has_endpoint(Point(0, 0))
+        assert e.has_endpoint(Point(1, 1))
+        assert not e.has_endpoint(Point(0.5, 0.5))
+
+    def test_other(self):
+        e = edge(0, 0, 1, 1)
+        assert e.other(Point(0, 0)) == Point(1, 1)
+        assert e.other(Point(1, 1)) == Point(0, 0)
+
+    def test_equality_orientation_independent(self):
+        assert edge(0, 0, 1, 1) == edge(1, 1, 0, 0)
+        assert edge(0, 0, 1, 1) != edge(0, 0, 1, 1, oid=5)
+        assert hash(edge(0, 0, 1, 1)) == hash(edge(1, 1, 0, 0))
+
+
+class TestRayEdgeDistance:
+    def test_perpendicular_crossing(self):
+        p, w = Point(0, 0), Point(10, 0)
+        e = edge(5, -3, 5, 3)
+        assert ray_edge_distance(p, w, e) == pytest.approx(5.0)
+
+    def test_crossing_beyond_w_still_measured(self):
+        p, w = Point(0, 0), Point(1, 0)
+        e = edge(5, -3, 5, 3)
+        assert ray_edge_distance(p, w, e) == pytest.approx(5.0)
+
+    def test_parallel_uses_closest_endpoint(self):
+        p, w = Point(0, 0), Point(10, 0)
+        e = edge(3, 0, 7, 0)  # collinear with the ray
+        assert ray_edge_distance(p, w, e) == pytest.approx(3.0)
+
+    def test_touch_at_vertex(self):
+        p, w = Point(0, 0), Point(10, 0)
+        e = edge(4, 0, 4, 5)
+        assert ray_edge_distance(p, w, e) == pytest.approx(4.0)
+
+
+class TestOpenEdges:
+    def test_insert_orders_by_distance(self):
+        p, w = Point(0, 0), Point(10, 0)
+        oe = OpenEdges(p)
+        far = edge(8, -2, 8, 2)
+        near = edge(3, -2, 3, 2)
+        oe.insert(w, far)
+        oe.insert(w, near)
+        assert oe.smallest() == near
+        assert len(oe) == 2
+
+    def test_delete(self):
+        p, w = Point(0, 0), Point(10, 0)
+        oe = OpenEdges(p)
+        e1, e2 = edge(3, -2, 3, 2), edge(8, -2, 8, 2)
+        oe.insert(w, e1)
+        oe.insert(w, e2)
+        oe.delete(w, e1)
+        assert oe.smallest() == e2
+        assert len(oe) == 1
+
+    def test_delete_missing_is_noop(self):
+        oe = OpenEdges(Point(0, 0))
+        oe.delete(Point(1, 0), edge(5, -1, 5, 1))
+        assert len(oe) == 0
+
+    def test_bool_and_snapshot(self):
+        p, w = Point(0, 0), Point(10, 0)
+        oe = OpenEdges(p)
+        assert not oe
+        e1 = edge(3, -2, 3, 2)
+        oe.insert(w, e1)
+        assert oe
+        assert oe.as_list() == [e1]
+
+    def test_shared_vertex_tiebreak(self):
+        # Two edges meeting at a vertex on the ray: the one bending back
+        # toward the center must sort first (it blocks sooner as the
+        # sweep advances).
+        p = Point(0, 0)
+        v = Point(5, 0)
+        toward = BoundaryEdge(v, Point(5, 5), 0)      # perpendicular
+        away = BoundaryEdge(v, Point(10, 5), 0)       # receding
+        oe = OpenEdges(p)
+        oe.insert(v, away)
+        oe.insert(v, toward)
+        assert oe.smallest() == toward

@@ -1,0 +1,45 @@
+"""Tests for the exact brute-force visibility oracle."""
+
+from repro.geometry import Point
+from repro.visibility import is_visible, naive_visible_from
+from tests.conftest import rect_obstacle
+
+
+class TestIsVisible:
+    BOX = [rect_obstacle(0, 4, -2, 6, 2)]
+
+    def test_blocked_through_interior(self):
+        assert not is_visible(Point(0, 0), Point(10, 0), self.BOX)
+
+    def test_visible_around(self):
+        assert is_visible(Point(0, 0), Point(10, 10), self.BOX)
+
+    def test_grazing_edge_visible(self):
+        assert is_visible(Point(0, 2), Point(10, 2), self.BOX)
+
+    def test_grazing_corner_visible(self):
+        # passes exactly through corner (4, -2), staying below the box
+        assert is_visible(Point(0, 0), Point(8, -4), self.BOX)
+
+    def test_through_interior_after_corner(self):
+        # enters the interior midway through the left edge
+        assert not is_visible(Point(0, 4), Point(8, -4), self.BOX)
+
+    def test_no_obstacles(self):
+        assert is_visible(Point(0, 0), Point(1, 1), [])
+
+    def test_far_obstacle_skipped_by_mbr(self):
+        far = [rect_obstacle(0, 100, 100, 110, 110)]
+        assert is_visible(Point(0, 0), Point(10, 0), far)
+
+
+class TestNaiveVisibleFrom:
+    def test_excludes_self(self):
+        pts = [Point(0, 0), Point(1, 1)]
+        assert Point(0, 0) not in naive_visible_from(Point(0, 0), pts, [])
+
+    def test_filters_blocked(self):
+        box = [rect_obstacle(0, 4, -2, 6, 2)]
+        targets = [Point(10, 0), Point(10, 10)]
+        vis = naive_visible_from(Point(0, 0), targets, box)
+        assert vis == [Point(10, 10)]

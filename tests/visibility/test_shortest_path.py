@@ -1,0 +1,133 @@
+"""Tests for Dijkstra over visibility graphs."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.visibility import (
+    VisibilityGraph,
+    bounded_dijkstra,
+    dijkstra,
+    shortest_path,
+    shortest_path_dist,
+)
+from tests.conftest import rect_obstacle
+
+
+@pytest.fixture
+def wall_graph():
+    """Two points separated by a vertical wall: the shortest path must
+    round a wall corner."""
+    wall = rect_obstacle(0, 4, -10, 6, 10)
+    a, b = Point(0, 0), Point(10, 0)
+    g = VisibilityGraph.build([a, b], [wall])
+    return g, a, b, wall
+
+
+class TestShortestPathDist:
+    def test_identity(self):
+        g = VisibilityGraph.build([Point(1, 1)], [])
+        assert shortest_path_dist(g, Point(1, 1), Point(1, 1)) == 0.0
+
+    def test_unknown_node_inf(self):
+        g = VisibilityGraph.build([Point(0, 0)], [])
+        assert shortest_path_dist(g, Point(0, 0), Point(9, 9)) == math.inf
+
+    def test_direct_edge(self):
+        a, b = Point(0, 0), Point(3, 4)
+        g = VisibilityGraph.build([a, b], [])
+        assert shortest_path_dist(g, a, b) == pytest.approx(5.0)
+
+    def test_around_wall(self, wall_graph):
+        g, a, b, wall = wall_graph
+        d = shortest_path_dist(g, a, b)
+        # must round either corner (4,10)/(6,10) or the bottom pair
+        expected = (
+            Point(0, 0).distance(Point(4, 10))
+            + Point(4, 10).distance(Point(6, 10))
+            + Point(6, 10).distance(Point(10, 0))
+        )
+        assert d == pytest.approx(expected)
+        assert d > a.distance(b)  # strictly longer than Euclidean
+
+    def test_touching_ring_is_escapable_through_seams(self):
+        # Four walls touching along their boundaries: under the
+        # open-segment semantics the zero-width seams are passable, so
+        # the "courtyard" is not sealed (a ring of *disjoint* simple
+        # polygons can never seal a point).
+        walls = [
+            rect_obstacle(0, -10, -10, 10, -8),
+            rect_obstacle(1, -10, 8, 10, 10),
+            rect_obstacle(2, -10, -8, -8, 8),
+            rect_obstacle(3, 8, -8, 10, 8),
+        ]
+        a, b = Point(0, 0), Point(50, 50)
+        g = VisibilityGraph.build([a, b], walls)
+        assert shortest_path_dist(g, a, b) < math.inf
+
+    def test_disconnected_inf_with_overlapping_ring(self):
+        # Overlapping walls close the seams: a is truly sealed.  The
+        # sweep kernel assumes non-crossing boundaries (the paper's
+        # setting), so the exact naive kernel is used here.
+        walls = [
+            rect_obstacle(0, -10, -10, 10, -7),
+            rect_obstacle(1, -10, 7, 10, 10),
+            rect_obstacle(2, -10, -9, -7, 9),
+            rect_obstacle(3, 7, -9, 10, 9),
+        ]
+        a, b = Point(0, 0), Point(50, 50)
+        g = VisibilityGraph.build([a, b], walls, method="naive")
+        assert shortest_path_dist(g, a, b) == math.inf
+
+
+class TestShortestPath:
+    def test_path_endpoints(self, wall_graph):
+        g, a, b, __ = wall_graph
+        d, path = shortest_path(g, a, b)
+        assert path[0] == a and path[-1] == b
+        assert len(path) >= 3  # must pass at least two wall corners
+
+    def test_path_length_consistent(self, wall_graph):
+        g, a, b, __ = wall_graph
+        d, path = shortest_path(g, a, b)
+        walked = sum(path[i].distance(path[i + 1]) for i in range(len(path) - 1))
+        assert walked == pytest.approx(d)
+
+    def test_trivial_path(self):
+        g = VisibilityGraph.build([Point(2, 2)], [])
+        d, path = shortest_path(g, Point(2, 2), Point(2, 2))
+        assert d == 0.0 and path == [Point(2, 2)]
+
+    def test_unreachable_path_empty(self):
+        a, b = Point(0, 0), Point(100, 100)
+        g = VisibilityGraph.build([a], [])
+        d, path = shortest_path(g, a, b)
+        assert d == math.inf and path == []
+
+
+class TestDijkstraVariants:
+    def test_bound_limits_expansion(self, wall_graph):
+        g, a, b, __ = wall_graph
+        full = dijkstra(g, a)
+        bounded = bounded_dijkstra(g, a, 5.0)
+        assert set(bounded) <= set(full)
+        assert all(d <= 5.0 for d in bounded.values())
+        assert b not in bounded  # b is ~22 away around the wall
+
+    def test_targets_early_exit(self, wall_graph):
+        g, a, b, __ = wall_graph
+        res = dijkstra(g, a, targets=[b])
+        assert b in res
+        assert res[b] == pytest.approx(shortest_path_dist(g, a, b))
+
+    def test_source_missing_empty(self):
+        g = VisibilityGraph.build([Point(0, 0)], [])
+        assert dijkstra(g, Point(5, 5)) == {}
+
+    def test_distances_monotone_with_bound(self, wall_graph):
+        g, a, __, __ = wall_graph
+        d1 = bounded_dijkstra(g, a, 8.0)
+        d2 = bounded_dijkstra(g, a, 20.0)
+        for node, d in d1.items():
+            assert d2[node] == pytest.approx(d)

@@ -1,0 +1,146 @@
+"""Tests for the rotational plane sweep — including the oracle
+equivalence property that anchors the whole visibility layer."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.geometry import Point, Polygon, Rect
+from repro.model import Obstacle
+from repro.visibility import VisibilityGraph, naive_visible_from, visible_from
+from tests.conftest import random_disjoint_rects, random_free_points, rect_obstacle
+from tests.strategies import disjoint_rect_obstacles, free_points
+
+
+def _graph_scene(points, obstacles):
+    """Build a VisibilityGraph purely as a SweepScene container."""
+    return VisibilityGraph.build(points, obstacles)
+
+
+class TestBasicVisibility:
+    def test_no_obstacles_all_visible(self):
+        pts = [Point(0, 0), Point(10, 0), Point(5, 8)]
+        g = _graph_scene(pts, [])
+        assert set(visible_from(pts[0], g)) == {pts[1], pts[2]}
+
+    def test_single_blocker(self):
+        wall = rect_obstacle(0, 4, -5, 6, 5)
+        a, b = Point(0, 0), Point(10, 0)
+        g = _graph_scene([a, b], [wall])
+        assert b not in visible_from(a, g)
+
+    def test_visible_around_blocker(self):
+        wall = rect_obstacle(0, 4, -5, 6, 5)
+        a, c = Point(0, 0), Point(10, 20)
+        g = _graph_scene([a, c], [wall])
+        assert c in visible_from(a, g)
+
+    def test_obstacle_vertices_visible_from_outside(self):
+        box = rect_obstacle(0, 2, 2, 4, 4)
+        q = Point(0, 0)
+        g = _graph_scene([q], [box])
+        vis = set(visible_from(q, g))
+        assert Point(2, 2) in vis
+        assert Point(4, 2) in vis  # corner graze along x-axis direction
+        assert Point(2, 4) in vis
+        assert Point(4, 4) not in vis  # hidden behind the box
+
+    def test_square_diagonal_not_visible(self):
+        box = rect_obstacle(0, 0, 0, 10, 10)
+        g = _graph_scene([], [box])
+        vis = set(visible_from(Point(0, 0), g))
+        assert Point(10, 10) not in vis
+        assert Point(10, 0) in vis and Point(0, 10) in vis
+
+    def test_boundary_edge_visibility(self):
+        box = rect_obstacle(0, 0, 0, 10, 10)
+        g = _graph_scene([], [box])
+        assert Point(10, 0) in visible_from(Point(0, 0), g)
+
+    def test_entity_on_boundary_blocked_through_interior(self):
+        box = rect_obstacle(0, 0, 0, 10, 10)
+        a = Point(5, 0)   # on the bottom edge
+        b = Point(5, 10)  # on the top edge
+        g = _graph_scene([a, b], [box])
+        assert b not in visible_from(a, g)
+        assert a not in visible_from(b, g)
+
+    def test_collinear_points_along_edge_line(self):
+        box = rect_obstacle(0, 2, 0, 6, 3)
+        a, b, c = Point(0, 0), Point(8, 0), Point(12, 0)
+        g = _graph_scene([a, b, c], [box])
+        # all three lie on the line of the bottom edge: grazing, visible
+        assert b in visible_from(a, g)
+        assert c in visible_from(a, g)
+
+    def test_point_inside_notch_of_l_shape(self):
+        l_shape = Obstacle(
+            0,
+            Polygon(
+                [
+                    Point(0, 0),
+                    Point(6, 0),
+                    Point(6, 2),
+                    Point(2, 2),
+                    Point(2, 6),
+                    Point(0, 6),
+                ]
+            ),
+        )
+        q = Point(4, 4)  # inside the notch (outside the polygon)
+        g = _graph_scene([q], [l_shape])
+        vis = set(visible_from(q, g))
+        assert Point(2, 2) in vis
+        assert Point(6, 2) in vis
+        assert Point(2, 6) in vis
+        assert Point(0, 0) not in vis
+
+
+class TestSweepVsOracle:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_scenes(self, seed):
+        rng = random.Random(seed * 31 + 5)
+        obstacles = random_disjoint_rects(rng, rng.randint(1, 10))
+        points = random_free_points(rng, 6, obstacles)
+        g = _graph_scene(points, obstacles)
+        nodes = list(g.nodes())
+        for u in nodes:
+            got = set(visible_from(u, g))
+            want = set(naive_visible_from(u, [v for v in nodes if v != u], obstacles))
+            assert got == want, f"seed {seed}, node {u}"
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_grid_aligned_scenes_with_boundary_entities(self, seed):
+        rng = random.Random(seed * 17 + 3)
+        obstacles = []
+        occupied = []
+        for y in (10, 10, 30, 50):
+            x0 = rng.choice((0, 20, 40, 60))
+            rect = Rect(x0, y, x0 + rng.choice((10, 15)), y + 4)
+            if any(rect.intersects(o) for o in occupied):
+                continue
+            occupied.append(rect)
+            obstacles.append(
+                rect_obstacle(len(obstacles), rect.minx, rect.miny, rect.maxx, rect.maxy)
+            )
+        points = [o.polygon.boundary_point_at(rng.random()) for o in obstacles]
+        points += [Point(-5, 10), Point(100, 10), Point(-5, 14)]
+        points = [p for p in points if not any(o.polygon.contains(p) for o in obstacles)]
+        g = _graph_scene(points, obstacles)
+        nodes = list(g.nodes())
+        for u in nodes:
+            got = set(visible_from(u, g))
+            want = set(naive_visible_from(u, [v for v in nodes if v != u], obstacles))
+            assert got == want, f"seed {seed}, node {u}"
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(disjoint_rect_obstacles())
+def test_property_sweep_equals_oracle_on_vertices(obstacles):
+    g = _graph_scene([], obstacles)
+    nodes = list(g.nodes())
+    for u in nodes[: min(len(nodes), 8)]:
+        got = set(visible_from(u, g))
+        want = set(naive_visible_from(u, [v for v in nodes if v != u], obstacles))
+        assert got == want

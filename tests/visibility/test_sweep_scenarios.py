@@ -1,0 +1,145 @@
+"""Targeted sweep scenarios: each test pins one geometric situation the
+rotational sweep must get right (regression anchors for the degenerate
+fallback logic)."""
+
+import math
+
+from repro.geometry import Point, Polygon
+from repro.model import Obstacle
+from repro.visibility import VisibilityGraph, visible_from
+from tests.conftest import rect_obstacle
+
+
+def _visible(points, obstacles, source):
+    g = VisibilityGraph.build(points, obstacles)
+    return set(visible_from(source, g))
+
+
+class TestRayThroughVertex:
+    def test_ray_entering_interior_through_corner(self):
+        # p -> w passes exactly through corner (0,0) of the box and
+        # continues through the interior: blocked.
+        box = rect_obstacle(0, 0, 0, 10, 10)
+        p, w = Point(-5, -5), Point(12, 12)
+        assert w not in _visible([p, w], [box], p)
+
+    def test_ray_grazing_corner_outside(self):
+        # p -> w touches corner (0,10) but stays outside: visible.
+        box = rect_obstacle(0, 0, 0, 10, 10)
+        p, w = Point(-5, 5), Point(5, 15)
+        assert w in _visible([p, w], [box], p)
+
+    def test_two_boxes_sharing_ray(self):
+        # ray passes through corners of two different boxes
+        box1 = rect_obstacle(0, 2, 2, 4, 4)
+        box2 = rect_obstacle(1, 6, 6, 8, 8)
+        p, w = Point(0, 0), Point(10, 10)
+        # through (4,4)->(6,6): the diagonal cuts both interiors
+        assert w not in _visible([p, w], [box1, box2], p)
+
+    def test_corner_to_corner_between_boxes(self):
+        # segment between facing corners of two disjoint boxes that
+        # only grazes both: visible
+        box1 = rect_obstacle(0, 0, 0, 4, 4)
+        box2 = rect_obstacle(1, 6, 6, 10, 10)
+        assert Point(6, 6) in _visible([], [box1, box2], Point(4, 4))
+
+
+class TestCollinearConfigurations:
+    def test_chain_of_points_along_street_line(self):
+        street = rect_obstacle(0, 10, 5, 30, 8)
+        pts = [Point(0, 5), Point(40, 5), Point(50, 5)]
+        vis = _visible(pts, [street], pts[0])
+        # along the bottom edge line: boundary grazing, all visible
+        assert Point(40, 5) in vis
+        assert Point(50, 5) in vis
+
+    def test_points_blocked_across_street_interior_line(self):
+        street = rect_obstacle(0, 10, 5, 30, 8)
+        a, b = Point(0, 6.5), Point(40, 6.5)  # line cuts the interior
+        assert b not in _visible([a, b], [street], a)
+
+    def test_vertex_collinear_with_two_free_points(self):
+        box = rect_obstacle(0, 4, 0, 8, 4)
+        # p, corner (4,4), w all on the line y = x
+        p, w = Point(0, 0), Point(6, 6)
+        assert w in _visible([p, w], [box], p)
+
+
+class TestBoundaryEntities:
+    def test_entity_on_edge_sees_along_edge(self):
+        box = rect_obstacle(0, 0, 0, 10, 10)
+        a, b = Point(3, 0), Point(7, 0)  # both on the bottom edge
+        assert b in _visible([a, b], [box], a)
+
+    def test_entity_on_edge_blocked_across_diagonal(self):
+        box = rect_obstacle(0, 0, 0, 10, 10)
+        a, b = Point(3, 0), Point(10, 7)  # bottom edge -> right edge
+        assert b not in _visible([a, b], [box], a)
+
+    def test_entities_on_adjacent_edges_near_corner(self):
+        box = rect_obstacle(0, 0, 0, 10, 10)
+        a, b = Point(1, 0), Point(0, 1)
+        # the chord cuts the corner region *inside* the box
+        assert b not in _visible([a, b], [box], a)
+
+    def test_entity_at_vertex_position(self):
+        box = rect_obstacle(0, 0, 0, 10, 10)
+        w = Point(20, 0)
+        vis = _visible([w], [box], Point(10, 0))  # sweep from the vertex
+        assert w in vis
+
+
+class TestNonConvexScenes:
+    def test_u_shape_courtyard(self):
+        u_shape = Obstacle(
+            0,
+            Polygon(
+                [
+                    Point(0, 0), Point(30, 0), Point(30, 30), Point(20, 30),
+                    Point(20, 10), Point(10, 10), Point(10, 30), Point(0, 30),
+                ]
+            ),
+        )
+        inside = Point(15, 20)   # in the courtyard notch
+        outside = Point(15, 40)  # above the opening
+        far_left = Point(-10, 5)
+        vis = _visible([inside, outside, far_left], [u_shape], inside)
+        assert outside in vis        # straight out through the opening
+        assert far_left not in vis   # would cut through an arm
+
+    def test_spiral_reflex_vertices(self):
+        spiral = Obstacle(
+            0,
+            Polygon(
+                [
+                    Point(0, 0), Point(40, 0), Point(40, 40), Point(10, 40),
+                    Point(10, 20), Point(20, 20), Point(20, 30), Point(30, 30),
+                    Point(30, 10), Point(0, 10),
+                ]
+            ),
+        )
+        # pocket point between the spiral arms
+        pocket = Point(15, 25)
+        vis = _visible([pocket], [spiral], pocket)
+        assert Point(10, 20) in vis
+        assert Point(20, 20) in vis
+        assert Point(40, 0) not in vis
+
+
+class TestRegularPolygons:
+    def test_silhouette_of_octagon(self):
+        octagon = Obstacle(0, Polygon.regular(Point(0, 0), 10, 8))
+        p = Point(-30, 0)
+        vis = _visible([p], [octagon], p)
+        # exactly the front-facing vertices are visible; the one
+        # diametrically opposite is not
+        far = max(octagon.polygon.vertices, key=lambda v: v.distance(p))
+        assert far not in vis
+        assert len(vis) >= 4
+
+    def test_triangle_all_vertices_visible_from_afar(self):
+        tri = Obstacle(0, Polygon([Point(0, 0), Point(10, 0), Point(5, 8)]))
+        p = Point(5, -20)
+        vis = _visible([p], [tri], p)
+        assert Point(0, 0) in vis and Point(10, 0) in vis

@@ -256,3 +256,46 @@ def queries_for(cost_class: int) -> int:
     configurations statistically meaningful.
     """
     return max(2, BENCH_QUERIES // cost_class)
+
+
+def run_repeated_distance(
+    db: ObstacleDatabase,
+    pairs: list[tuple[Point, Point]],
+    *,
+    persistent: bool = True,
+) -> dict[str, float]:
+    """Execute a repeated obstructed-distance workload.
+
+    ``persistent=True`` routes every pair through the database's
+    shared :class:`~repro.runtime.context.QueryContext` (graphs cached
+    across calls); ``persistent=False`` reproduces the seed behaviour
+    — a fresh computer, and therefore a fresh visibility graph, per
+    call.  The returned ``graph_builds`` counter is the headline
+    metric: the cache's whole purpose is to push it far below the
+    number of calls.
+    """
+    from repro.runtime.context import QueryContext
+
+    db.reset_stats(clear_buffers=True)
+    timer = Timer()
+    if persistent:
+        with timer:
+            for a, b in pairs:
+                db.obstructed_distance(a, b)
+        graph_builds = db.runtime_stats()["graph_builds"]
+    else:
+        builds = 0
+        with timer:
+            for a, b in pairs:
+                context = QueryContext(db.obstacle_index)
+                context.distance(a, b)
+                builds += context.stats.graph_builds
+        graph_builds = builds
+    stats = db.stats()
+    n = len(pairs)
+    return {
+        "obstacle_pa": stats["obstacles:obstacles"]["misses"] / n,
+        "obstacle_reads": stats["obstacles:obstacles"]["reads"] / n,
+        "cpu_ms": timer.elapsed_ms / n,
+        "graph_builds": float(graph_builds),
+    }

@@ -8,6 +8,7 @@ Usage::
 
     python benchmarks/run_all.py            # all figures
     python benchmarks/run_all.py 13 17 21   # a subset
+    python benchmarks/run_all.py --smoke    # CI: tiny fixed-size run
 
 Environment knobs are shared with the pytest benches (see
 ``benchmarks/common.py``): REPRO_BENCH_O, REPRO_BENCH_QUERIES,
@@ -16,6 +17,7 @@ REPRO_BENCH_PAGE_ENTRIES.
 
 from __future__ import annotations
 
+import math
 import os
 import sys
 
@@ -37,6 +39,7 @@ from benchmarks.common import (  # noqa: E402
     run_odj,
     run_onn_workload,
     run_or_workload,
+    run_repeated_distance,
     scale_factor,
     scaled_join_range,
     scaled_range,
@@ -232,7 +235,53 @@ FIGURES = {
 }
 
 
+def smoke() -> int:
+    """A tiny fixed-cardinality pass over every query type plus the
+    runtime-cache comparison — seconds, not minutes; exercised by CI.
+
+    The sizes are hard-coded (not env-driven) so the run is
+    reproducible regardless of the REPRO_BENCH_* knobs.
+    """
+    n_obstacles = 200
+    db, wl = bench_db(n_obstacles, (("P1", n_obstacles), ("T", 40)), 2)
+    # Undo the env-driven scaling baked into scaled_range/scaled_join_range
+    # so the smoke's effective ranges depend only on the hard-coded
+    # cardinality (sqrt for per-disk counts, linear for join output).
+    e = scaled_range(0.001) * math.sqrt(BENCH_O / n_obstacles)
+    e_join = scaled_join_range(0.00002) * (BENCH_O / n_obstacles)
+    queries = wl.queries[:2]
+    rows = [
+        ("OR", run_or_workload(db, wl, "P1", queries, e)),
+        ("ONN (k=4)", run_onn_workload(db, wl, "P1", queries, 4)),
+        ("ODJ", run_odj(db, "P1", "T", e_join)),
+        ("OCP (k=4)", run_ocp(db, "P1", "T", 4)),
+    ]
+    print(f"# smoke: |O|={n_obstacles}, 2 queries\n")
+    for name, metrics in rows:
+        cells = ", ".join(f"{k}={v:.3g}" for k, v in sorted(metrics.items()))
+        print(f"{name:10s} {cells}")
+
+    targets = queries
+    entities = wl.entity_sets["P1"]
+    pairs = [
+        (s, t) for t in targets for s in sorted(entities, key=t.distance)[:8]
+    ]
+    fresh = run_repeated_distance(db, pairs, persistent=False)
+    cached = run_repeated_distance(db, pairs, persistent=True)
+    print(
+        f"\nrepeated d_O ({len(pairs)} calls, {len(targets)} targets): "
+        f"graph builds {fresh['graph_builds']:.0f} -> "
+        f"{cached['graph_builds']:.0f} with persistent cache"
+    )
+    if cached["graph_builds"] >= fresh["graph_builds"]:
+        print("FAIL: persistent cache did not reduce graph builds")
+        return 1
+    return 0
+
+
 def main(argv: list[str]) -> int:
+    if "--smoke" in argv:
+        return smoke()
     wanted = argv or sorted(FIGURES)
     print(
         f"# |O|={BENCH_O}, queries={BENCH_QUERIES}, "

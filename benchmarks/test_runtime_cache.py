@@ -1,0 +1,66 @@
+"""Runtime-cache benchmark: repeated queries vs per-call rebuild.
+
+Not a paper figure — this measures the PR's architectural change: a
+workload of repeated obstructed-distance evaluations against shared
+target points, executed (a) through the database's persistent
+:class:`~repro.runtime.context.QueryContext` and (b) seed-style, with
+a fresh context (hence fresh visibility graphs) per call.  The
+persistent path must build dramatically fewer graphs and touch fewer
+obstacle pages.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.common import BENCH_O, bench_db, cardinality_spec, run_repeated_distance
+
+
+def _repeated_pairs(workload, n_targets=3, n_sources=12):
+    """Pairs sharing few targets: the production 'hot key' shape.
+
+    Sources are each target's Euclidean-nearest entities, keeping the
+    local graphs small — the benchmark measures redundant *rebuilds*,
+    not long-range path extraction.
+    """
+    targets = workload.queries[:n_targets]
+    entities = workload.entity_sets["P1"]
+    pairs = []
+    for t in targets:
+        near = sorted(entities, key=t.distance)[:n_sources]
+        pairs.extend((s, t) for s in near)
+    return pairs
+
+
+@pytest.mark.parametrize("persistent", [True, False])
+def test_repeated_distance(benchmark, persistent):
+    db, workload = bench_db(BENCH_O, cardinality_spec(), 8)
+    pairs = _repeated_pairs(workload)
+
+    metrics = benchmark.pedantic(
+        run_repeated_distance,
+        args=(db, pairs),
+        kwargs={"persistent": persistent},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(metrics)
+    benchmark.extra_info["persistent"] = persistent
+
+    if persistent:
+        # One graph per distinct target, not one per call.
+        assert metrics["graph_builds"] <= len({t for __, t in pairs})
+    else:
+        assert metrics["graph_builds"] >= len(pairs)
+
+
+def test_cache_reduces_graph_builds():
+    """The acceptance check, independent of wall-clock: the persistent
+    cache performs strictly fewer visibility-graph builds than the
+    seed's per-call rebuild on the same workload."""
+    db, workload = bench_db(BENCH_O, cardinality_spec(), 8)
+    pairs = _repeated_pairs(workload)
+    fresh = run_repeated_distance(db, pairs, persistent=False)
+    cached = run_repeated_distance(db, pairs, persistent=True)
+    assert cached["graph_builds"] < fresh["graph_builds"] / 10
+    assert cached["obstacle_reads"] <= fresh["obstacle_reads"]

@@ -13,6 +13,20 @@ Quickstart::
     db = ObstacleDatabase([Rect(2, 2, 4, 8)])        # obstacles
     db.add_entity_set("cafes", [Point(5, 5), Point(0, 5)])
     db.nearest("cafes", Point(1, 5), k=1)            # obstructed 1-NN
+
+Architecture: every query runs through the unified query runtime
+(:mod:`repro.runtime`) — a per-database
+:class:`~repro.runtime.context.QueryContext` owning a persistent,
+versioned LRU cache of local visibility graphs, a metric abstraction
+(:class:`~repro.runtime.metric.ObstructedMetric` /
+:class:`~repro.runtime.metric.EuclideanMetric`) over shared,
+metric-parameterized query skeletons, dynamic obstacle updates with
+lazy version-based invalidation
+(:meth:`~repro.core.engine.ObstacleDatabase.insert_obstacle`), and
+batch entry points
+(:meth:`~repro.core.engine.ObstacleDatabase.batch_nearest`,
+:meth:`~repro.core.engine.ObstacleDatabase.batch_range`) that amortize
+one context across whole workloads.
 """
 
 from repro.errors import (
@@ -30,6 +44,13 @@ from repro.visibility import VisibilityGraph, shortest_path, shortest_path_dist
 from repro.visibility.tangent import prune_to_tangent
 from repro.core.continuous import NNInterval, PathNearestNeighbor, path_nearest
 from repro.render import save_svg, scene_to_svg
+from repro.runtime import (
+    EuclideanMetric,
+    ObstructedMetric,
+    QueryContext,
+    RuntimeStats,
+    VisibilityGraphCache,
+)
 from repro.core import (
     CompositeObstacleIndex,
     ObstacleDatabase,
@@ -77,6 +98,12 @@ __all__ = [
     "path_nearest",
     "scene_to_svg",
     "save_svg",
+    # query runtime
+    "QueryContext",
+    "RuntimeStats",
+    "VisibilityGraphCache",
+    "EuclideanMetric",
+    "ObstructedMetric",
     # core queries
     "ObstacleDatabase",
     "ObstacleIndex",

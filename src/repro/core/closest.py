@@ -9,19 +9,30 @@ its obstructed distance is no larger than the Euclidean distance of the
 most recent pair, since every later pair has a larger Euclidean — and
 therefore larger obstructed — distance.  This serves browsing and
 complex queries with unknown-in-advance stopping conditions.
+
+Both entry points are the shared runtime skeletons
+(:func:`repro.runtime.queries.metric_closest_pairs` /
+:func:`~repro.runtime.queries.iter_metric_closest_pairs`); exact
+evaluations are centred on the ``s`` side, so graphs cached per
+first-element point are reused across pairs, mirroring ODJ's seed
+reuse.
 """
 
 from __future__ import annotations
 
-import heapq
-from bisect import insort
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.core.distance import ObstacleSource, ObstructedDistanceComputer
-from repro.errors import QueryError
-from repro.euclidean.closest import IncrementalClosestPairs
+from repro.core.distance import ObstacleSource
 from repro.geometry.point import Point
 from repro.index.rstar import RStarTree
+from repro.runtime.metric import resolve_metric
+from repro.runtime.queries import (
+    iter_metric_closest_pairs,
+    metric_closest_pairs,
+)
+
+if TYPE_CHECKING:
+    from repro.runtime.context import QueryContext
 
 
 def obstacle_closest_pairs(
@@ -31,37 +42,16 @@ def obstacle_closest_pairs(
     k: int,
     *,
     cache_size: int = 32,
+    context: "QueryContext | None" = None,
 ) -> list[tuple[Point, Point, float]]:
     """The ``k`` pairs with smallest obstructed distance.
 
     Returns ``(s, t, d_O)`` sorted by obstructed distance; fewer than
-    ``k`` when ``|S| * |T| < k``.  Visibility graphs are cached per
-    first-element point, mirroring ODJ's seed reuse.
+    ``k`` when ``|S| * |T| < k``.  ``cache_size`` bounds the private
+    graph cache when no shared ``context`` is given.
     """
-    if k < 1:
-        raise QueryError(f"k must be >= 1, got {k}")
-    computer = ObstructedDistanceComputer(obstacle_source, cache_size=cache_size)
-    stream = IncrementalClosestPairs(tree_s, tree_t)
-    result: list[tuple[float, Point, Point]] = []
-    seeded = 0
-    for s, t, __ in stream:
-        d_o = computer.distance(t, s)
-        insort(result, (d_o, s, t))
-        seeded += 1
-        if seeded == k:
-            break
-    if not result:
-        return []
-    d_emax = result[k - 1][0] if len(result) >= k else float("inf")
-    for s, t, d_e in stream:
-        if d_e > d_emax:
-            break
-        d_o = computer.distance(t, s, bound=d_emax)
-        if d_o < result[k - 1][0]:
-            result.pop()
-            insort(result, (d_o, s, t))
-            d_emax = result[k - 1][0]
-    return [(s, t, d_o) for d_o, s, t in result[:k]]
+    metric = resolve_metric(obstacle_source, context, cache_size=cache_size)
+    return metric_closest_pairs(tree_s, tree_t, metric, k)
 
 
 def iter_obstacle_closest_pairs(
@@ -70,23 +60,10 @@ def iter_obstacle_closest_pairs(
     obstacle_source: ObstacleSource,
     *,
     cache_size: int = 32,
+    context: "QueryContext | None" = None,
 ) -> Iterator[tuple[Point, Point, float]]:
     """Incremental OCP (paper Fig. 12): pairs in ascending obstructed
     distance, no ``k`` parameter — consume as many as needed.
     """
-    computer = ObstructedDistanceComputer(obstacle_source, cache_size=cache_size)
-    stream = IncrementalClosestPairs(tree_s, tree_t)
-    hold: list[tuple[float, int, Point, Point]] = []
-    seq = 0
-    for s, t, d_e in stream:
-        # Everything already evaluated with d_O <= d_E(s, t) is final:
-        # no later Euclidean pair can undercut it.
-        while hold and hold[0][0] <= d_e:
-            d_o, __, hs, ht = heapq.heappop(hold)
-            yield hs, ht, d_o
-        d_o = computer.distance(t, s)
-        heapq.heappush(hold, (d_o, seq, s, t))
-        seq += 1
-    while hold:
-        d_o, __, hs, ht = heapq.heappop(hold)
-        yield hs, ht, d_o
+    metric = resolve_metric(obstacle_source, context, cache_size=cache_size)
+    return iter_metric_closest_pairs(tree_s, tree_t, metric)

@@ -19,11 +19,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.distance import ObstacleSource, ObstructedDistanceComputer
+from typing import TYPE_CHECKING
+
+from repro.core.distance import ObstacleSource
 from repro.core.nearest import obstacle_nearest
 from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.index.rstar import RStarTree
+
+if TYPE_CHECKING:
+    from repro.runtime.context import QueryContext
 
 
 @dataclass(frozen=True)
@@ -52,6 +57,7 @@ class PathNearestNeighbor:
         waypoints: list[Point],
         *,
         tolerance: float = 1e-3,
+        context: "QueryContext | None" = None,
     ) -> None:
         if len(waypoints) < 2:
             raise QueryError("a route needs at least two waypoints")
@@ -68,7 +74,11 @@ class PathNearestNeighbor:
         self._total = sum(self._lengths)
         if self._total == 0:
             raise QueryError("route has zero length")
-        self._computer = ObstructedDistanceComputer(obstacle_source)
+        if context is None:
+            from repro.runtime.context import QueryContext
+
+            context = QueryContext(obstacle_source)
+        self._context = context
 
     def point_at(self, s: float) -> Point:
         """The route point at arc-length fraction ``s`` in ``[0, 1]``."""
@@ -89,7 +99,9 @@ class PathNearestNeighbor:
     def nn_at(self, s: float) -> tuple[Point, float]:
         """The obstructed NN (and its distance) at fraction ``s``."""
         q = self.point_at(s)
-        result = obstacle_nearest(self._tree, self._source, q, 1)
+        result = obstacle_nearest(
+            self._tree, self._source, q, 1, context=self._context
+        )
         if not result:
             raise QueryError("entity dataset is empty")
         return result[0]
@@ -149,8 +161,13 @@ def path_nearest(
     waypoints: list[Point],
     *,
     tolerance: float = 1e-3,
+    context: "QueryContext | None" = None,
 ) -> list[NNInterval]:
     """Convenience wrapper: the constant-NN partition of a route."""
     return PathNearestNeighbor(
-        entity_tree, obstacle_source, waypoints, tolerance=tolerance
+        entity_tree,
+        obstacle_source,
+        waypoints,
+        tolerance=tolerance,
+        context=context,
     ).profile()

@@ -7,12 +7,19 @@ therefore alternates a shortest-path computation with an obstacle range
 retrieval of radius equal to the current distance, until no new
 obstacle appears — the distance can only grow between iterations, so
 the fixpoint is the true obstructed distance.
+
+The stateful helpers here are the building blocks of the shared query
+runtime (:mod:`repro.runtime`): :class:`SourceDistanceField` evaluates
+many candidates against one fixed source, and
+:class:`ObstructedDistanceComputer` is a thin compatibility wrapper
+over :class:`repro.runtime.context.QueryContext`, which owns the
+persistent, versioned LRU graph cache.
 """
 
 from __future__ import annotations
 
 from math import inf
-from typing import Protocol
+from typing import Callable, Protocol
 
 from repro.geometry.point import Point
 from repro.model import Obstacle
@@ -69,19 +76,34 @@ class SourceDistanceField:
     this keeps a complete distance field from the source: a candidate's
     graph distance is ``min over its visible nodes v of field[v] +
     |v - candidate|`` (any shortest path leaves the candidate through a
-    visible node).  The field is invalidated only when the iterative
-    Fig. 8 enlargement adds obstacles.
+    visible node).  The field is recomputed whenever the graph's
+    obstacle revision moves — whether the obstacles were added by this
+    field's own Fig. 8 enlargement or by another user of a shared,
+    cached graph.
+
+    ``grow`` optionally replaces the enlargement step: it receives the
+    current provisional distance and must return ``True`` when new
+    obstacles entered the graph.  The query runtime passes the cached
+    graph's coverage-aware expansion here, so already-covered radii
+    skip the obstacle retrieval entirely.
     """
 
     def __init__(
-        self, graph: VisibilityGraph, source_point: Point, source: ObstacleSource
+        self,
+        graph: VisibilityGraph,
+        source_point: Point,
+        source: ObstacleSource,
+        *,
+        grow: Callable[[float], bool] | None = None,
     ) -> None:
         if not graph.has_node(source_point):
             graph.add_entity(source_point)
         self._graph = graph
         self._q = source_point
         self._source = source
+        self._grow = grow
         self._field: dict[Point, float] | None = None
+        self._field_revision = -1
 
     @property
     def graph(self) -> VisibilityGraph:
@@ -95,19 +117,28 @@ class SourceDistanceField:
         provisional lower bound exceeds it (see
         :func:`compute_obstructed_distance`).
         """
+        if self._grow is not None:
+            # Revalidate a runtime-managed graph before evaluating: a
+            # dynamic obstacle update since the last call must not let
+            # a stale provisional short-circuit via the bound check.
+            self._grow(0.0)
         while True:
             d = self._provisional(p)
             if d > bound:
                 return d
-            retrieved = self._source.obstacles_in_range(self._q, d)
-            new_obstacles = [
-                o for o in retrieved if not self._graph.has_obstacle(o.oid)
-            ]
-            if not new_obstacles:
+            if not self._enlarge(d):
                 return d
-            for obs in new_obstacles:
-                self._graph.add_obstacle(obs)
-            self._field = None
+
+    def _enlarge(self, radius: float) -> bool:
+        if self._grow is not None:
+            return self._grow(radius)
+        retrieved = self._source.obstacles_in_range(self._q, radius)
+        new_obstacles = [
+            o for o in retrieved if not self._graph.has_obstacle(o.oid)
+        ]
+        for obs in new_obstacles:
+            self._graph.add_obstacle(obs)
+        return bool(new_obstacles)
 
     def _provisional(self, p: Point) -> float:
         from repro.visibility.shortest_path import dijkstra
@@ -115,8 +146,10 @@ class SourceDistanceField:
 
         if p == self._q:
             return 0.0
-        if self._field is None:
+        revision = self._graph.obstacle_revision
+        if self._field is None or self._field_revision != revision:
             self._field = dijkstra(self._graph, self._q)
+            self._field_revision = revision
         if self._graph.has_node(p):
             return self._field.get(p, inf)
         best = inf
@@ -137,15 +170,35 @@ class ObstructedDistanceComputer:
     between arbitrary point pairs.  Rebuilding a visibility graph per
     pair is wasteful when consecutive pairs share their first point (the
     paper makes the same observation for ODJ seeds), so graphs are
-    cached per source point with a small LRU bound.
+    cached per source point.
+
+    This is now a thin compatibility facade over the shared runtime:
+    the cache is the true-LRU, versioned
+    :class:`~repro.runtime.cache.VisibilityGraphCache` owned by a
+    :class:`~repro.runtime.context.QueryContext` (pass ``context`` to
+    share one across query types; otherwise a private context is
+    created over ``source``).
     """
 
-    def __init__(self, source: ObstacleSource, *, cache_size: int = 32) -> None:
+    def __init__(
+        self,
+        source: ObstacleSource,
+        *,
+        cache_size: int = 32,
+        context: "QueryContext | None" = None,
+    ) -> None:
+        from repro.runtime.context import QueryContext
+
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
-        self._source = source
-        self._cache_size = cache_size
-        self._graphs: dict[Point, VisibilityGraph] = {}
+        if context is None:
+            context = QueryContext(source, cache_size=cache_size)
+        self._context = context
+
+    @property
+    def context(self) -> "QueryContext":
+        """The runtime context holding the shared graph cache."""
+        return self._context
 
     def distance(self, p: Point, q: Point, *, bound: float = inf) -> float:
         """Obstructed distance ``d_O(p, q)``.
@@ -154,28 +207,8 @@ class ObstructedDistanceComputer:
         range retrievals).  ``bound`` enables the threshold pruning of
         :func:`compute_obstructed_distance`.
         """
-        if p == q:
-            return 0.0
-        graph = self._graphs.get(q)
-        if graph is None:
-            d_e = p.distance(q)
-            graph = VisibilityGraph.build(
-                [q], self._source.obstacles_in_range(q, d_e)
-            )
-            self._remember(q, graph)
-        added = graph.add_entity(p)
-        d = compute_obstructed_distance(graph, p, q, self._source, bound=bound)
-        if added:
-            graph.delete_entity(p)
-        return d
-
-    def _remember(self, q: Point, graph: VisibilityGraph) -> None:
-        if len(self._graphs) >= self._cache_size:
-            # FIFO eviction is sufficient here; dict preserves insertion order.
-            oldest = next(iter(self._graphs))
-            del self._graphs[oldest]
-        self._graphs[q] = graph
+        return self._context.distance(p, q, bound=bound)
 
     def clear(self) -> None:
         """Drop all cached graphs."""
-        self._graphs.clear()
+        self._context.invalidate()

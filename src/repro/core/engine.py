@@ -14,6 +14,15 @@ exposes every query type of the paper::
     db.iclosest_pairs("homes", "shops")        # iOCP (Fig. 12)
     db.semijoin("homes", "shops")              # distance semi-join (Sec. 2.1)
     db.obstructed_distance(a, b)               # Fig. 8
+
+Every query runs through one persistent
+:class:`~repro.runtime.context.QueryContext` owned by the database:
+visibility graphs survive in a versioned LRU cache across queries, and
+the dynamic obstacle API (:meth:`insert_obstacle` /
+:meth:`delete_obstacle`) bumps the obstacle-set version so stale
+graphs are discarded lazily at their next lookup.  Batch entry points
+(:meth:`batch_nearest`, :meth:`batch_range`) amortize the context
+across whole workloads.
 """
 
 from __future__ import annotations
@@ -21,7 +30,6 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.closest import iter_obstacle_closest_pairs, obstacle_closest_pairs
-from repro.core.distance import ObstructedDistanceComputer
 from repro.core.join import obstacle_distance_join
 from repro.core.nearest import iter_obstacle_nearest, obstacle_nearest
 from repro.core.range import obstacle_range
@@ -34,6 +42,10 @@ from repro.geometry.rect import Rect
 from repro.index.bulk import str_pack
 from repro.index.rstar import RStarTree
 from repro.model import Obstacle
+from repro.runtime.batch import batch_nearest, batch_range
+from repro.runtime.context import QueryContext
+from repro.runtime.metric import ObstructedMetric
+from repro.runtime.stats import RuntimeStats
 
 ObstacleLike = Obstacle | Polygon | Rect
 PointLike = Point | tuple[float, float]
@@ -53,6 +65,8 @@ class ObstacleDatabase:
     page_size, buffer_fraction:
         Simulated page layout and LRU sizing for every tree (paper:
         4 KB pages, 10 % buffers).
+    graph_cache_size:
+        LRU capacity of the shared visibility-graph cache.
     """
 
     def __init__(
@@ -64,6 +78,7 @@ class ObstacleDatabase:
         buffer_fraction: float = 0.1,
         max_entries: int | None = None,
         min_entries: int | None = None,
+        graph_cache_size: int = 64,
     ) -> None:
         self._bulk = bulk
         self._tree_kwargs = dict(
@@ -73,8 +88,11 @@ class ObstacleDatabase:
             min_entries=min_entries,
         )
         self._next_oid = 0
+        self._graph_cache_size = graph_cache_size
+        self._runtime_stats = RuntimeStats()
         self._entity_trees: dict[str, RStarTree] = {}
         self._obstacle_indexes: dict[str, ObstacleIndex] = {}
+        self._context: QueryContext | None = None
         self.add_obstacle_set("obstacles", obstacles)
 
     # ------------------------------------------------------------ datasets
@@ -83,6 +101,8 @@ class ObstacleDatabase:
 
         The paper notes the extension to multiple obstacle datasets is
         straightforward: all registered sets obstruct movement.
+        Registering a set swaps the context's obstacle source, dropping
+        all cached visibility graphs.
         """
         if name in self._obstacle_indexes:
             raise DatasetError(f"obstacle set {name!r} already exists")
@@ -95,6 +115,7 @@ class ObstacleDatabase:
             for obs, rect in items:
                 tree.insert(obs, rect)
         self._obstacle_indexes[name] = ObstacleIndex(tree)
+        self._rebuild_context()
 
     def add_entity_set(self, name: str, points: Iterable[PointLike]) -> None:
         """Register a named entity dataset (points of interest)."""
@@ -120,6 +141,47 @@ class ObstacleDatabase:
         p = self._coerce_point(point)
         return self.entity_tree(name).delete(p, Rect.from_point(p))
 
+    # ------------------------------------------------- dynamic obstacles
+    def insert_obstacle(
+        self, obstacle: ObstacleLike, *, set_name: str = "obstacles"
+    ) -> Obstacle:
+        """Insert one obstacle into an existing obstacle set.
+
+        Returns the stored :class:`~repro.model.Obstacle` record (with
+        its database-assigned id), which can later be passed to
+        :meth:`delete_obstacle`.  The set's version is bumped, so every
+        cached visibility graph built against the old obstacle set is
+        invalidated lazily at its next lookup — queries never consult a
+        stale graph.
+        """
+        record = self._coerce_obstacle(obstacle)
+        self._obstacle_index_named(set_name).insert(record)
+        return record
+
+    def delete_obstacle(
+        self, obstacle: Obstacle | int, *, set_name: str = "obstacles"
+    ) -> bool:
+        """Delete one obstacle (by record or by id) from an obstacle set.
+
+        Returns ``True`` when found; the version bump invalidates
+        cached graphs exactly as for :meth:`insert_obstacle`.
+        """
+        index = self._obstacle_index_named(set_name)
+        if isinstance(obstacle, int):
+            record = index.find(obstacle)
+            if record is None:
+                return False
+        else:
+            record = obstacle
+        return index.delete(record)
+
+    def _obstacle_index_named(self, name: str) -> ObstacleIndex:
+        try:
+            return self._obstacle_indexes[name]
+        except KeyError:
+            raise DatasetError(f"unknown obstacle set {name!r}") from None
+
+    # -------------------------------------------------------------- access
     def entity_tree(self, name: str) -> RStarTree:
         """The R*-tree indexing entity set ``name``."""
         try:
@@ -130,15 +192,18 @@ class ObstacleDatabase:
     @property
     def obstacle_index(self) -> ObstacleIndex | CompositeObstacleIndex:
         """The (possibly composite) obstacle source used by queries."""
-        indexes = list(self._obstacle_indexes.values())
-        if len(indexes) == 1:
-            return indexes[0]
-        return CompositeObstacleIndex(indexes)
+        return self._context.source  # type: ignore[union-attr,return-value]
 
     @property
     def obstacle_tree(self) -> RStarTree:
         """The primary obstacle R*-tree."""
         return self._obstacle_indexes["obstacles"].tree
+
+    @property
+    def context(self) -> QueryContext:
+        """The persistent query runtime shared by every query."""
+        assert self._context is not None
+        return self._context
 
     def universe(self) -> Rect | None:
         """MBR over obstacles and all entity sets."""
@@ -147,23 +212,43 @@ class ObstacleDatabase:
         rects = [r for r in rects if r is not None]
         return Rect.union_all(rects) if rects else None
 
+    def _rebuild_context(self) -> None:
+        indexes = list(self._obstacle_indexes.values())
+        source = indexes[0] if len(indexes) == 1 else CompositeObstacleIndex(indexes)
+        self._context = QueryContext(
+            source,
+            cache_size=self._graph_cache_size,
+            stats=self._runtime_stats,
+        )
+
     # -------------------------------------------------------------- queries
     def range(self, name: str, q: PointLike, e: float) -> list[tuple[Point, float]]:
         """OR: entities of ``name`` within obstructed distance ``e`` of ``q``."""
         return obstacle_range(
-            self.entity_tree(name), self.obstacle_index, self._coerce_point(q), e
+            self.entity_tree(name),
+            self.obstacle_index,
+            self._coerce_point(q),
+            e,
+            context=self._context,
         )
 
     def nearest(self, name: str, q: PointLike, k: int = 1) -> list[tuple[Point, float]]:
         """ONN: the ``k`` obstructed nearest neighbours of ``q``."""
         return obstacle_nearest(
-            self.entity_tree(name), self.obstacle_index, self._coerce_point(q), k
+            self.entity_tree(name),
+            self.obstacle_index,
+            self._coerce_point(q),
+            k,
+            context=self._context,
         )
 
     def inearest(self, name: str, q: PointLike) -> Iterator[tuple[Point, float]]:
         """Incremental ONN: neighbours in ascending obstructed distance."""
         return iter_obstacle_nearest(
-            self.entity_tree(name), self.obstacle_index, self._coerce_point(q)
+            self.entity_tree(name),
+            self.obstacle_index,
+            self._coerce_point(q),
+            context=self._context,
         )
 
     def distance_join(
@@ -182,6 +267,7 @@ class ObstacleDatabase:
             e,
             hilbert_order_seeds=hilbert_order_seeds,
             universe=self.universe(),
+            context=self._context,
         )
 
     def closest_pairs(
@@ -193,6 +279,7 @@ class ObstacleDatabase:
             self.entity_tree(t_name),
             self.obstacle_index,
             k,
+            context=self._context,
         )
 
     def iclosest_pairs(
@@ -200,7 +287,10 @@ class ObstacleDatabase:
     ) -> Iterator[tuple[Point, Point, float]]:
         """iOCP: closest pairs in ascending obstructed distance."""
         return iter_obstacle_closest_pairs(
-            self.entity_tree(s_name), self.entity_tree(t_name), self.obstacle_index
+            self.entity_tree(s_name),
+            self.entity_tree(t_name),
+            self.obstacle_index,
+            context=self._context,
         )
 
     def semijoin(
@@ -213,12 +303,45 @@ class ObstacleDatabase:
             self.entity_tree(t_name),
             self.obstacle_index,
             strategy=strategy,
+            context=self._context,
         )
 
     def obstructed_distance(self, a: PointLike, b: PointLike) -> float:
-        """The obstructed distance between two arbitrary points."""
-        computer = ObstructedDistanceComputer(self.obstacle_index)
-        return computer.distance(self._coerce_point(a), self._coerce_point(b))
+        """The obstructed distance between two arbitrary points.
+
+        Served by the database's persistent context: the local graph
+        around ``b`` is cached, so repeated evaluations against the
+        same target skip both the obstacle retrieval and the graph
+        construction.
+        """
+        return self.context.distance(
+            self._coerce_point(a), self._coerce_point(b)
+        )
+
+    # ---------------------------------------------------------------- batch
+    def batch_nearest(
+        self, name: str, qs: Iterable[PointLike], k: int = 1
+    ) -> list[list[tuple[Point, float]]]:
+        """ONN for many query points through one shared context.
+
+        Returns one result list per query point, in input order;
+        duplicate query points are computed once.
+        """
+        metric = ObstructedMetric(self.context)
+        queries = [self._coerce_point(q) for q in qs]
+        return batch_nearest(self.entity_tree(name), metric, queries, k)
+
+    def batch_range(
+        self, name: str, qs: Iterable[PointLike], e: float
+    ) -> list[list[tuple[Point, float]]]:
+        """OR for many query points through one shared context.
+
+        Returns one result list per query point, in input order;
+        duplicate query points are computed once.
+        """
+        metric = ObstructedMetric(self.context)
+        queries = [self._coerce_point(q) for q in qs]
+        return batch_range(self.entity_tree(name), metric, queries, e)
 
     def shortest_path(
         self, a: PointLike, b: PointLike
@@ -234,7 +357,6 @@ class ObstacleDatabase:
         """
         from math import inf, isinf
 
-        from repro.visibility.graph import VisibilityGraph
         from repro.visibility.shortest_path import shortest_path
 
         start = self._coerce_point(a)
@@ -244,9 +366,16 @@ class ObstacleDatabase:
         d = self.obstructed_distance(start, end)
         if isinf(d):
             return inf, []
-        relevant = self.obstacle_index.obstacles_in_range(end, d)
-        graph = VisibilityGraph.build([start, end], relevant)
-        return shortest_path(graph, start, end)
+        # The cached graph for `end` already covers radius d; add the
+        # start as a transient entity and extract the route.
+        entry = self.context.entry_for(end, d)
+        graph = entry.graph
+        added = graph.add_entity(start)
+        try:
+            return shortest_path(graph, start, end)
+        finally:
+            if added:
+                graph.delete_entity(start)
 
     # ---------------------------------------------------------------- stats
     def stats(self) -> Mapping[str, Mapping[str, int]]:
@@ -258,12 +387,26 @@ class ObstacleDatabase:
             out[tree.name] = tree.counter.snapshot()
         return out
 
+    def runtime_stats(self) -> dict[str, int]:
+        """Counters of the shared query runtime (graph builds, cache
+        hits/misses/evictions/invalidations, distance calls, ...)."""
+        return self._runtime_stats.snapshot()
+
     def reset_stats(self, *, clear_buffers: bool = False) -> None:
-        """Zero all counters; optionally cold-start every buffer."""
+        """Zero all counters; optionally cold-start every cache.
+
+        ``clear_buffers=True`` is the benchmark-isolation mode: it
+        empties the R-tree page buffers *and* the visibility-graph
+        cache, so consecutive workload measurements on one database do
+        not prime each other.
+        """
         for idx in self._obstacle_indexes.values():
             idx.tree.reset_stats(clear_buffer=clear_buffers)
         for tree in self._entity_trees.values():
             tree.reset_stats(clear_buffer=clear_buffers)
+        if clear_buffers and self._context is not None:
+            self._context.invalidate()
+        self._runtime_stats.reset()
 
     # -------------------------------------------------------------- helpers
     def _coerce_obstacle(self, value: ObstacleLike) -> Obstacle:

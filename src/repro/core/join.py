@@ -6,21 +6,27 @@ points provides "seeds": for each seed, all its partners are filtered
 with a single OR-style expansion over one shared visibility graph.
 Seeds are processed in Hilbert order so consecutive obstacle range
 retrievals touch nearby pages, maximising buffer locality.
+
+The implementation is the shared runtime skeleton
+(:func:`repro.runtime.queries.metric_distance_join`) parameterized
+with the obstructed metric; with a shared
+:class:`~repro.runtime.context.QueryContext`, per-seed graphs persist
+in the LRU cache across join invocations.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from typing import TYPE_CHECKING
 
 from repro.core.distance import ObstacleSource
-from repro.core.range import expand_within_range
-from repro.errors import QueryError
-from repro.euclidean.join import distance_join
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.index.hilbert import hilbert_key
 from repro.index.rstar import RStarTree
-from repro.visibility.graph import VisibilityGraph
+from repro.runtime.metric import resolve_metric
+from repro.runtime.queries import metric_distance_join
+
+if TYPE_CHECKING:
+    from repro.runtime.context import QueryContext
 
 
 def obstacle_distance_join(
@@ -31,6 +37,7 @@ def obstacle_distance_join(
     *,
     hilbert_order_seeds: bool = True,
     universe: Rect | None = None,
+    context: "QueryContext | None" = None,
 ) -> list[tuple[Point, Point, float]]:
     """All pairs ``(s, t)`` with obstructed distance <= ``e``.
 
@@ -38,37 +45,12 @@ def obstacle_distance_join(
     disables the seed-locality optimisation (used by the ablation
     benchmark).
     """
-    if e < 0:
-        raise QueryError(f"negative join distance: {e}")
-    candidate_pairs = distance_join(tree_s, tree_t, e)
-    if not candidate_pairs:
-        return []
-
-    s_partners: dict[Point, list[Point]] = defaultdict(list)
-    t_partners: dict[Point, list[Point]] = defaultdict(list)
-    for s, t, __ in candidate_pairs:
-        s_partners[s].append(t)
-        t_partners[t].append(s)
-
-    # Seed the side with fewer distinct points (paper's observation:
-    # five pairs over two distinct s-values need only two graphs).
-    seed_from_s = len(s_partners) <= len(t_partners)
-    partners = s_partners if seed_from_s else t_partners
-    seeds = list(partners)
-
-    if hilbert_order_seeds:
-        if universe is None:
-            universe = Rect.from_points(seeds)
-        seeds.sort(key=lambda p: hilbert_key(p, universe))
-
-    result: list[tuple[Point, Point, float]] = []
-    for seed in seeds:
-        mates = partners[seed]
-        relevant = obstacle_source.obstacles_in_range(seed, e)
-        graph = VisibilityGraph.build([seed] + mates, relevant)
-        for mate, d_o in expand_within_range(graph, seed, e, mates):
-            if seed_from_s:
-                result.append((seed, mate, d_o))
-            else:
-                result.append((mate, seed, d_o))
-    return result
+    metric = resolve_metric(obstacle_source, context)
+    return metric_distance_join(
+        tree_s,
+        tree_t,
+        metric,
+        e,
+        hilbert_order_seeds=hilbert_order_seeds,
+        universe=universe,
+    )

@@ -14,25 +14,26 @@ per-candidate graph surgery, and losing candidates abort their Fig. 8
 iteration early once their provisional lower bound exceeds the current
 threshold.
 
-The incremental variant (:func:`iter_obstacle_nearest`) applies the
-iOCP methodology the paper sketches at the end of Sec. 6: an entity can
-be emitted as soon as its obstructed distance is no larger than the
-Euclidean distance of the latest retrieved neighbour.
+Both entry points are the shared runtime skeletons
+(:func:`repro.runtime.queries.metric_nearest` /
+:func:`~repro.runtime.queries.iter_metric_nearest`) parameterized with
+the obstructed metric; pass a
+:class:`~repro.runtime.context.QueryContext` to reuse cached graphs
+across queries.
 """
 
 from __future__ import annotations
 
-import heapq
-from bisect import insort
-from math import inf
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.core.distance import ObstacleSource, SourceDistanceField
-from repro.errors import QueryError
-from repro.euclidean.nearest import IncrementalNearestNeighbors
+from repro.core.distance import ObstacleSource
 from repro.geometry.point import Point
 from repro.index.rstar import RStarTree
-from repro.visibility.graph import VisibilityGraph
+from repro.runtime.metric import resolve_metric
+from repro.runtime.queries import iter_metric_nearest, metric_nearest
+
+if TYPE_CHECKING:
+    from repro.runtime.context import QueryContext
 
 
 def obstacle_nearest(
@@ -42,6 +43,7 @@ def obstacle_nearest(
     k: int,
     *,
     prune_bound: bool = True,
+    context: "QueryContext | None" = None,
 ) -> list[tuple[Point, float]]:
     """The ``k`` entities with smallest obstructed distance from ``q``.
 
@@ -52,42 +54,16 @@ def obstacle_nearest(
     optimisation (every candidate's distance is evaluated exactly, as
     in the paper's verbatim Fig. 9).
     """
-    if k < 1:
-        raise QueryError(f"k must be >= 1, got {k}")
-    stream = IncrementalNearestNeighbors(entity_tree, q)
-    seeds: list[tuple[Point, float]] = []
-    for p, d_e in stream:
-        seeds.append((p, d_e))
-        if len(seeds) == k:
-            break
-    if not seeds:
-        return []
-    # Initial local graph: obstacles within the k-th Euclidean distance
-    # around q (paper Fig. 9).
-    d_k = seeds[-1][1]
-    relevant = obstacle_source.obstacles_in_range(q, d_k)
-    graph = VisibilityGraph.build([q], relevant)
-    field = SourceDistanceField(graph, q, obstacle_source)
-    result: list[tuple[float, Point]] = []
-    for p, __ in seeds:
-        insort(result, (field.distance_to(p), p))
-    d_emax = result[k - 1][0] if len(result) >= k else inf
-    for p, d_e in stream:
-        if d_e > d_emax:
-            break
-        bound = d_emax if prune_bound else inf
-        d_o = field.distance_to(p, bound=bound)
-        if d_o < result[k - 1][0]:
-            result.pop()
-            insort(result, (d_o, p))
-            d_emax = result[k - 1][0]
-    return [(p, d_o) for d_o, p in result[:k]]
+    metric = resolve_metric(obstacle_source, context)
+    return metric_nearest(entity_tree, metric, q, k, prune_bound=prune_bound)
 
 
 def iter_obstacle_nearest(
     entity_tree: RStarTree,
     obstacle_source: ObstacleSource,
     q: Point,
+    *,
+    context: "QueryContext | None" = None,
 ) -> Iterator[tuple[Point, float]]:
     """Incremental ONN: yields ``(entity, d_O)`` in ascending obstructed
     distance, without a predefined ``k``.
@@ -97,21 +73,5 @@ def iter_obstacle_nearest(
     immediately: later neighbours have larger Euclidean — hence larger
     obstructed — distances.
     """
-    stream = IncrementalNearestNeighbors(entity_tree, q)
-    field: SourceDistanceField | None = None
-    hold: list[tuple[float, int, Point]] = []
-    seq = 0
-    for p, d_e in stream:
-        while hold and hold[0][0] <= d_e:
-            d_o, __, ready = heapq.heappop(hold)
-            yield ready, d_o
-        if field is None:
-            graph = VisibilityGraph.build(
-                [q], obstacle_source.obstacles_in_range(q, d_e)
-            )
-            field = SourceDistanceField(graph, q, obstacle_source)
-        heapq.heappush(hold, (field.distance_to(p), seq, p))
-        seq += 1
-    while hold:
-        d_o, __, ready = heapq.heappop(hold)
-        yield ready, d_o
+    metric = resolve_metric(obstacle_source, context)
+    return iter_metric_nearest(entity_tree, metric, q)

@@ -7,20 +7,27 @@ length <= ``e``).  One Dijkstra-style expansion from ``q`` over the
 local visibility graph then reports every candidate whose obstructed
 distance is within ``e`` — a single traversal for all candidates, not
 one shortest-path run each.
+
+The implementation is the shared runtime skeleton
+(:func:`repro.runtime.queries.metric_range`) parameterized with the
+obstructed metric; pass a :class:`~repro.runtime.context.QueryContext`
+to share cached visibility graphs across queries.
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.distance import ObstacleSource
-from repro.errors import QueryError
-from repro.euclidean.range import entities_in_range
 from repro.geometry.point import Point
 from repro.index.rstar import RStarTree
+from repro.runtime.metric import resolve_metric
+from repro.runtime.queries import metric_range
+from repro.runtime.skeletons import bounded_expansion
 from repro.visibility.graph import VisibilityGraph
+
+if TYPE_CHECKING:
+    from repro.runtime.context import QueryContext
 
 
 def obstacle_range(
@@ -28,20 +35,17 @@ def obstacle_range(
     obstacle_source: ObstacleSource,
     q: Point,
     e: float,
+    *,
+    context: "QueryContext | None" = None,
 ) -> list[tuple[Point, float]]:
     """Entities within obstructed distance ``e`` of ``q``.
 
     Returns ``(entity, d_O(entity, q))`` pairs in ascending obstructed
-    distance.
+    distance.  With ``context`` the local visibility graph for ``q``
+    is fetched from (and retained in) the shared cache.
     """
-    if e < 0:
-        raise QueryError(f"negative range: {e}")
-    candidates = entities_in_range(entity_tree, q, e)
-    if not candidates:
-        return []
-    relevant = obstacle_source.obstacles_in_range(q, e)
-    graph = VisibilityGraph.build([q] + candidates, relevant)
-    return expand_within_range(graph, q, e, candidates)
+    metric = resolve_metric(obstacle_source, context)
+    return metric_range(entity_tree, metric, q, e)
 
 
 def expand_within_range(
@@ -50,32 +54,6 @@ def expand_within_range(
     e: float,
     candidates: Iterable[Point],
 ) -> list[tuple[Point, float]]:
-    """The expansion loop of Fig. 5: one bounded Dijkstra from ``q``,
-    reporting candidate entities as they are settled.
-
-    Shared by OR and the per-seed elimination step of ODJ.  Terminates
-    as soon as the queue empties or every candidate has been reported.
-    """
-    pending = set(candidates)
-    pending.discard(q)
-    result: list[tuple[Point, float]] = []
-    if graph.has_node(q) and q in set(candidates):
-        # The query point coincides with an entity: distance zero.
-        result.append((q, 0.0))
-    visited: set[Point] = set()
-    tiebreak = count()
-    heap: list[tuple[float, int, Point]] = [(0.0, next(tiebreak), q)]
-    while heap and pending:
-        d, __, node = heapq.heappop(heap)
-        if node in visited:
-            continue
-        visited.add(node)
-        if node in pending:
-            result.append((node, d))
-            pending.discard(node)
-        for nbr, w in graph.neighbors(node).items():
-            if nbr not in visited:
-                nd = d + w
-                if nd <= e:
-                    heapq.heappush(heap, (nd, next(tiebreak), nbr))
-    return result
+    """The expansion loop of Fig. 5 — kept as a compatibility alias for
+    :func:`repro.runtime.skeletons.bounded_expansion`."""
+    return bounded_expansion(graph, q, e, candidates)

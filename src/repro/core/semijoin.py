@@ -5,23 +5,34 @@ types: "return for each point s in S its nearest neighbour t in T",
 and notes it can be answered either (i) by performing a NN query in T
 for each object in S, or (ii) by outputting closest pairs incrementally
 until the NN for each entity in S is retrieved.  Both strategies are
-implemented here under the obstructed metric:
+implemented by the shared runtime skeleton
+(:func:`repro.runtime.queries.metric_semijoin`) under the obstructed
+metric:
 
 * ``strategy="nn"`` — one ONN query per s (simple; good when |S| is
   small or the pairs are far apart);
 * ``strategy="cp"`` — consume the incremental obstacle closest-pair
   stream (iOCP, Fig. 12) and keep the first pair seen for each s
   (good when nearest neighbours are found early in the stream).
+
+Either way *one* :class:`~repro.runtime.context.QueryContext` spans
+the whole semi-join, so repeated source points are answered from the
+persistent graph cache instead of re-deriving their visibility graphs
+(the seed rebuilt all machinery per ``s``).
 """
 
 from __future__ import annotations
 
-from repro.core.closest import iter_obstacle_closest_pairs
+from typing import TYPE_CHECKING
+
 from repro.core.distance import ObstacleSource
-from repro.core.nearest import obstacle_nearest
-from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.index.rstar import RStarTree
+from repro.runtime.metric import resolve_metric
+from repro.runtime.queries import metric_semijoin
+
+if TYPE_CHECKING:
+    from repro.runtime.context import QueryContext
 
 
 def obstacle_semijoin(
@@ -30,6 +41,7 @@ def obstacle_semijoin(
     obstacle_source: ObstacleSource,
     *,
     strategy: str = "cp",
+    context: "QueryContext | None" = None,
 ) -> dict[Point, tuple[Point, float]]:
     """For each ``s`` in S, its obstructed nearest neighbour in T.
 
@@ -37,41 +49,5 @@ def obstacle_semijoin(
     collapse onto one key (points are value-typed).  Empty T yields an
     empty mapping.
     """
-    if strategy not in ("nn", "cp"):
-        raise QueryError(f"unknown semijoin strategy {strategy!r}")
-    if len(tree_s) == 0 or len(tree_t) == 0:
-        return {}
-    if strategy == "nn":
-        return _semijoin_by_nn(tree_s, tree_t, obstacle_source)
-    return _semijoin_by_cp(tree_s, tree_t, obstacle_source)
-
-
-def _semijoin_by_nn(
-    tree_s: RStarTree,
-    tree_t: RStarTree,
-    obstacle_source: ObstacleSource,
-) -> dict[Point, tuple[Point, float]]:
-    result: dict[Point, tuple[Point, float]] = {}
-    for s, __ in tree_s.items():
-        if s in result:
-            continue
-        nn = obstacle_nearest(tree_t, obstacle_source, s, 1)
-        if nn:
-            result[s] = nn[0]
-    return result
-
-
-def _semijoin_by_cp(
-    tree_s: RStarTree,
-    tree_t: RStarTree,
-    obstacle_source: ObstacleSource,
-) -> dict[Point, tuple[Point, float]]:
-    remaining = {s for s, __ in tree_s.items()}
-    result: dict[Point, tuple[Point, float]] = {}
-    for s, t, d in iter_obstacle_closest_pairs(tree_s, tree_t, obstacle_source):
-        if s in remaining:
-            remaining.discard(s)
-            result[s] = (t, d)
-            if not remaining:
-                break
-    return result
+    metric = resolve_metric(obstacle_source, context)
+    return metric_semijoin(tree_s, tree_t, metric, strategy=strategy)

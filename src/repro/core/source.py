@@ -22,10 +22,31 @@ from repro.model import Obstacle
 
 
 class ObstacleIndex:
-    """A single obstacle dataset behind an R-tree."""
+    """A single obstacle dataset behind an R-tree.
+
+    The index is *versioned*: every mutation (insert/delete) bumps
+    ``version``, and the query runtime stamps each cached visibility
+    graph with the version it was built against, so stale graphs are
+    discarded lazily at their next lookup instead of being rebuilt
+    eagerly on every update.  The version also folds in the tree's
+    entry count, so even mutations applied directly to ``tree``
+    (bypassing :meth:`insert`/:meth:`delete`) are detected — a
+    balanced sequence of direct inserts and deletes between two
+    queries is the one drift this cannot see; route mutations through
+    the index (or :class:`~repro.core.engine.ObstacleDatabase`) for
+    full tracking.
+    """
 
     def __init__(self, tree: RStarTree) -> None:
         self.tree = tree
+        self._mutations = 0
+
+    @property
+    def version(self) -> int:
+        """Changes on every indexed mutation (the weight-2 counter
+        strictly dominates the +-1 size change); also moves when the
+        tree is resized behind the index's back."""
+        return 2 * self._mutations + len(self.tree)
 
     def obstacles_in_range(self, center: Point, radius: float) -> list[Obstacle]:
         """Obstacles intersecting the disk (filtered by MBR, refined
@@ -33,6 +54,25 @@ class ObstacleIndex:
         if radius == inf:
             return [data for data, __ in self.tree.items()]
         return obstacles_in_range(self.tree, center, radius)
+
+    def insert(self, obstacle: Obstacle) -> None:
+        """Add one obstacle and bump the version."""
+        self.tree.insert(obstacle, obstacle.mbr)
+        self._mutations += 1
+
+    def delete(self, obstacle: Obstacle) -> bool:
+        """Remove one obstacle; bumps the version when found."""
+        found = self.tree.delete(obstacle, obstacle.mbr)
+        if found:
+            self._mutations += 1
+        return found
+
+    def find(self, oid: int) -> Obstacle | None:
+        """The obstacle with id ``oid``, or ``None`` (linear scan)."""
+        for obstacle, __ in self.tree.items():
+            if obstacle.oid == oid:
+                return obstacle
+        return None
 
     def universe(self) -> Rect | None:
         """MBR of the whole obstacle dataset (``None`` when empty)."""
@@ -54,6 +94,11 @@ class CompositeObstacleIndex:
         if not indexes:
             raise DatasetError("composite obstacle index needs >= 1 member")
         self.indexes = list(indexes)
+
+    @property
+    def version(self) -> int:
+        """Sum of member versions — moves whenever any member mutates."""
+        return sum(idx.version for idx in self.indexes)
 
     def obstacles_in_range(self, center: Point, radius: float) -> list[Obstacle]:
         """Union of the members' relevant obstacles."""

@@ -2,24 +2,29 @@
 
 OCP (paper Fig. 11) pulls Euclidean closest pairs one at a time until
 the next pair's Euclidean distance exceeds the obstructed-distance
-threshold, so the algorithm must be incremental.  The priority queue
-holds node/node, node/data and data/data combinations keyed by the
-MINDIST lower bound of the pair; when a data/data pair surfaces, its
-distance is exact and no other combination can produce a closer pair.
+threshold, so the algorithm must be incremental.  Like the
+nearest-neighbour iterator, it is a parameterization of the shared
+best-first skeleton (:func:`repro.runtime.skeletons.best_first`): the
+queue holds node/node, node/data and data/data combinations keyed by
+the MINDIST lower bound of the pair; a data/data combination is a
+*final* item — its distance is exact and no other combination can
+produce a closer pair.
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
 from typing import Any, Iterator
 
 from repro.errors import QueryError
 from repro.geometry.rect import Rect
 from repro.index.rstar import RStarTree
+from repro.runtime.skeletons import best_first, take
 
 _NODE = 0
 _DATA = 1
+
+#: Internal payload: (s_kind, s_payload, s_rect, t_kind, t_payload, t_rect)
+_Combo = tuple[int, Any, Rect, int, Any, Rect]
 
 
 class IncrementalClosestPairs:
@@ -33,69 +38,51 @@ class IncrementalClosestPairs:
     def __init__(self, tree_s: RStarTree, tree_t: RStarTree) -> None:
         self._s = tree_s
         self._t = tree_t
-        self._tiebreak = count()
-        # Heap items: (dist, tb, s_kind, s_payload, s_rect, t_kind, t_payload, t_rect)
-        self._heap: list[tuple] = []
+        seeds = []
         if len(tree_s) > 0 and len(tree_t) > 0:
-            root_s = tree_s.read_node(tree_s.root_id)
-            root_t = tree_t.read_node(tree_t.root_id)
-            s_rect = root_s.mbr()
-            t_rect = root_t.mbr()
-            self._push(
+            s_rect = tree_s.read_node(tree_s.root_id).mbr()
+            t_rect = tree_t.read_node(tree_t.root_id).mbr()
+            combo: _Combo = (
                 _NODE, tree_s.root_id, s_rect, _NODE, tree_t.root_id, t_rect
             )
+            seeds.append((s_rect.mindist_rect(t_rect), False, combo))
+        self._stream = best_first(seeds, self._expand)
 
-    def _push(
-        self,
-        s_kind: int,
-        s_payload: Any,
-        s_rect: Rect,
-        t_kind: int,
-        t_payload: Any,
-        t_rect: Rect,
-    ) -> None:
+    def _expand(self, combo: _Combo):
+        s_kind, s_pay, s_rect, t_kind, t_pay, t_rect = combo
+        # Pick the side to open: the larger node of a node/node pair,
+        # otherwise whichever side still is a node.
+        if s_kind == _NODE and (
+            t_kind == _DATA or s_rect.area() >= t_rect.area()
+        ):
+            node = self._s.read_node(s_pay)
+            for e in node.entries:
+                kind = _DATA if node.is_leaf else _NODE
+                payload = e.data if node.is_leaf else e.child
+                yield self._item(kind, payload, e.rect, t_kind, t_pay, t_rect)
+        else:
+            node = self._t.read_node(t_pay)
+            for e in node.entries:
+                kind = _DATA if node.is_leaf else _NODE
+                payload = e.data if node.is_leaf else e.child
+                yield self._item(s_kind, s_pay, s_rect, kind, payload, e.rect)
+
+    @staticmethod
+    def _item(
+        s_kind: int, s_pay: Any, s_rect: Rect,
+        t_kind: int, t_pay: Any, t_rect: Rect,
+    ):
         dist = s_rect.mindist_rect(t_rect)
-        heapq.heappush(
-            self._heap,
-            (dist, next(self._tiebreak), s_kind, s_payload, s_rect, t_kind, t_payload, t_rect),
-        )
+        final = s_kind == _DATA and t_kind == _DATA
+        combo: _Combo = (s_kind, s_pay, s_rect, t_kind, t_pay, t_rect)
+        return dist, final, combo
 
     def __iter__(self) -> Iterator[tuple[Any, Any, float]]:
         return self
 
     def __next__(self) -> tuple[Any, Any, float]:
-        while self._heap:
-            dist, __, s_kind, s_pay, s_rect, t_kind, t_pay, t_rect = heapq.heappop(
-                self._heap
-            )
-            if s_kind == _DATA and t_kind == _DATA:
-                return s_pay, t_pay, dist
-            if s_kind == _NODE and t_kind == _NODE:
-                if s_rect.area() >= t_rect.area():
-                    node = self._s.read_node(s_pay)
-                    for e in node.entries:
-                        kind = _DATA if node.is_leaf else _NODE
-                        payload = e.data if node.is_leaf else e.child
-                        self._push(kind, payload, e.rect, t_kind, t_pay, t_rect)
-                else:
-                    node = self._t.read_node(t_pay)
-                    for e in node.entries:
-                        kind = _DATA if node.is_leaf else _NODE
-                        payload = e.data if node.is_leaf else e.child
-                        self._push(s_kind, s_pay, s_rect, kind, payload, e.rect)
-            elif s_kind == _NODE:
-                node = self._s.read_node(s_pay)
-                for e in node.entries:
-                    kind = _DATA if node.is_leaf else _NODE
-                    payload = e.data if node.is_leaf else e.child
-                    self._push(kind, payload, e.rect, t_kind, t_pay, t_rect)
-            else:
-                node = self._t.read_node(t_pay)
-                for e in node.entries:
-                    kind = _DATA if node.is_leaf else _NODE
-                    payload = e.data if node.is_leaf else e.child
-                    self._push(s_kind, s_pay, s_rect, kind, payload, e.rect)
-        raise StopIteration
+        combo, dist = next(self._stream)
+        return combo[1], combo[4], dist
 
 
 def k_closest_pairs(
@@ -104,10 +91,4 @@ def k_closest_pairs(
     """The ``k`` Euclidean closest pairs as ``(s, t, distance)``."""
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
-    stream = IncrementalClosestPairs(tree_s, tree_t)
-    result = []
-    for pair in stream:
-        result.append(pair)
-        if len(result) == k:
-            break
-    return result
+    return take(IncrementalClosestPairs(tree_s, tree_t), k)

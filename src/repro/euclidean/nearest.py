@@ -3,65 +3,56 @@
 The ONN algorithm (paper Fig. 9) requires *incremental* retrieval: it
 keeps pulling the next Euclidean neighbour until the Euclidean distance
 exceeds the shrinking obstructed-distance threshold ``d_Emax``.  The
-iterator below is the classic optimal algorithm: a priority queue over
+iterator below is the classic optimal algorithm — a priority queue over
 both node MBRs (keyed by MINDIST) and data entries (keyed by actual
-distance), which reports neighbours in exact ascending distance order.
+distance) — expressed as a parameterization of the shared best-first
+skeleton (:func:`repro.runtime.skeletons.best_first`): R-tree nodes
+are *internal* items whose MINDIST lower-bounds everything beneath
+them, data entries are *final* items reported in exact ascending
+distance order.
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
 from typing import Any, Iterator
 
 from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.index.rstar import RStarTree
+from repro.runtime.skeletons import best_first, take
 
 
 class IncrementalNearestNeighbors:
     """An iterator yielding ``(data, distance)`` in ascending distance.
 
-    The queue mixes two kinds of items distinguished by a flag: R-tree
-    nodes (prioritised by MINDIST of their MBR, a lower bound for every
-    data item beneath them) and data entries (prioritised by their true
-    distance).  When a data entry reaches the queue front, no unexplored
-    subtree can contain anything closer, so it is emitted.
+    A parameterization of the shared best-first skeleton: seeds are
+    the root node (lower bound 0), expansion reads one R-tree node and
+    emits its entries — final data items for leaves, internal child
+    nodes otherwise.  When a data entry reaches the queue front, no
+    unexplored subtree can contain anything closer, so it is emitted.
     """
 
     def __init__(self, tree: RStarTree, q: Point) -> None:
         self._tree = tree
         self._q = q
-        self._tiebreak = count()
-        self._heap: list[tuple[float, int, bool, Any]] = []
-        if len(tree) > 0:
-            root = tree.read_node(tree.root_id)
-            self._push_node_entries(root)
+        seeds = [(0.0, False, tree.root_id)] if len(tree) > 0 else []
+        self._stream = best_first(seeds, self._expand)
 
-    def _push_node_entries(self, node: Any) -> None:
+    def _expand(self, page_id: int):
+        node = self._tree.read_node(page_id)
         q = self._q
         for entry in node.entries:
+            dist = entry.rect.mindist_point(q)
             if node.is_leaf:
-                dist = entry.rect.mindist_point(q)
-                heapq.heappush(
-                    self._heap, (dist, next(self._tiebreak), True, entry.data)
-                )
+                yield dist, True, entry.data
             else:
-                dist = entry.rect.mindist_point(q)
-                heapq.heappush(
-                    self._heap, (dist, next(self._tiebreak), False, entry.child)
-                )
+                yield dist, False, entry.child
 
     def __iter__(self) -> Iterator[tuple[Any, float]]:
         return self
 
     def __next__(self) -> tuple[Any, float]:
-        while self._heap:
-            dist, __, is_data, payload = heapq.heappop(self._heap)
-            if is_data:
-                return payload, dist
-            self._push_node_entries(self._tree.read_node(payload))
-        raise StopIteration
+        return next(self._stream)
 
 
 def k_nearest(tree: RStarTree, q: Point, k: int) -> list[tuple[Any, float]]:
@@ -71,10 +62,4 @@ def k_nearest(tree: RStarTree, q: Point, k: int) -> list[tuple[Any, float]]:
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
-    stream = IncrementalNearestNeighbors(tree, q)
-    result = []
-    for item in stream:
-        result.append(item)
-        if len(result) == k:
-            break
-    return result
+    return take(IncrementalNearestNeighbors(tree, q), k)

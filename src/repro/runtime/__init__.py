@@ -1,0 +1,75 @@
+"""The unified query runtime.
+
+All six obstructed query types of the paper share one machinery —
+R*-tree retrieval feeding an incrementally grown local visibility
+graph.  This package owns that machinery once, instead of per query:
+
+* :class:`~repro.runtime.context.QueryContext` — the shared execution
+  state: obstacle source, persistent versioned LRU graph cache
+  (:class:`~repro.runtime.cache.VisibilityGraphCache`), and
+  :class:`~repro.runtime.stats.RuntimeStats` hooks;
+* :class:`~repro.runtime.metric.DistanceOracle` — the metric
+  abstraction, with :class:`~repro.runtime.metric.ObstructedMetric`
+  and :class:`~repro.runtime.metric.EuclideanMetric` implementations;
+* :mod:`~repro.runtime.queries` — metric-parameterized query
+  skeletons (range / nearest / join / closest pairs / semi-join), of
+  which both the ``euclidean`` and ``core`` query functions are thin
+  parameterizations;
+* :mod:`~repro.runtime.skeletons` — the generic best-first traversal
+  and the shared bounded-Dijkstra expansion;
+* :mod:`~repro.runtime.batch` — batch entry points amortizing one
+  context across many query points.
+"""
+
+from repro.runtime.batch import batch_distance, batch_nearest, batch_range
+from repro.runtime.cache import CachedGraph, VisibilityGraphCache
+from repro.runtime.context import QueryContext
+from repro.runtime.metric import (
+    DistanceField,
+    DistanceOracle,
+    EuclideanMetric,
+    ObstructedMetric,
+    resolve_metric,
+)
+from repro.runtime.queries import (
+    iter_metric_closest_pairs,
+    iter_metric_nearest,
+    metric_closest_pairs,
+    metric_distance_join,
+    metric_nearest,
+    metric_range,
+    metric_semijoin,
+)
+from repro.runtime.skeletons import (
+    best_first,
+    bounded_expansion,
+    emit_in_metric_order,
+    take,
+)
+from repro.runtime.stats import RuntimeStats
+
+__all__ = [
+    "QueryContext",
+    "RuntimeStats",
+    "VisibilityGraphCache",
+    "CachedGraph",
+    "DistanceOracle",
+    "DistanceField",
+    "EuclideanMetric",
+    "ObstructedMetric",
+    "resolve_metric",
+    "metric_range",
+    "metric_nearest",
+    "iter_metric_nearest",
+    "metric_distance_join",
+    "metric_closest_pairs",
+    "iter_metric_closest_pairs",
+    "metric_semijoin",
+    "batch_nearest",
+    "batch_range",
+    "batch_distance",
+    "best_first",
+    "bounded_expansion",
+    "emit_in_metric_order",
+    "take",
+]

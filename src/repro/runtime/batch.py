@@ -1,0 +1,98 @@
+"""Batch query execution over one shared context.
+
+A workload of many query points against the same datasets is the
+common production shape (the paper's experiments run 200-query
+workloads).  Executing them through one
+:class:`~repro.runtime.context.QueryContext` amortizes the runtime
+state: R-tree buffers stay warm, visibility graphs persist in the LRU
+cache across queries, and *repeated* query points — ubiquitous in real
+traffic — are answered from a per-batch memo without touching the
+trees at all.
+
+The batch functions take a :class:`~repro.runtime.metric.DistanceOracle`
+so the same entry points serve Euclidean and obstructed execution;
+:class:`~repro.core.engine.ObstacleDatabase` exposes them as
+``batch_nearest`` / ``batch_range``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.geometry.point import Point
+from repro.index.rstar import RStarTree
+from repro.runtime.metric import DistanceOracle
+from repro.runtime.queries import metric_nearest, metric_range
+
+
+def _memo_stats(metric: DistanceOracle):
+    context = getattr(metric, "context", None)
+    return getattr(context, "stats", None)
+
+
+def batch_nearest(
+    tree: RStarTree,
+    metric: DistanceOracle,
+    queries: Iterable[Point],
+    k: int = 1,
+    *,
+    prune_bound: bool = True,
+) -> list[list[tuple[Point, float]]]:
+    """One k-NN result list per query point, in input order.
+
+    Exactly equivalent to calling
+    :func:`~repro.runtime.queries.metric_nearest` per point with a
+    shared metric; duplicate query points are computed once (the
+    datasets must not be mutated mid-batch).
+    """
+    memo: dict[Point, list[tuple[Point, float]]] = {}
+    stats = _memo_stats(metric)
+    results: list[list[tuple[Point, float]]] = []
+    for q in queries:
+        cached = memo.get(q)
+        if cached is None:
+            cached = metric_nearest(tree, metric, q, k, prune_bound=prune_bound)
+            memo[q] = cached
+        elif stats is not None:
+            stats.batch_memo_hits += 1
+        results.append(list(cached))
+    return results
+
+
+def batch_range(
+    tree: RStarTree,
+    metric: DistanceOracle,
+    queries: Iterable[Point],
+    e: float,
+) -> list[list[tuple[Point, float]]]:
+    """One range result list per query point, in input order.
+
+    Exactly equivalent to calling
+    :func:`~repro.runtime.queries.metric_range` per point with a
+    shared metric; duplicate query points are computed once.
+    """
+    memo: dict[Point, list[tuple[Point, float]]] = {}
+    stats = _memo_stats(metric)
+    results: list[list[tuple[Point, float]]] = []
+    for q in queries:
+        cached = memo.get(q)
+        if cached is None:
+            cached = metric_range(tree, metric, q, e)
+            memo[q] = cached
+        elif stats is not None:
+            stats.batch_memo_hits += 1
+        results.append(list(cached))
+    return results
+
+
+def batch_distance(
+    metric: DistanceOracle,
+    pairs: Sequence[tuple[Point, Point]],
+) -> list[float]:
+    """Metric distances for many point pairs through one context.
+
+    Pairs sharing their second element reuse the cached graph keyed at
+    that expansion centre (the ODJ seed observation applied to ad-hoc
+    distance workloads).
+    """
+    return [metric.distance(p, q) for p, q in pairs]

@@ -1,0 +1,122 @@
+"""The persistent, versioned visibility-graph cache.
+
+Local visibility graphs are the expensive artefact of every obstructed
+query: each one costs obstacle R-tree retrievals plus one rotational
+sweep per node.  The paper reuses the graph *within* one query (Fig. 8
+grows ``G'`` in place); this cache extends the reuse *across* queries:
+graphs are keyed by their expansion centre (the ``q`` of Fig. 8's
+range retrievals), retained under a true LRU policy, and stamped with
+the obstacle-set version so dynamic obstacle updates invalidate them
+lazily instead of eagerly rebuilding.
+
+Each entry also records the *coverage radius* — the largest disk
+around the centre whose obstacles are guaranteed present — so a later
+query with a larger reach tops the graph up incrementally rather than
+rebuilding from scratch, and a query whose reach is already covered
+skips the obstacle retrieval entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.geometry.point import Point
+from repro.runtime.stats import RuntimeStats
+from repro.visibility.graph import VisibilityGraph
+
+
+class CachedGraph:
+    """One cache entry: a graph plus its provenance.
+
+    ``covered`` is the radius around ``center`` up to which *all*
+    obstacles are known to be in the graph; ``version`` is the obstacle
+    source's version at build time (a mismatch at lookup means the
+    entry is stale and must be discarded).
+    """
+
+    __slots__ = ("graph", "center", "covered", "version")
+
+    def __init__(
+        self,
+        graph: VisibilityGraph,
+        center: Point,
+        covered: float,
+        version: int,
+    ) -> None:
+        self.graph = graph
+        self.center = center
+        self.covered = covered
+        self.version = version
+
+    def __repr__(self) -> str:
+        return (
+            f"CachedGraph(center={self.center!r}, covered={self.covered:g}, "
+            f"version={self.version}, nodes={self.graph.node_count})"
+        )
+
+
+class VisibilityGraphCache:
+    """A true LRU over :class:`CachedGraph` entries, shared across queries.
+
+    Lookups ``get(center, version)`` return ``None`` both on a plain
+    miss and when the stored entry was built against an older obstacle
+    version (the stale entry is dropped on the spot).  Hits move the
+    entry to the most-recently-used position — unlike the seed's FIFO
+    eviction, a graph that keeps being useful is never the one evicted.
+    """
+
+    def __init__(
+        self, capacity: int = 64, *, stats: RuntimeStats | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[Point, CachedGraph] = OrderedDict()
+        self.stats = stats if stats is not None else RuntimeStats()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained graphs."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, center: Point) -> bool:
+        return center in self._entries
+
+    def get(self, center: Point, version: int) -> CachedGraph | None:
+        """The live entry for ``center``, or ``None``.
+
+        A version mismatch counts as an invalidation *and* a miss; the
+        stale entry is evicted immediately so it can never be consulted
+        again.
+        """
+        entry = self._entries.get(center)
+        if entry is None:
+            self.stats.graph_cache_misses += 1
+            return None
+        if entry.version != version:
+            del self._entries[center]
+            self.stats.graph_cache_invalidations += 1
+            self.stats.graph_cache_misses += 1
+            return None
+        self._entries.move_to_end(center)
+        self.stats.graph_cache_hits += 1
+        return entry
+
+    def put(self, entry: CachedGraph) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail on overflow."""
+        self._entries[entry.center] = entry
+        self._entries.move_to_end(entry.center)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.stats.graph_cache_evictions += 1
+
+    def keys(self) -> list[Point]:
+        """Centres in LRU order (least recently used first)."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached graph."""
+        self._entries.clear()

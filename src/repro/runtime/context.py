@@ -1,0 +1,181 @@
+"""`QueryContext` — the shared execution state of the query runtime.
+
+Every obstructed query in the paper runs the same machinery: retrieve
+relevant obstacles from the R*-tree, grow a local visibility graph,
+run shortest-path computations over it (Fig. 8).  The seed code
+re-instantiated that machinery per query (and per
+``obstructed_distance`` call); a :class:`QueryContext` owns it once —
+the obstacle source, the versioned LRU graph cache, and the stats
+hooks — so consecutive queries amortize each other's work:
+
+* graphs are keyed by expansion centre and reused across query types
+  (a ``distance`` call primes the graph a later ``nearest`` uses);
+* each graph tracks its obstacle *coverage radius*, so Fig. 8's
+  iterative range enlargement skips retrievals that cannot surface
+  anything new;
+* dynamic obstacle updates bump the source's version, and stale graphs
+  are discarded lazily at the next lookup.
+"""
+
+from __future__ import annotations
+
+from math import inf
+
+from repro.core.distance import ObstacleSource, SourceDistanceField
+from repro.geometry.point import Point
+from repro.runtime.cache import CachedGraph, VisibilityGraphCache
+from repro.runtime.stats import RuntimeStats
+from repro.visibility.graph import VisibilityGraph
+from repro.visibility.shortest_path import shortest_path_dist
+
+
+class QueryContext:
+    """Shared obstacle source + graph cache + stats for many queries.
+
+    Parameters
+    ----------
+    source:
+        The obstacle source (an
+        :class:`~repro.core.source.ObstacleIndex`, a composite, or any
+        :class:`~repro.core.distance.ObstacleSource`).  If it exposes a
+        ``version`` attribute, cached graphs are invalidated whenever
+        the version moves (see
+        :meth:`repro.core.engine.ObstacleDatabase.insert_obstacle`).
+    cache_size:
+        LRU capacity of the visibility-graph cache.
+    stats:
+        Optional shared counters (one per database, by default).
+    """
+
+    def __init__(
+        self,
+        source: ObstacleSource,
+        *,
+        cache_size: int = 64,
+        stats: RuntimeStats | None = None,
+    ) -> None:
+        self.source = source
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.cache = VisibilityGraphCache(cache_size, stats=self.stats)
+
+    # ------------------------------------------------------------- versioning
+    @property
+    def version(self) -> int:
+        """The obstacle source's current version (0 for static sources)."""
+        return getattr(self.source, "version", 0)
+
+    def invalidate(self) -> None:
+        """Drop every cached graph (e.g. after swapping the source)."""
+        self.cache.clear()
+
+    # ------------------------------------------------------------ graph reuse
+    def entry_for(self, center: Point, radius: float = 0.0) -> CachedGraph:
+        """The cached graph expanded around ``center``, covering ``radius``.
+
+        On a miss the graph is built from the obstacles intersecting
+        the disk ``(center, radius)``; on a hit whose coverage is
+        smaller than ``radius`` the graph is topped up incrementally.
+        """
+        entry = self.cache.get(center, self.version)
+        if entry is None:
+            obstacles = (
+                self.source.obstacles_in_range(center, radius)
+                if radius > 0
+                else []
+            )
+            graph = VisibilityGraph.build([center], obstacles)
+            self.stats.graph_builds += 1
+            entry = CachedGraph(graph, center, radius, self.version)
+            self.cache.put(entry)
+        elif radius > entry.covered:
+            self.ensure_coverage(entry, radius)
+        return entry
+
+    def ensure_coverage(self, entry: CachedGraph, radius: float) -> bool:
+        """Guarantee all obstacles within ``radius`` of the entry's centre
+        are in its graph, *against the current obstacle version*.
+
+        Returns ``True`` when the graph's obstacle set actually changed
+        — exactly the "new obstacles appeared" signal Fig. 8's fixpoint
+        iteration terminates on.  When the requested radius is already
+        covered (and the version unchanged), no retrieval is performed
+        at all.
+
+        Holders of a live entry (a distance field mid-iteration) may
+        outlive a dynamic obstacle update; the cache would drop the
+        stale entry at its next lookup, but a held reference bypasses
+        the cache, so staleness is re-checked here: on version drift
+        the graph is rebuilt in place over the current obstacle set
+        (covering at least its previous radius), keeping every held
+        reference valid and fresh.
+        """
+        version = self.version
+        if entry.version != version:
+            # In-place refresh of a held entry: booked as a rebuild,
+            # not as a cache invalidation (the entry is never dropped)
+            # nor a fresh build.
+            radius = max(radius, entry.covered)
+            obstacles = (
+                self.source.obstacles_in_range(entry.center, radius)
+                if radius > 0
+                else []
+            )
+            entry.graph.rebuild(obstacles)
+            self.stats.graph_rebuilds += 1
+            entry.version = version
+            entry.covered = radius
+            return True
+        if radius <= entry.covered:
+            return False
+        self.stats.coverage_expansions += 1
+        retrieved = self.source.obstacles_in_range(entry.center, radius)
+        graph = entry.graph
+        added = False
+        for obs in retrieved:
+            if graph.add_obstacle(obs):
+                self.stats.obstacles_added += 1
+                added = True
+        entry.covered = radius
+        return added
+
+    # ----------------------------------------------------------- evaluations
+    def distance(self, p: Point, q: Point, *, bound: float = inf) -> float:
+        """Obstructed distance ``d_O(p, q)`` (paper Fig. 8).
+
+        The graph is cached per ``q`` (the expansion centre); ``p`` is
+        added as a transient entity and removed afterwards so the
+        cached graph stays lean.  ``bound`` enables threshold pruning:
+        iteration stops once the provisional lower bound exceeds it.
+        """
+        self.stats.distance_calls += 1
+        if p == q:
+            return 0.0
+        entry = self.entry_for(q, p.distance(q))
+        graph = entry.graph
+        added = graph.add_entity(p)
+        try:
+            d = shortest_path_dist(graph, p, q)
+            while d <= bound:
+                if not self.ensure_coverage(entry, d):
+                    break
+                d = shortest_path_dist(graph, p, q)
+        finally:
+            if added:
+                graph.delete_entity(p)
+        return d
+
+    def field_for(self, q: Point, radius: float = 0.0) -> SourceDistanceField:
+        """A distance field from ``q`` over the cached graph for ``q``.
+
+        The field's Fig. 8 enlargement is routed through
+        :meth:`ensure_coverage`, so repeated fields over the same
+        centre skip redundant obstacle retrievals.
+        """
+        entry = self.entry_for(q, radius)
+        self.stats.field_builds += 1
+        return SourceDistanceField(
+            entry.graph,
+            q,
+            self.source,
+            grow=lambda r: self.ensure_coverage(entry, r),
+        )

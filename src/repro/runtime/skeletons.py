@@ -1,0 +1,127 @@
+"""Shared traversal skeletons of the query runtime.
+
+Every best-first algorithm in the codebase — incremental Euclidean
+nearest neighbours [HS99], incremental closest pairs [HS98, CMTV00] —
+is the same loop: a priority queue mixes *internal* items (R-tree
+nodes or node pairs, keyed by a lower bound) with *final* items (data
+entries or data pairs, keyed by their exact distance); popping a final
+item emits it, popping an internal item expands it.  The seed code
+duplicated that heap loop per module; :func:`best_first` is the single
+shared skeleton, and the ``euclidean`` iterators are parameterizations
+of it (see :mod:`repro.euclidean.nearest`,
+:mod:`repro.euclidean.closest`).
+
+:func:`bounded_expansion` is the other shared loop: Fig. 5's single
+bounded Dijkstra from a query point that settles many candidates in
+one traversal (used by OR, by ODJ's per-seed elimination, and by the
+obstructed metric's range refinement).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count, islice
+from typing import Any, Callable, Iterable, Iterator, TypeVar
+
+from repro.geometry.point import Point
+from repro.visibility.graph import VisibilityGraph
+
+T = TypeVar("T")
+
+#: One prioritised item: ``(key, is_final, payload)``.  ``key`` is the
+#: exact distance for final items and a lower bound for internal ones.
+Item = tuple[float, bool, Any]
+
+
+def best_first(
+    seeds: Iterable[Item],
+    expand: Callable[[Any], Iterable[Item]],
+) -> Iterator[tuple[Any, float]]:
+    """The generic best-first skeleton.
+
+    Yields ``(payload, key)`` for final items in ascending key order.
+    Correctness requires the usual lower-bound property: every item
+    produced by expanding an internal item has a key no smaller than
+    the internal item's own key.
+    """
+    tiebreak = count()
+    heap: list[tuple[float, int, bool, Any]] = []
+    for key, is_final, payload in seeds:
+        heapq.heappush(heap, (key, next(tiebreak), is_final, payload))
+    while heap:
+        key, __, is_final, payload = heapq.heappop(heap)
+        if is_final:
+            yield payload, key
+        else:
+            for k, f, p in expand(payload):
+                heapq.heappush(heap, (k, next(tiebreak), f, p))
+
+
+def take(stream: Iterator[T], k: int) -> list[T]:
+    """The first ``k`` items of ``stream`` (fewer when it ends early)."""
+    return list(islice(stream, k))
+
+
+def emit_in_metric_order(
+    candidates: Iterable[tuple[T, float]],
+    evaluate: Callable[[T, float], float],
+) -> Iterator[tuple[T, float]]:
+    """The deferred-emit loop shared by incremental ONN and iOCP
+    (paper Sec. 6's methodology).
+
+    ``candidates`` arrive in ascending *lower-bound* order (Euclidean);
+    ``evaluate(payload, lower_bound)`` produces the exact metric key.
+    A held item is emitted as soon as its exact key is no larger than
+    the newest candidate's lower bound: every later candidate has a
+    larger lower bound — hence a larger exact key — so ascending exact
+    order is guaranteed without a predefined cutoff.
+    """
+    hold: list[tuple[float, int, T]] = []
+    seq = 0
+    for payload, lower in candidates:
+        while hold and hold[0][0] <= lower:
+            key, __, ready = heapq.heappop(hold)
+            yield ready, key
+        heapq.heappush(hold, (evaluate(payload, lower), seq, payload))
+        seq += 1
+    while hold:
+        key, __, ready = heapq.heappop(hold)
+        yield ready, key
+
+
+def bounded_expansion(
+    graph: VisibilityGraph,
+    q: Point,
+    e: float,
+    candidates: Iterable[Point],
+) -> list[tuple[Point, float]]:
+    """The expansion loop of Fig. 5: one bounded Dijkstra from ``q``,
+    reporting candidate entities as they are settled.
+
+    Shared by OR, the per-seed elimination step of ODJ, and the
+    obstructed metric's range refinement.  Terminates as soon as the
+    queue empties or every candidate has been reported.
+    """
+    candidates = set(candidates)
+    pending = candidates - {q}
+    result: list[tuple[Point, float]] = []
+    if graph.has_node(q) and q in candidates:
+        # The query point coincides with an entity: distance zero.
+        result.append((q, 0.0))
+    visited: set[Point] = set()
+    tiebreak = count()
+    heap: list[tuple[float, int, Point]] = [(0.0, next(tiebreak), q)]
+    while heap and pending:
+        d, __, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node in pending:
+            result.append((node, d))
+            pending.discard(node)
+        for nbr, w in graph.neighbors(node).items():
+            if nbr not in visited:
+                nd = d + w
+                if nd <= e:
+                    heapq.heappush(heap, (nd, next(tiebreak), nbr))
+    return result

@@ -1,0 +1,54 @@
+"""Counters for the shared query runtime.
+
+One :class:`RuntimeStats` instance travels with a
+:class:`~repro.runtime.context.QueryContext`; every layer of the
+runtime (graph cache, coverage growth, distance evaluations) ticks its
+counters, so a benchmark or test can ask "how many visibility graphs
+were actually built?" the same way the R-tree layer already answers
+"how many pages were read?".
+"""
+
+from __future__ import annotations
+
+
+class RuntimeStats:
+    """Mutable counters describing runtime work since the last reset."""
+
+    __slots__ = (
+        "graph_builds",
+        "graph_rebuilds",
+        "graph_cache_hits",
+        "graph_cache_misses",
+        "graph_cache_evictions",
+        "graph_cache_invalidations",
+        "coverage_expansions",
+        "obstacles_added",
+        "distance_calls",
+        "field_builds",
+        "batch_memo_hits",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.graph_builds = 0
+        self.graph_rebuilds = 0
+        self.graph_cache_hits = 0
+        self.graph_cache_misses = 0
+        self.graph_cache_evictions = 0
+        self.graph_cache_invalidations = 0
+        self.coverage_expansions = 0
+        self.obstacles_added = 0
+        self.distance_calls = 0
+        self.field_builds = 0
+        self.batch_memo_hits = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """The current counter values as a plain dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"RuntimeStats({inner})"

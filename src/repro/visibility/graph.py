@@ -42,6 +42,7 @@ class VisibilityGraph:
         "_free",
         "_boundary",
         "_edges",
+        "_obstacle_revision",
         "method",
     )
 
@@ -49,6 +50,7 @@ class VisibilityGraph:
         if method not in ("sweep", "naive"):
             raise QueryError(f"unknown visibility method {method!r}")
         self.method = method
+        self._obstacle_revision = 0
         self._adj: dict[Point, dict[Point, float]] = {}
         self._obstacles: dict[int, Obstacle] = {}
         self._incident: dict[Point, list[BoundaryEdge]] = {}
@@ -153,6 +155,18 @@ class VisibilityGraph:
         except KeyError:
             raise QueryError(f"{p!r} is not a node of this visibility graph") from None
 
+    @property
+    def obstacle_revision(self) -> int:
+        """Monotone counter bumped whenever an obstacle is incorporated.
+
+        Free-point additions/removals do not bump it: shortest paths
+        turn only at obstacle vertices, so distances between existing
+        nodes can change only when the obstacle set does.  Structures
+        derived from the graph (e.g. a cached Dijkstra field) compare
+        revisions instead of being invalidated by hand.
+        """
+        return self._obstacle_revision
+
     def has_obstacle(self, oid: int) -> bool:
         """True when the obstacle with id ``oid`` is in the graph."""
         return oid in self._obstacles
@@ -166,6 +180,32 @@ class VisibilityGraph:
         return set(self._free)
 
     # ------------------------------------------------------- dynamic updates
+    def rebuild(self, obstacles: Iterable[Obstacle]) -> None:
+        """Replace the obstacle set in place, keeping all free points.
+
+        Deletions cannot be applied incrementally (edges the obstacle
+        blocked would have to be rediscovered), so the graph is rebuilt
+        from scratch — but *in place*, preserving object identity:
+        holders of this graph (cached entries, distance fields) see the
+        new obstacle set through the ``obstacle_revision`` bump instead
+        of dangling on a stale copy.
+        """
+        free = list(self._free)
+        self._adj.clear()
+        self._obstacles.clear()
+        self._incident.clear()
+        self._free.clear()
+        self._boundary.clear()
+        self._edges.clear()
+        self._obstacle_revision += 1
+        for obs in obstacles:
+            self._register_obstacle(obs)
+        for p in free:
+            self._register_free_point(p)
+        for node in list(self._adj):
+            for w in self._visible_from(node):
+                self._set_edge(node, w)
+
     def add_obstacle(self, obs: Obstacle) -> bool:
         """Incorporate a new obstacle (paper's ``add_obstacle``).
 
@@ -218,6 +258,7 @@ class VisibilityGraph:
     # ------------------------------------------------------------- internals
     def _register_obstacle(self, obs: Obstacle) -> list[Point]:
         self._obstacles[obs.oid] = obs
+        self._obstacle_revision += 1
         new_vertices: list[Point] = []
         for a, b in obs.polygon.edges():
             edge = BoundaryEdge(a, b, obs.oid)

@@ -1,0 +1,204 @@
+"""Dynamic obstacle updates: `insert_obstacle` / `delete_obstacle`.
+
+The obstacle sets are versioned; every cached visibility graph carries
+the version it was built against, so after a mutation the results of
+OR / ONN / obstructed_distance must reflect the new obstacle set
+immediately — a stale graph is never consulted.
+"""
+
+import math
+
+import pytest
+
+from repro import ObstacleDatabase, Point, Polygon, Rect
+from repro.errors import DatasetError
+from tests.conftest import oracle_distance, rect_obstacle
+
+
+@pytest.fixture
+def db():
+    # One far-away obstacle so the scene starts effectively free.
+    database = ObstacleDatabase(
+        [Rect(100, 100, 102, 102)], max_entries=8, min_entries=3
+    )
+    database.add_entity_set("pois", [Point(0, 0), Point(10, 0), Point(0, 6)])
+    return database
+
+
+WALL = Rect(4, -10, 6, 10)
+
+
+class TestInsertObstacle:
+    def test_distance_reflects_new_wall(self, db):
+        a, b = Point(0, 0), Point(10, 0)
+        assert db.obstructed_distance(a, b) == pytest.approx(10.0)
+        db.insert_obstacle(WALL)
+        expected = oracle_distance(
+            a, b, [rect_obstacle(9, WALL.minx, WALL.miny, WALL.maxx, WALL.maxy)]
+        )
+        assert db.obstructed_distance(a, b) == pytest.approx(expected)
+
+    def test_nearest_reflects_new_wall(self, db):
+        q = Point(10, 5)
+        [(winner, __)] = db.nearest("pois", q, 1)
+        assert winner == Point(10, 0)
+        # Wall a ring around (10, 0): detours make (0, 6) closer? No —
+        # use a wall that blocks the straight shot to (10, 0).
+        db.insert_obstacle(Rect(7, -2, 13, 2))
+        results = db.nearest("pois", q, 3)
+        got = {p: d for p, d in results}
+        oracle_obs = [rect_obstacle(9, 7, -2, 13, 2)]
+        for p, d in got.items():
+            if math.isinf(d):
+                continue
+            assert d == pytest.approx(oracle_distance(q, p, oracle_obs))
+
+    def test_range_reflects_new_wall(self, db):
+        q = Point(0, 3)
+        before = dict(db.range("pois", q, 7.0))
+        assert Point(0, 0) in before and Point(0, 6) in before
+        db.insert_obstacle(Rect(-5, 1, 5, 2))  # cuts q off from (0, 0)
+        after = dict(db.range("pois", q, 7.0))
+        assert Point(0, 6) in after
+        assert Point(0, 0) not in after
+
+    def test_insert_returns_record_with_fresh_oid(self, db):
+        record = db.insert_obstacle(WALL)
+        assert record.oid == 1  # seed obstacle took 0
+        other = db.insert_obstacle(Polygon.from_rect(Rect(20, 20, 21, 21)))
+        assert other.oid == 2
+
+    def test_version_bump_invalidates_cache(self, db):
+        a, b = Point(0, 0), Point(10, 0)
+        db.obstructed_distance(a, b)  # primes the cache for b
+        stats_before = db.runtime_stats()
+        assert stats_before["graph_builds"] >= 1
+        db.insert_obstacle(WALL)
+        db.obstructed_distance(a, b)
+        stats_after = db.runtime_stats()
+        assert (
+            stats_after["graph_cache_invalidations"]
+            > stats_before["graph_cache_invalidations"]
+        )
+
+    def test_unknown_set_rejected(self, db):
+        with pytest.raises(DatasetError):
+            db.insert_obstacle(WALL, set_name="nope")
+
+
+class TestDeleteObstacle:
+    def test_delete_restores_straight_line(self, db):
+        a, b = Point(0, 0), Point(10, 0)
+        record = db.insert_obstacle(WALL)
+        assert db.obstructed_distance(a, b) > 10.0
+        assert db.delete_obstacle(record)
+        assert db.obstructed_distance(a, b) == pytest.approx(10.0)
+
+    def test_delete_by_oid(self, db):
+        record = db.insert_obstacle(WALL)
+        assert db.delete_obstacle(record.oid)
+        assert db.obstructed_distance(Point(0, 0), Point(10, 0)) == (
+            pytest.approx(10.0)
+        )
+
+    def test_delete_missing_returns_false(self, db):
+        assert not db.delete_obstacle(12345)
+        record = db.insert_obstacle(WALL)
+        assert db.delete_obstacle(record)
+        assert not db.delete_obstacle(record)
+
+    def test_range_after_delete(self, db):
+        record = db.insert_obstacle(Rect(-5, 1, 5, 2))
+        q = Point(0, 3)
+        assert Point(0, 0) not in dict(db.range("pois", q, 7.0))
+        db.delete_obstacle(record)
+        assert dict(db.range("pois", q, 7.0))[Point(0, 0)] == pytest.approx(3.0)
+
+
+class TestNamedSets:
+    def test_mutation_in_secondary_set(self, db):
+        db.add_obstacle_set("fences", [Rect(200, 200, 201, 201)])
+        a, b = Point(0, 0), Point(10, 0)
+        assert db.obstructed_distance(a, b) == pytest.approx(10.0)
+        record = db.insert_obstacle(WALL, set_name="fences")
+        assert db.obstructed_distance(a, b) > 10.0
+        assert db.delete_obstacle(record, set_name="fences")
+        assert db.obstructed_distance(a, b) == pytest.approx(10.0)
+
+    def test_adding_set_drops_cached_graphs(self, db):
+        a, b = Point(0, 0), Point(10, 0)
+        assert db.obstructed_distance(a, b) == pytest.approx(10.0)
+        db.add_obstacle_set("walls", [WALL])
+        assert db.obstructed_distance(a, b) > 10.0
+
+
+class TestDirectTreeMutation:
+    def test_bypassing_the_index_still_invalidates(self, db):
+        """Mutating the public obstacle_tree directly (instead of going
+        through insert_obstacle) resizes the tree, which the version
+        fingerprint folds in — the cached graph must not survive."""
+        from repro.model import Obstacle
+        from repro.geometry import Polygon
+
+        a, b = Point(0, 0), Point(10, 0)
+        assert db.obstructed_distance(a, b) == pytest.approx(10.0)
+        wall = Obstacle(999, Polygon.from_rect(WALL))
+        db.obstacle_tree.insert(wall, wall.mbr)
+        assert db.obstructed_distance(a, b) > 10.0
+
+
+class TestHeldIteratorsAcrossMutation:
+    def test_inearest_consumed_after_insert_sees_new_wall(self, db):
+        """A live incremental iterator bound to a cached graph must not
+        trust pre-mutation coverage: evaluations performed after the
+        insert reflect the new obstacle set (regression: ensure_coverage
+        skipped the version check on held entries)."""
+        q = Point(0, 0)
+        # Prime the cached graph for q with a large covered radius.
+        db.range("pois", q, 30.0)
+        stream = db.inearest("pois", q)
+        first = next(stream)
+        assert first == (Point(0, 0), 0.0)
+        db.insert_obstacle(Rect(4, -10, 6, 10))  # blocks q -> (10, 0)
+        rest = dict(stream)
+        oracle_obs = [rect_obstacle(9, 4, -10, 6, 10)]
+        assert rest[Point(10, 0)] == pytest.approx(
+            oracle_distance(q, Point(10, 0), oracle_obs)
+        )
+        assert rest[Point(10, 0)] > 10.0
+
+    def test_field_revalidates_after_delete(self, db):
+        q = Point(0, 0)
+        record = db.insert_obstacle(Rect(4, -10, 6, 10))
+        field = db.context.field_for(q, radius=25.0)
+        blocked = field.distance_to(Point(10, 0))
+        assert blocked > 10.0
+        db.delete_obstacle(record)
+        assert field.distance_to(Point(10, 0)) == pytest.approx(10.0)
+
+
+class TestInterleavedWorkload:
+    def test_mutations_between_queries_always_consistent(self, db):
+        """A mutation-heavy workload: after every step, results equal a
+        from-scratch database over the same obstacle set."""
+        a, b = Point(0, 0), Point(10, 0)
+        live = [Rect(100, 100, 102, 102)]
+        records = {}
+        steps = [
+            ("ins", Rect(4, -10, 6, 2)),
+            ("ins", Rect(4, 3, 6, 12)),
+            ("del", Rect(4, -10, 6, 2)),
+            ("ins", Rect(2, -4, 3, 4)),
+            ("del", Rect(4, 3, 6, 12)),
+        ]
+        for op, rect in steps:
+            if op == "ins":
+                records[rect] = db.insert_obstacle(rect)
+                live.append(rect)
+            else:
+                assert db.delete_obstacle(records.pop(rect))
+                live.remove(rect)
+            reference = ObstacleDatabase(live, max_entries=8, min_entries=3)
+            assert db.obstructed_distance(a, b) == pytest.approx(
+                reference.obstructed_distance(a, b)
+            )

@@ -1,0 +1,190 @@
+"""Parity: the shared skeletons parameterized by each metric reproduce
+the dedicated implementations on seeded synthetic scenes.
+
+This is the acceptance check for the runtime refactor: the
+``euclidean`` query functions and the ``core`` obstructed ones are
+parameterizations of the *same* skeletons, so
+
+* ``EuclideanMetric`` plugged into a skeleton must equal the classical
+  algorithm (and brute force);
+* ``ObstructedMetric`` must equal the brute-force oracle over a global
+  visibility graph;
+* with no (nearby) obstacles the two metrics must agree with each
+  other.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.source import build_obstacle_index
+from repro.euclidean.closest import k_closest_pairs
+from repro.euclidean.nearest import IncrementalNearestNeighbors, k_nearest
+from repro.euclidean.range import entities_in_range
+from repro.geometry import Point
+from repro.runtime.metric import EuclideanMetric, ObstructedMetric
+from repro.runtime.queries import (
+    iter_metric_nearest,
+    metric_closest_pairs,
+    metric_distance_join,
+    metric_nearest,
+    metric_range,
+    metric_semijoin,
+)
+from tests.conftest import (
+    oracle_distance,
+    random_disjoint_rects,
+    random_free_points,
+    small_tree,
+)
+
+
+def _index(obstacles):
+    return build_obstacle_index(obstacles, max_entries=8, min_entries=3)
+
+
+def _scene(seed, n_obstacles=10, n_points=14):
+    rng = random.Random(seed)
+    obstacles = random_disjoint_rects(rng, n_obstacles)
+    points = random_free_points(rng, n_points, obstacles)
+    return obstacles, points
+
+
+class TestEuclideanParameterization:
+    """EuclideanMetric + skeleton == classical algorithm == brute force."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_nearest(self, seed):
+        __, points = _scene(seed)
+        tree = small_tree(points[2:])
+        q = points[0]
+        metric = EuclideanMetric()
+        got = metric_nearest(tree, metric, q, 5)
+        via_module = k_nearest(tree, q, 5)
+        brute = sorted((q.distance(p), p) for p in points[2:])[:5]
+        assert [(p, pytest.approx(d)) for p, d in got] == via_module
+        assert [d for __, d in got] == pytest.approx([d for d, __ in brute])
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_incremental_nearest_order(self, seed):
+        __, points = _scene(seed)
+        tree = small_tree(points[1:])
+        q = points[0]
+        stream = iter_metric_nearest(tree, EuclideanMetric(), q)
+        dists = [d for __, d in stream]
+        incremental = [d for __, d in IncrementalNearestNeighbors(tree, q)]
+        assert dists == pytest.approx(incremental)
+        assert dists == sorted(dists)
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_range(self, seed):
+        __, points = _scene(seed)
+        tree = small_tree(points[1:])
+        q = points[0]
+        e = 30.0
+        got = metric_range(tree, EuclideanMetric(), q, e)
+        expected = sorted(entities_in_range(tree, q, e), key=q.distance)
+        assert [p for p, __ in got] == expected
+        assert all(d == pytest.approx(q.distance(p)) for p, d in got)
+
+    @pytest.mark.parametrize("seed", [8, 9])
+    def test_closest_pairs(self, seed):
+        __, points = _scene(seed, n_points=16)
+        tree_s = small_tree(points[:8])
+        tree_t = small_tree(points[8:])
+        got = metric_closest_pairs(tree_s, tree_t, EuclideanMetric(), 4)
+        via_module = k_closest_pairs(tree_s, tree_t, 4)
+        assert [d for *__, d in got] == pytest.approx(
+            [d for *__, d in via_module]
+        )
+        brute = sorted(
+            s.distance(t) for s in points[:8] for t in points[8:]
+        )[:4]
+        assert [d for *__, d in got] == pytest.approx(brute)
+
+    def test_semijoin(self):
+        __, points = _scene(11, n_points=12)
+        tree_s = small_tree(points[:6])
+        tree_t = small_tree(points[6:])
+        got = metric_semijoin(tree_s, tree_t, EuclideanMetric())
+        for s in points[:6]:
+            t, d = got[s]
+            expected = min(s.distance(t2) for t2 in points[6:])
+            assert d == pytest.approx(expected)
+
+    def test_distance_join(self):
+        __, points = _scene(12, n_points=14)
+        tree_s = small_tree(points[:7])
+        tree_t = small_tree(points[7:])
+        e = 40.0
+        got = metric_distance_join(tree_s, tree_t, EuclideanMetric(), e)
+        brute = {
+            (s, t)
+            for s in points[:7]
+            for t in points[7:]
+            if s.distance(t) <= e
+        }
+        assert {(s, t) for s, t, __ in got} == brute
+
+
+class TestMetricAgreement:
+    """With no obstacles in reach, obstructed == Euclidean everywhere."""
+
+    def test_nearest_and_range_agree(self):
+        __, points = _scene(21, n_obstacles=0)
+        tree = small_tree(points[1:])
+        q = points[0]
+        obstructed = ObstructedMetric.over(_index([]))
+        euclid = EuclideanMetric()
+        nn_o = metric_nearest(tree, obstructed, q, 4)
+        nn_e = metric_nearest(tree, euclid, q, 4)
+        assert [d for __, d in nn_o] == pytest.approx([d for __, d in nn_e])
+        r_o = metric_range(tree, obstructed, q, 25.0)
+        r_e = metric_range(tree, euclid, q, 25.0)
+        assert [(p, pytest.approx(d)) for p, d in r_e] == r_o
+
+
+class TestObstructedParameterization:
+    """ObstructedMetric + skeleton == brute-force oracle."""
+
+    @pytest.mark.parametrize("seed", [31, 32])
+    def test_nearest_matches_oracle(self, seed):
+        obstacles, points = _scene(seed)
+        tree = small_tree(points[1:])
+        q = points[0]
+        metric = ObstructedMetric.over(_index(obstacles))
+        got = metric_nearest(tree, metric, q, 4)
+        brute = sorted(
+            (oracle_distance(q, p, obstacles), p) for p in points[1:]
+        )[:4]
+        assert [d for __, d in got] == pytest.approx([d for d, __ in brute])
+
+    @pytest.mark.parametrize("seed", [33, 34])
+    def test_range_matches_oracle(self, seed):
+        obstacles, points = _scene(seed)
+        tree = small_tree(points[1:])
+        q = points[0]
+        e = 35.0
+        metric = ObstructedMetric.over(_index(obstacles))
+        got = dict(metric_range(tree, metric, q, e))
+        for p in points[1:]:
+            d = oracle_distance(q, p, obstacles)
+            if d <= e - 1e-9:
+                assert got[p] == pytest.approx(d)
+            elif d > e + 1e-9:
+                assert p not in got
+
+    def test_closest_pairs_match_oracle(self):
+        obstacles, points = _scene(35, n_points=12)
+        tree_s = small_tree(points[:6])
+        tree_t = small_tree(points[6:])
+        metric = ObstructedMetric.over(_index(obstacles))
+        got = metric_closest_pairs(tree_s, tree_t, metric, 3)
+        brute = sorted(
+            oracle_distance(s, t, obstacles)
+            for s in points[:6]
+            for t in points[6:]
+            if not math.isinf(oracle_distance(s, t, obstacles))
+        )[:3]
+        assert [d for *__, d in got] == pytest.approx(brute)

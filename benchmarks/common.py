@@ -299,3 +299,35 @@ def run_repeated_distance(
         "cpu_ms": timer.elapsed_ms / n,
         "graph_builds": float(graph_builds),
     }
+
+
+def timed_graph_build(
+    n_rects: int, method: str, seed: int = 7
+) -> tuple[float, int]:
+    """Build a full visibility graph over a street-grid scene with the
+    given visibility backend; returns ``(seconds, edge_count)``."""
+    from repro.datasets.synthetic import street_grid_obstacles
+    from repro.visibility import VisibilityGraph
+
+    obstacles = street_grid_obstacles(n_rects, seed=seed)
+    timer = Timer()
+    with timer:
+        graph = VisibilityGraph.build([], obstacles, method=method)
+    return timer.elapsed, graph.edge_count
+
+
+def kernel_comparison(n_rects: int) -> dict[str, float]:
+    """Visibility-backend comparison on one scene: per-backend build
+    times, the numpy kernel's speedup, and an edge-parity flag."""
+    results: dict[str, float] = {}
+    edges = {}
+    for method in ("python-sweep", "numpy-kernel"):
+        seconds, edge_count = timed_graph_build(n_rects, method)
+        results[f"{method}_s"] = seconds
+        edges[method] = edge_count
+    results["speedup"] = results["python-sweep_s"] / results["numpy-kernel_s"]
+    results["edges"] = float(edges["python-sweep"])
+    results["edges_match"] = float(
+        edges["python-sweep"] == edges["numpy-kernel"]
+    )
+    return results

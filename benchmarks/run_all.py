@@ -276,6 +276,35 @@ def smoke() -> int:
     if cached["graph_builds"] >= fresh["graph_builds"]:
         print("FAIL: persistent cache did not reduce graph builds")
         return 1
+    return smoke_kernel()
+
+
+def smoke_kernel() -> int:
+    """Visibility-kernel smoke: both backends build the same graph on a
+    small scene, and the numpy kernel must not lose to the python
+    sweep.  (The full >= 3x acceptance bar on 1,000 vertices lives in
+    ``benchmarks/test_kernel_sweep.py``.)"""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        print("\nkernel smoke: numpy unavailable, skipped")
+        return 0
+    from benchmarks.common import kernel_comparison
+
+    n_rects = 48
+    metrics = kernel_comparison(n_rects)
+    print(
+        f"\nkernel smoke ({4 * n_rects} vertices): "
+        f"python-sweep {metrics['python-sweep_s'] * 1000:.0f} ms, "
+        f"numpy-kernel {metrics['numpy-kernel_s'] * 1000:.0f} ms "
+        f"({metrics['speedup']:.1f}x), edges={metrics['edges']:.0f}"
+    )
+    if metrics["edges_match"] != 1.0:
+        print("FAIL: backends disagree on the visibility graph")
+        return 1
+    if metrics["speedup"] < 1.0:
+        print("FAIL: numpy kernel slower than the python sweep")
+        return 1
     return 0
 
 

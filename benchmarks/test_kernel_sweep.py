@@ -1,0 +1,67 @@
+"""Kernel sweep benchmark: vectorized numpy backend vs python sweep.
+
+Not a paper figure — this measures the visibility kernel subsystem:
+full visibility-graph construction (one rotational sweep per node, the
+dominant cost in every figure benchmark) across obstacle
+cardinalities, once per backend.  The acceptance bar for the numpy
+kernel is a >= 3x build speedup on a 1,000-vertex scene with a
+bit-identical resulting graph.
+
+Run standalone (pytest-benchmark)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernel_sweep.py
+
+or as part of the CI smoke pass (``python benchmarks/run_all.py
+--smoke``), which uses a smaller scene and only sanity-checks that the
+kernel wins at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import kernel_comparison
+from repro.datasets.synthetic import street_grid_obstacles
+from repro.visibility import VisibilityGraph
+
+#: Rectangle counts per measured scene (4 vertices each).
+KERNEL_CARDINALITIES = (32, 96, 250)
+
+#: The acceptance scene: 250 rectangles = 1,000 obstacle vertices.
+ACCEPTANCE_RECTS = 250
+
+#: Required build-time speedup of ``numpy-kernel`` over
+#: ``python-sweep`` on the acceptance scene.
+SPEEDUP_TARGET = 3.0
+
+_BACKENDS = ("python-sweep", "numpy-kernel")
+
+
+@pytest.mark.parametrize("method", _BACKENDS)
+@pytest.mark.parametrize("n_rects", KERNEL_CARDINALITIES)
+def test_graph_build(benchmark, n_rects, method):
+    if method == "numpy-kernel":
+        pytest.importorskip("numpy")
+    obstacles = street_grid_obstacles(n_rects, seed=7)
+
+    graphs = []
+
+    def build():
+        graphs.append(VisibilityGraph.build([], obstacles, method=method))
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["n_vertices"] = 4 * n_rects
+    benchmark.extra_info["backend"] = method
+    benchmark.extra_info["edges"] = graphs[-1].edge_count
+
+
+def test_kernel_speedup_acceptance():
+    """The acceptance check: >= 3x faster construction on 1k vertices,
+    with both backends producing the same graph."""
+    pytest.importorskip("numpy")
+    metrics = kernel_comparison(ACCEPTANCE_RECTS)
+    assert metrics["edges_match"] == 1.0
+    assert metrics["speedup"] >= SPEEDUP_TARGET, (
+        f"numpy-kernel speedup {metrics['speedup']:.2f}x "
+        f"below the {SPEEDUP_TARGET}x acceptance bar"
+    )

@@ -40,7 +40,15 @@ from repro.errors import (
 from repro.geometry import Circle, Point, Polygon, Rect
 from repro.model import Obstacle
 from repro.index import RStarTree, str_pack, hilbert_index
-from repro.visibility import VisibilityGraph, shortest_path, shortest_path_dist
+from repro.visibility import (
+    VisibilityBackend,
+    VisibilityGraph,
+    available_backends,
+    default_backend_name,
+    resolve_backend,
+    shortest_path,
+    shortest_path_dist,
+)
 from repro.visibility.tangent import prune_to_tangent
 from repro.core.continuous import NNInterval, PathNearestNeighbor, path_nearest
 from repro.render import save_svg, scene_to_svg
@@ -66,7 +74,7 @@ from repro.core import (
     obstacle_semijoin,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -88,7 +96,11 @@ __all__ = [
     "str_pack",
     "hilbert_index",
     # visibility
+    "VisibilityBackend",
     "VisibilityGraph",
+    "available_backends",
+    "default_backend_name",
+    "resolve_backend",
     "shortest_path",
     "shortest_path_dist",
     "prune_to_tangent",

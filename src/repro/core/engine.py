@@ -46,6 +46,7 @@ from repro.runtime.batch import batch_nearest, batch_range
 from repro.runtime.context import QueryContext
 from repro.runtime.metric import ObstructedMetric
 from repro.runtime.stats import RuntimeStats
+from repro.visibility.kernel.backend import VisibilityBackend, resolve_backend
 
 ObstacleLike = Obstacle | Polygon | Rect
 PointLike = Point | tuple[float, float]
@@ -67,6 +68,13 @@ class ObstacleDatabase:
         4 KB pages, 10 % buffers).
     graph_cache_size:
         LRU capacity of the shared visibility-graph cache.
+    backend:
+        The visibility backend used for every sweep (``"python-sweep"``,
+        ``"numpy-kernel"``, ``"naive"``, or a
+        :class:`~repro.visibility.kernel.backend.VisibilityBackend`
+        instance).  ``None`` auto-picks — the
+        ``REPRO_VISIBILITY_BACKEND`` environment variable when set,
+        else the numpy kernel when numpy is importable.
     """
 
     def __init__(
@@ -79,6 +87,7 @@ class ObstacleDatabase:
         max_entries: int | None = None,
         min_entries: int | None = None,
         graph_cache_size: int = 64,
+        backend: "str | VisibilityBackend | None" = None,
     ) -> None:
         self._bulk = bulk
         self._tree_kwargs = dict(
@@ -90,6 +99,7 @@ class ObstacleDatabase:
         self._next_oid = 0
         self._graph_cache_size = graph_cache_size
         self._runtime_stats = RuntimeStats()
+        self._backend = resolve_backend(backend, stats=self._runtime_stats)
         self._entity_trees: dict[str, RStarTree] = {}
         self._obstacle_indexes: dict[str, ObstacleIndex] = {}
         self._context: QueryContext | None = None
@@ -219,6 +229,7 @@ class ObstacleDatabase:
             source,
             cache_size=self._graph_cache_size,
             stats=self._runtime_stats,
+            backend=self._backend,
         )
 
     # -------------------------------------------------------------- queries
@@ -387,9 +398,10 @@ class ObstacleDatabase:
             out[tree.name] = tree.counter.snapshot()
         return out
 
-    def runtime_stats(self) -> dict[str, int]:
+    def runtime_stats(self) -> dict[str, int | float | str]:
         """Counters of the shared query runtime (graph builds, cache
-        hits/misses/evictions/invalidations, distance calls, ...)."""
+        hits/misses/evictions/invalidations, distance calls, sweep
+        counts/timings and the active visibility ``backend``)."""
         return self._runtime_stats.snapshot()
 
     def reset_stats(self, *, clear_buffers: bool = False) -> None:

@@ -26,6 +26,7 @@ from repro.geometry.point import Point
 from repro.runtime.cache import CachedGraph, VisibilityGraphCache
 from repro.runtime.stats import RuntimeStats
 from repro.visibility.graph import VisibilityGraph
+from repro.visibility.kernel.backend import VisibilityBackend, resolve_backend
 from repro.visibility.shortest_path import shortest_path_dist
 
 
@@ -45,6 +46,14 @@ class QueryContext:
         LRU capacity of the visibility-graph cache.
     stats:
         Optional shared counters (one per database, by default).
+    backend:
+        The visibility backend every graph built by this context uses
+        (a name — ``"python-sweep"``, ``"numpy-kernel"``, ``"naive"``
+        — or an instance).  ``None`` auto-picks: the
+        ``REPRO_VISIBILITY_BACKEND`` environment variable when set,
+        else the numpy kernel when numpy is importable.  The resolved
+        backend shares this context's stats, so ``sweeps_run`` /
+        ``sweep_events`` / ``sweep_seconds`` account all sweep work.
     """
 
     def __init__(
@@ -53,9 +62,12 @@ class QueryContext:
         *,
         cache_size: int = 64,
         stats: RuntimeStats | None = None,
+        backend: "str | VisibilityBackend | None" = None,
     ) -> None:
         self.source = source
         self.stats = stats if stats is not None else RuntimeStats()
+        self.backend = resolve_backend(backend, stats=self.stats)
+        self.stats.backend = self.backend.name
         self.cache = VisibilityGraphCache(cache_size, stats=self.stats)
 
     # ------------------------------------------------------------- versioning
@@ -83,7 +95,9 @@ class QueryContext:
                 if radius > 0
                 else []
             )
-            graph = VisibilityGraph.build([center], obstacles)
+            graph = VisibilityGraph.build(
+                [center], obstacles, method=self.backend
+            )
             self.stats.graph_builds += 1
             entry = CachedGraph(graph, center, radius, self.version)
             self.cache.put(entry)

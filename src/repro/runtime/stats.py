@@ -2,17 +2,25 @@
 
 One :class:`RuntimeStats` instance travels with a
 :class:`~repro.runtime.context.QueryContext`; every layer of the
-runtime (graph cache, coverage growth, distance evaluations) ticks its
-counters, so a benchmark or test can ask "how many visibility graphs
-were actually built?" the same way the R-tree layer already answers
-"how many pages were read?".
+runtime (graph cache, coverage growth, distance evaluations, the
+visibility backend's sweep kernel) ticks its counters, so a benchmark
+or test can ask "how many visibility graphs were actually built?" or
+"how many rotational sweeps did that cost, on which backend?" the same
+way the R-tree layer already answers "how many pages were read?".
 """
 
 from __future__ import annotations
 
 
 class RuntimeStats:
-    """Mutable counters describing runtime work since the last reset."""
+    """Mutable counters describing runtime work since the last reset.
+
+    All fields are integer counters except ``sweep_seconds`` (a float,
+    the cumulative wall-clock time inside the visibility backend) and
+    ``backend`` (the name of the visibility backend ticking the sweep
+    counters — ``""`` until a context selects one; preserved across
+    :meth:`reset` since it describes configuration, not work done).
+    """
 
     __slots__ = (
         "graph_builds",
@@ -26,13 +34,18 @@ class RuntimeStats:
         "distance_calls",
         "field_builds",
         "batch_memo_hits",
+        "sweeps_run",
+        "sweep_events",
+        "sweep_seconds",
+        "backend",
     )
 
     def __init__(self) -> None:
+        self.backend = ""
         self.reset()
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter (the ``backend`` label is kept)."""
         self.graph_builds = 0
         self.graph_rebuilds = 0
         self.graph_cache_hits = 0
@@ -44,8 +57,11 @@ class RuntimeStats:
         self.distance_calls = 0
         self.field_builds = 0
         self.batch_memo_hits = 0
+        self.sweeps_run = 0
+        self.sweep_events = 0
+        self.sweep_seconds = 0.0
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict[str, int | float | str]:
         """The current counter values as a plain dict."""
         return {name: getattr(self, name) for name in self.__slots__}
 

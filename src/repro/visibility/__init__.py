@@ -6,15 +6,26 @@ the *visibility graph* over the obstacle vertices plus the two points
 obstacles relevant to a query, and maintains them dynamically with
 ``add_obstacle`` / ``add_entity`` / ``delete_entity``.
 
-Construction uses the rotational plane sweep of Sharir & Schorr [SS84]
-(:mod:`repro.visibility.sweep`); a naive exact checker
-(:mod:`repro.visibility.naive`) serves as the reference oracle for the
-property-based tests and as the fallback for degenerate contact cases.
+Construction runs one rotational sweep per node through a pluggable
+:class:`~repro.visibility.kernel.backend.VisibilityBackend`: the
+pure-python sweep of Sharir & Schorr [SS84]
+(:mod:`repro.visibility.sweep`), its vectorized numpy equivalent
+(:mod:`repro.visibility.kernel`), or a naive exact checker
+(:mod:`repro.visibility.naive`) that doubles as the reference oracle
+for the property-based tests and as the fallback for degenerate
+contact cases.
 """
 
 from repro.visibility.edges import BoundaryEdge, OpenEdges
 from repro.visibility.graph import VisibilityGraph
+from repro.visibility.kernel.backend import (
+    VisibilityBackend,
+    available_backends,
+    default_backend_name,
+    resolve_backend,
+)
 from repro.visibility.naive import is_visible, naive_visible_from
+from repro.visibility.ordering import event_angle, event_sort_key, sort_events
 from repro.visibility.shortest_path import (
     bounded_dijkstra,
     dijkstra,
@@ -26,9 +37,16 @@ from repro.visibility.sweep import visible_from
 __all__ = [
     "BoundaryEdge",
     "OpenEdges",
+    "VisibilityBackend",
     "VisibilityGraph",
+    "available_backends",
+    "default_backend_name",
+    "event_angle",
+    "event_sort_key",
     "is_visible",
     "naive_visible_from",
+    "resolve_backend",
+    "sort_events",
     "visible_from",
     "dijkstra",
     "bounded_dijkstra",

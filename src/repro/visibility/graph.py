@@ -14,7 +14,7 @@ implemented exactly as described:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence, TYPE_CHECKING
 
 from repro.errors import QueryError
 from repro.geometry.point import Point
@@ -22,17 +22,24 @@ from repro.geometry.polygon import Polygon
 from repro.geometry.rect import Rect
 from repro.model import Obstacle
 from repro.visibility.edges import BoundaryEdge
-from repro.visibility.sweep import visible_from
+from repro.visibility.kernel.backend import VisibilityBackend, resolve_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.visibility.kernel.packed import PackedScene
 
 
 class VisibilityGraph:
     """A local visibility graph with dynamic maintenance operations.
 
-    ``method`` selects the visibility kernel: ``"sweep"`` (default) is
-    the paper's rotational plane sweep [SS84] and assumes obstacle
+    ``method`` selects the visibility backend by name or instance (see
+    :mod:`repro.visibility.kernel.backend`): ``"python-sweep"`` (alias
+    ``"sweep"``) is the paper's rotational plane sweep [SS84],
+    ``"numpy-kernel"`` the vectorized equivalent; both assume obstacle
     boundaries do not cross each other (disjoint interiors — the
-    paper's standing assumption); ``"naive"`` is the exact pairwise
-    oracle, slower but valid even for overlapping obstacles.
+    paper's standing assumption).  ``"naive"`` is the exact pairwise
+    oracle, slower but valid even for overlapping obstacles.  ``None``
+    auto-picks (env ``REPRO_VISIBILITY_BACKEND``, else the numpy
+    kernel when numpy is importable).
     """
 
     __slots__ = (
@@ -43,13 +50,14 @@ class VisibilityGraph:
         "_boundary",
         "_edges",
         "_obstacle_revision",
+        "_backend",
+        "_packed",
         "method",
     )
 
-    def __init__(self, method: str = "sweep") -> None:
-        if method not in ("sweep", "naive"):
-            raise QueryError(f"unknown visibility method {method!r}")
-        self.method = method
+    def __init__(self, method: "str | VisibilityBackend | None" = None) -> None:
+        self._backend = resolve_backend(method)
+        self.method = self._backend.name
         self._obstacle_revision = 0
         self._adj: dict[Point, dict[Point, float]] = {}
         self._obstacles: dict[int, Obstacle] = {}
@@ -57,6 +65,7 @@ class VisibilityGraph:
         self._free: set[Point] = set()
         self._boundary: dict[Point, tuple[Obstacle, ...]] = {}
         self._edges: list[BoundaryEdge] = []
+        self._packed: "PackedScene | None" = None
 
     # -------------------------------------------------------------- build
     @classmethod
@@ -65,11 +74,11 @@ class VisibilityGraph:
         points: Iterable[Point],
         obstacles: Iterable[Obstacle],
         *,
-        method: str = "sweep",
+        method: "str | VisibilityBackend | None" = None,
     ) -> "VisibilityGraph":
         """Construct a graph over ``points`` and ``obstacles`` in one pass.
 
-        With the default method this is the paper's
+        With a sweep backend this is the paper's
         ``build_visibility_graph`` ([SS84], one rotational sweep per
         node, no tangent simplification).
         """
@@ -84,12 +93,21 @@ class VisibilityGraph:
         return graph
 
     def _visible_from(self, node: Point) -> list[Point]:
-        if self.method == "sweep":
-            return visible_from(node, self)
-        from repro.visibility.naive import naive_visible_from
+        return self._backend.visible_from(node, self)
 
-        targets = [v for v in self._adj if v != node]
-        return naive_visible_from(node, targets, list(self._obstacles.values()))
+    def packed_scene(self) -> "PackedScene":
+        """The scene flattened into numpy arrays (built lazily, then
+        kept in sync by the dynamic-update hooks)."""
+        if self._packed is None:
+            from repro.visibility.kernel.packed import PackedScene
+
+            packed = PackedScene()
+            for obs in self._obstacles.values():
+                packed.add_obstacle(obs)
+            for p in self._free:
+                packed.add_free_point(p)
+            self._packed = packed
+        return self._packed
 
     # ------------------------------------------------------- SweepScene API
     def sweep_points(self) -> Iterator[Point]:
@@ -197,6 +215,7 @@ class VisibilityGraph:
         self._free.clear()
         self._boundary.clear()
         self._edges.clear()
+        self._packed = None
         self._obstacle_revision += 1
         for obs in obstacles:
             self._register_obstacle(obs)
@@ -253,12 +272,16 @@ class VisibilityGraph:
         del self._adj[p]
         self._free.discard(p)
         self._boundary.pop(p, None)
+        if self._packed is not None:
+            self._packed.remove_free_point(p)
         return True
 
     # ------------------------------------------------------------- internals
     def _register_obstacle(self, obs: Obstacle) -> list[Point]:
         self._obstacles[obs.oid] = obs
         self._obstacle_revision += 1
+        if self._packed is not None:
+            self._packed.add_obstacle(obs)
         new_vertices: list[Point] = []
         for a, b in obs.polygon.edges():
             edge = BoundaryEdge(a, b, obs.oid)
@@ -269,12 +292,26 @@ class VisibilityGraph:
             if v not in self._adj:
                 self._adj[v] = {}
                 new_vertices.append(v)
+            # A free point coinciding with the new vertex is promoted to
+            # an obstacle vertex: it keeps its node (and edges) but can
+            # no longer be removed by delete_entity, which would tear an
+            # obstacle corner out of the graph.
+            self._free.discard(v)
             self._boundary[v] = self._boundary.get(v, ()) + (obs,)
         return new_vertices
 
     def _register_free_point(self, p: Point) -> None:
+        if p in self._incident:
+            # p coincides with an obstacle vertex: already a node, and
+            # it must not enter _free — delete_entity would tear the
+            # obstacle corner out of the graph (the reverse order,
+            # obstacle arriving second, is handled by the promotion in
+            # _register_obstacle).
+            return
         self._adj.setdefault(p, {})
         self._free.add(p)
+        if self._packed is not None:
+            self._packed.add_free_point(p)
         membership = tuple(
             obs
             for obs in self._obstacles.values()

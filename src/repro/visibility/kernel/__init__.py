@@ -1,0 +1,59 @@
+"""Vectorized visibility kernel.
+
+The rotational plane sweep costs one ``O(n log n)`` pass per
+visibility-graph node, and its per-event work is dominated by python
+object arithmetic (``Point`` allocation, ``ccw`` calls, open-edge
+bookkeeping).  This package replaces that inner loop with batched
+numpy array kernels:
+
+* :class:`~repro.visibility.kernel.packed.PackedScene` — obstacle
+  vertices, boundary edges and free points flattened into contiguous
+  arrays (vertex coordinates, edge endpoint indices, a per-vertex
+  incident-edge CSR layout), built once per graph and extended
+  incrementally as obstacles and entities arrive;
+* :mod:`~repro.visibility.kernel.numpy_sweep` — the vectorized sweep:
+  one ``arctan2`` pass for every event angle, a numpy angular sort,
+  and batched orientation/intersection classification of candidate
+  blocking edges, with the exact per-pair oracle deciding only the
+  degenerate residue so results match the python sweep everywhere;
+* :mod:`~repro.visibility.kernel.backend` — the pluggable
+  :class:`~repro.visibility.kernel.backend.VisibilityBackend` protocol
+  and the named implementations (``python-sweep``, ``numpy-kernel``,
+  ``naive``) with env/auto selection.
+"""
+
+from repro.visibility.kernel.backend import (
+    AUTO_BACKEND_ENV,
+    NaiveBackend,
+    NumpyKernelBackend,
+    PythonSweepBackend,
+    VisibilityBackend,
+    available_backends,
+    default_backend_name,
+    numpy_available,
+    resolve_backend,
+)
+
+
+def __getattr__(name: str):
+    # PackedScene imports numpy; loaded lazily so this package (and the
+    # backend registry) stays importable when numpy is absent.
+    if name == "PackedScene":
+        from repro.visibility.kernel.packed import PackedScene
+
+        return PackedScene
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "AUTO_BACKEND_ENV",
+    "NaiveBackend",
+    "NumpyKernelBackend",
+    "PackedScene",
+    "PythonSweepBackend",
+    "VisibilityBackend",
+    "available_backends",
+    "default_backend_name",
+    "numpy_available",
+    "resolve_backend",
+]

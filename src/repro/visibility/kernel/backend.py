@@ -1,0 +1,207 @@
+"""Pluggable visibility backends.
+
+A backend answers one question — "which scene points does ``p`` see" —
+for a :class:`~repro.visibility.graph.VisibilityGraph`.  Three named
+implementations exist:
+
+``python-sweep``
+    The paper's rotational plane sweep [SS84]
+    (:mod:`repro.visibility.sweep`), pure python.  Alias: ``sweep``.
+``numpy-kernel``
+    The vectorized kernel (:mod:`repro.visibility.kernel.numpy_sweep`)
+    over a :class:`~repro.visibility.kernel.packed.PackedScene`.
+    Requires numpy; returns sets identical to ``python-sweep``.
+``naive``
+    The exact pairwise oracle (:mod:`repro.visibility.naive`) — slow,
+    but valid even for overlapping obstacles; the testing reference.
+
+Selection: pass a name (or a backend instance) to
+:class:`~repro.visibility.graph.VisibilityGraph`,
+:class:`~repro.runtime.context.QueryContext` or
+:class:`~repro.core.engine.ObstacleDatabase`; ``None`` auto-picks the
+``REPRO_VISIBILITY_BACKEND`` environment variable when set, otherwise
+``numpy-kernel`` when numpy is importable and ``python-sweep`` when it
+is not.
+
+Backends carry an optional :class:`~repro.runtime.stats.RuntimeStats`
+reference and tick the per-backend sweep counters (``sweeps_run``,
+``sweep_events``, ``sweep_seconds``) on every call.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from importlib.util import find_spec
+from typing import Protocol, TYPE_CHECKING, runtime_checkable
+
+from repro.errors import QueryError
+from repro.geometry.point import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.stats import RuntimeStats
+    from repro.visibility.graph import VisibilityGraph
+
+#: Environment variable overriding the auto-picked backend.
+AUTO_BACKEND_ENV = "REPRO_VISIBILITY_BACKEND"
+
+
+@runtime_checkable
+class VisibilityBackend(Protocol):
+    """What the visibility graph needs from a sweep implementation."""
+
+    name: str
+
+    def visible_from(
+        self, p: Point, graph: "VisibilityGraph"
+    ) -> list[Point]:
+        """All graph nodes visible from ``p``."""
+
+
+class _TimedBackend:
+    """Shared stats plumbing: every sweep ticks the runtime counters."""
+
+    name = "?"
+
+    def __init__(self, stats: "RuntimeStats | None" = None) -> None:
+        self.stats = stats
+
+    def visible_from(
+        self, p: Point, graph: "VisibilityGraph"
+    ) -> list[Point]:
+        stats = self.stats
+        if stats is None:
+            return self._sweep(p, graph)
+        t0 = time.perf_counter()
+        result = self._sweep(p, graph)
+        stats.sweep_seconds += time.perf_counter() - t0
+        stats.sweeps_run += 1
+        stats.sweep_events += max(graph.node_count - 1, 0)
+        return result
+
+    def _sweep(self, p: Point, graph: "VisibilityGraph") -> list[Point]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PythonSweepBackend(_TimedBackend):
+    """The pure-python rotational plane sweep."""
+
+    name = "python-sweep"
+
+    def _sweep(self, p: Point, graph: "VisibilityGraph") -> list[Point]:
+        from repro.visibility.sweep import visible_from
+
+        return visible_from(p, graph)
+
+
+class NumpyKernelBackend(_TimedBackend):
+    """The vectorized numpy sweep over a packed scene."""
+
+    name = "numpy-kernel"
+
+    def __init__(self, stats: "RuntimeStats | None" = None) -> None:
+        super().__init__(stats)
+        from repro.visibility.kernel import numpy_sweep  # may raise
+
+        self._kernel = numpy_sweep.kernel_visible_from
+
+    def _sweep(self, p: Point, graph: "VisibilityGraph") -> list[Point]:
+        return self._kernel(p, graph, graph.packed_scene())
+
+
+class NaiveBackend(_TimedBackend):
+    """The exact pairwise oracle over every node pair."""
+
+    name = "naive"
+
+    def _sweep(self, p: Point, graph: "VisibilityGraph") -> list[Point]:
+        from repro.visibility.naive import naive_visible_from
+
+        targets = [v for v in graph.nodes() if v != p]
+        return naive_visible_from(p, targets, graph.scene_obstacles())
+
+
+class _StatsAdapter(_TimedBackend):
+    """Ticks one stats object around a stats-less backend instance.
+
+    Used when a caller-owned backend (possibly shared across several
+    contexts/databases) is resolved with a stats reference: the shared
+    instance is left untouched, and each resolution gets its own
+    counter plumbing.
+    """
+
+    def __init__(self, inner: VisibilityBackend, stats: "RuntimeStats") -> None:
+        super().__init__(stats)
+        self._inner = inner
+        self.name = inner.name
+
+    def _sweep(self, p: Point, graph: "VisibilityGraph") -> list[Point]:
+        return self._inner.visible_from(p, graph)
+
+
+_REGISTRY: dict[str, type[_TimedBackend]] = {
+    PythonSweepBackend.name: PythonSweepBackend,
+    NumpyKernelBackend.name: NumpyKernelBackend,
+    NaiveBackend.name: NaiveBackend,
+}
+
+#: Back-compat aliases (the seed's ``VisibilityGraph(method=...)`` names).
+_ALIASES = {"sweep": PythonSweepBackend.name}
+
+
+def available_backends() -> list[str]:
+    """Canonical names of every selectable backend."""
+    return sorted(_REGISTRY)
+
+
+def numpy_available() -> bool:
+    """True when the numpy kernel's dependency is importable."""
+    return find_spec("numpy") is not None
+
+
+def default_backend_name() -> str:
+    """The auto-picked backend: env override, else numpy when present."""
+    env = os.environ.get(AUTO_BACKEND_ENV)
+    if env:
+        name = _ALIASES.get(env, env)
+        if name not in _REGISTRY:
+            raise QueryError(
+                f"unknown visibility backend {env!r} in "
+                f"{AUTO_BACKEND_ENV} (expected one of {available_backends()})"
+            )
+        return name
+    return (
+        NumpyKernelBackend.name
+        if numpy_available()
+        else PythonSweepBackend.name
+    )
+
+
+def resolve_backend(
+    spec: "str | VisibilityBackend | None" = None,
+    *,
+    stats: "RuntimeStats | None" = None,
+) -> VisibilityBackend:
+    """A backend instance from a name, an instance, or ``None`` (auto)."""
+    if spec is None:
+        spec = default_backend_name()
+    if isinstance(spec, str):
+        name = _ALIASES.get(spec, spec)
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            raise QueryError(
+                f"unknown visibility backend {spec!r} "
+                f"(expected one of {available_backends()})"
+            )
+        try:
+            return cls(stats=stats)
+        except ImportError as exc:  # numpy missing for numpy-kernel
+            raise QueryError(
+                f"visibility backend {name!r} is unavailable: {exc}"
+            ) from exc
+    if stats is not None and getattr(spec, "stats", None) is not stats:
+        return _StatsAdapter(spec, stats)
+    return spec

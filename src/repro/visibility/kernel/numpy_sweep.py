@@ -1,0 +1,265 @@
+"""The vectorized rotational sweep.
+
+One call answers "which scene points are visible from ``p``" with
+batched numpy array passes instead of per-event python geometry:
+
+1. **one ``arctan2`` pass** computes the polar angle and squared
+   distance of every event (obstacle vertices + free points) around
+   ``p``, and the events are ordered by the canonical sweep key
+   (:func:`repro.visibility.ordering.order_events_array`);
+2. **angular culling** finds, per boundary edge, the contiguous run of
+   sorted events falling inside the edge's (padded) angular fan as
+   seen from ``p`` — only those (event, edge) pairs can interact, so
+   the classification work drops from ``O(n·m)`` to the number of
+   actual ray/edge crossings (one ``searchsorted`` over all edges);
+3. **batched classification** evaluates the four orientation signs of
+   each candidate pair with the same scale-invariant tolerance as
+   :func:`repro.geometry.segment.ccw` (inflated 4x for conservatism)
+   and buckets the pair as *blocked* (proper transversal crossing
+   strictly inside both open segments — provably invisible), *clear*
+   (strictly separated — provably non-blocking), or *ambiguous*;
+4. only events with an ambiguous pair (grazes, collinear runs,
+   boundary contacts) fall back to the exact per-pair oracle
+   (:func:`repro.visibility.naive.is_visible`) — the same oracle the
+   python sweep delegates its degenerate contacts to — so both
+   backends return identical visible sets everywhere.
+
+Events whose every candidate is clear still undergo the python
+sweep's residual check: a segment leaving ``p`` straight through the
+interior of an obstacle whose boundary contains ``p`` generates no
+crossing candidates at all.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.geometry.constants import EPS
+from repro.geometry.point import Point
+from repro.visibility.naive import is_visible
+from repro.visibility.ordering import order_events_array
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.visibility.graph import VisibilityGraph
+    from repro.visibility.kernel.packed import PackedScene
+
+TWO_PI = 2.0 * math.pi
+
+#: Angular padding of each edge's candidate fan.  The ``ccw`` collinear
+#: band is ``|sin| <= EPS`` (EPS = 1e-9 radians-equivalent); any contact
+#: the tolerant predicates could see lies within that band of the exact
+#: fan, so a pad three orders of magnitude wider is comfortably safe
+#: while still admitting virtually no spurious candidates.
+_FAN_PAD = 1e-6
+
+#: Squared-tolerance inflation for the batched orientation signs: the
+#: kernel's "strictly non-collinear" band is 4x wider than ``ccw``'s,
+#: so every decision the tolerant python predicates could flip lands in
+#: the ambiguous residue and is settled by the exact oracle instead.
+_TOL_INFLATION = 16.0
+
+
+def kernel_visible_from(
+    p: Point, graph: "VisibilityGraph", packed: "PackedScene"
+) -> list[Point]:
+    """All scene points visible from ``p`` — vectorized sweep."""
+    exy, points = packed.event_arrays()
+    if exy.shape[0] == 0:
+        return []
+    # Same contract as the python sweep: a center strictly inside an
+    # obstacle sees nothing (every segment leaves through the
+    # interior), keeping all backends oracle-identical even for
+    # out-of-contract inputs.  Boundary points cannot be strictly
+    # interior (disjoint interiors), so vertex centers skip the scan.
+    p_boundary = graph.boundary_obstacles(p)
+    if not p_boundary and any(
+        obs.polygon.contains(p) for obs in graph.scene_obstacles()
+    ):
+        return []
+
+    px, py = p.x, p.y
+    dx = exy[:, 0] - px
+    dy = exy[:, 1] - py
+    dist_sq = dx * dx + dy * dy
+    angles = np.arctan2(dy, dx)
+    np.add(angles, TWO_PI, out=angles, where=angles < 0.0)
+
+    # Exclude p itself (exact coordinate identity, like the python sweep).
+    self_mask = (dx == 0.0) & (dy == 0.0)
+    ev_ids = np.nonzero(~self_mask)[0]
+    if ev_ids.size == 0:
+        return []
+    ev_ang = angles[ev_ids]
+    ev_dsq = dist_sq[ev_ids]
+    order = order_events_array(ev_ang, ev_dsq)
+    ev_ids = ev_ids[order]
+    ev_ang = ev_ang[order]
+    ev_dsq = ev_dsq[order]
+    n_ev = ev_ids.shape[0]
+
+    ea, eb = packed.edge_endpoints()
+    if ea.shape[0]:
+        blocked, ambiguous = _classify_events(
+            p, packed, exy, angles, dist_sq, ev_ids, ev_ang, ev_dsq, ea, eb
+        )
+    else:
+        blocked = ambiguous = np.zeros(n_ev, dtype=bool)
+
+    obstacles = None
+    visible: list[Point] = []
+    survivors = np.nonzero(~blocked)[0]
+    for amb, idx in zip(
+        ambiguous[survivors].tolist(), ev_ids[survivors].tolist()
+    ):
+        w = points[idx]
+        if amb:
+            if obstacles is None:
+                obstacles = graph.scene_obstacles()
+            if is_visible(p, w, obstacles):
+                visible.append(w)
+            continue
+        if any(obs.polygon.crosses_interior(p, w) for obs in p_boundary):
+            continue
+        visible.append(w)
+    return visible
+
+
+def _classify_events(
+    p: Point,
+    packed: "PackedScene",
+    exy: np.ndarray,
+    angles: np.ndarray,
+    dist_sq: np.ndarray,
+    ev_ids: np.ndarray,
+    ev_ang: np.ndarray,
+    ev_dsq: np.ndarray,
+    ea: np.ndarray,
+    eb: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-sorted-event (blocked, ambiguous) flags from candidate pairs."""
+    n_ev = ev_ids.shape[0]
+    m = ea.shape[0]
+    px, py = p.x, p.y
+
+    # Edges incident to p never block (their contact is at p itself; the
+    # caller's residual check covers interior departures) — excluded via
+    # the packed CSR layout, exactly as the python sweep skips them.
+    live = np.ones(m, dtype=bool)
+    p_vid = packed.vertex_id(p)
+    if p_vid is not None:
+        live[packed.incident_edge_ids(p_vid)] = False
+
+    # Angular fan of each edge as seen from p.  The fan of a segment not
+    # containing p spans < pi; near-pi widths mean p is (nearly) on the
+    # segment — those edges are degenerate and paired with every event.
+    a_ang = angles[ea]
+    b_ang = angles[eb]
+    delta = np.mod(b_ang - a_ang, TWO_PI)
+    short = delta <= math.pi
+    lo = np.where(short, a_ang, b_ang)
+    width = np.where(short, delta, TWO_PI - delta)
+    degenerate = live & (width >= math.pi - 2.0 * _FAN_PAD)
+    fanned = live & ~degenerate
+
+    # Candidate (event, edge) pairs: events whose sorted angle falls in
+    # the padded fan.  Searching in a doubled angle domain turns every
+    # (possibly wrapping) circular interval into one linear range.
+    f_ids = np.nonzero(fanned)[0]
+    lo_f = np.mod(lo[f_ids] - _FAN_PAD, TWO_PI)
+    hi_f = lo_f + width[f_ids] + 2.0 * _FAN_PAD
+    ev_ang2 = np.concatenate([ev_ang, ev_ang + TWO_PI])
+    starts = np.searchsorted(ev_ang2, lo_f, side="left")
+    stops = np.searchsorted(ev_ang2, hi_f, side="right")
+    counts = stops - starts
+    pair_edge = np.repeat(f_ids, counts)
+    total = int(counts.sum())
+    # Flat within-range offsets: arange(total) minus each range's start
+    # in the concatenated layout.
+    cum = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        cum - counts, counts
+    )
+    pair_pos = (np.repeat(starts, counts) + offsets) % n_ev
+
+    d_ids = np.nonzero(degenerate)[0]
+    if d_ids.size:
+        pair_edge = np.concatenate(
+            [pair_edge, np.repeat(d_ids, n_ev)]
+        )
+        pair_pos = np.concatenate(
+            [pair_pos, np.tile(np.arange(n_ev, dtype=np.int64), d_ids.size)]
+        )
+
+    if pair_pos.size == 0:
+        z = np.zeros(n_ev, dtype=bool)
+        return z, z
+
+    # ---- batched orientation/intersection classification ----------------
+    e_id = ev_ids[pair_pos]
+    wx = exy[e_id, 0]
+    wy = exy[e_id, 1]
+    r2 = ev_dsq[pair_pos]
+    ia = ea[pair_edge]
+    ib = eb[pair_edge]
+    ax = exy[ia, 0]
+    ay = exy[ia, 1]
+    bx = exy[ib, 0]
+    by = exy[ib, 1]
+    a2 = dist_sq[ia]
+    b2 = dist_sq[ib]
+
+    rx = wx - px
+    ry = wy - py
+    sx = bx - ax
+    sy = by - ay
+    qax = ax - px
+    qay = ay - py
+    qbx = bx - px
+    qby = by - py
+    s_len2 = sx * sx + sy * sy
+    wa_x = wx - ax
+    wa_y = wy - ay
+    wa2 = wa_x * wa_x + wa_y * wa_y
+
+    tol = _TOL_INFLATION * (EPS * EPS)
+    c1 = sx * (py - ay) - sy * (px - ax)  # ccw(a, b, p)
+    c2 = sx * wa_y - sy * wa_x  # ccw(a, b, w)
+    c3 = rx * qay - ry * qax  # ccw(p, w, a)
+    c4 = rx * qby - ry * qbx  # ccw(p, w, b)
+    z1 = c1 * c1 <= tol * s_len2 * a2
+    z2 = c2 * c2 <= tol * s_len2 * wa2
+    z3 = c3 * c3 <= tol * r2 * a2
+    z4 = c4 * c4 <= tol * r2 * b2
+
+    pos1 = c1 > 0.0
+    pos2 = c2 > 0.0
+    pos3 = c3 > 0.0
+    pos4 = c4 > 0.0
+    strict12 = ~z1 & ~z2
+    strict34 = ~z3 & ~z4
+    blocked_pair = strict12 & strict34 & (pos1 != pos2) & (pos3 != pos4)
+    clear_pair = (strict12 & (pos1 == pos2)) | (strict34 & (pos3 == pos4))
+
+    # Edges incident to the event vertex touch the ray exactly at w:
+    # clear, unless the edge runs back along the ray toward p (collinear
+    # other endpoint strictly closer) — then it overlaps the segment and
+    # the exact oracle must decide.
+    w_is_a = ia == e_id
+    w_is_b = ib == e_id
+    overlap_a = w_is_b & z3 & (a2 < r2 * (1.0 + EPS))
+    overlap_b = w_is_a & z4 & (b2 < r2 * (1.0 + EPS))
+    w_incident = w_is_a | w_is_b
+    clear_pair |= w_incident & ~(overlap_a | overlap_b)
+    blocked_pair &= ~w_incident
+
+    ambiguous_pair = ~blocked_pair & ~clear_pair
+    blocked = (
+        np.bincount(pair_pos[blocked_pair], minlength=n_ev) > 0
+    )
+    ambiguous = (
+        np.bincount(pair_pos[ambiguous_pair], minlength=n_ev) > 0
+    ) & ~blocked
+    return blocked, ambiguous

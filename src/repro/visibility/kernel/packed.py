@@ -1,0 +1,242 @@
+"""`PackedScene` — obstacle geometry flattened into numpy arrays.
+
+The vectorized sweep kernel needs the scene as contiguous arrays, not
+as python ``Point``/``BoundaryEdge`` objects.  A ``PackedScene`` keeps
+three synchronized groups of buffers:
+
+* **obstacle vertices** — coordinates in capacity-doubled float64
+  arrays, deduplicated by exact coordinate (two obstacles sharing a
+  vertex share one packed slot, mirroring the graph's node identity);
+* **boundary edges** — endpoint *indices* into the vertex arrays plus
+  the owning obstacle id, append-only;
+* **free points** — entities and query points, in their own arrays
+  with O(1) swap-remove deletion (entities are transient: every
+  ``QueryContext.distance`` call adds and removes one).
+
+A per-vertex incident-edge CSR layout (``indptr``/``indices``) is
+derived lazily from the edge arrays and rebuilt only after mutations,
+so the amortized cost of graph maintenance stays O(1) per append.
+
+The scene is built once per :class:`~repro.visibility.graph.
+VisibilityGraph` (lazily, at the first vectorized sweep) and then
+extended incrementally by the graph's ``add_obstacle`` /
+``add_entity`` / ``delete_entity`` hooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.model import Obstacle
+
+#: Initial capacity of every growable buffer.
+_INITIAL_CAPACITY = 16
+
+
+def _grown(arr: np.ndarray, need: int) -> np.ndarray:
+    """``arr`` with capacity at least ``need`` (amortized doubling)."""
+    capacity = arr.shape[0]
+    if need <= capacity:
+        return arr
+    while capacity < need:
+        capacity *= 2
+    out = np.empty((capacity,) + arr.shape[1:], dtype=arr.dtype)
+    out[: arr.shape[0]] = arr
+    return out
+
+
+class PackedScene:
+    """Contiguous array mirror of one visibility graph's scene."""
+
+    __slots__ = (
+        "_vxy",
+        "_n_verts",
+        "_vert_points",
+        "_vert_index",
+        "_eab",
+        "_eoid",
+        "_n_edges",
+        "_fxy",
+        "_n_free",
+        "_free_points",
+        "_free_index",
+        "_csr_indptr",
+        "_csr_indices",
+        "_csr_dirty",
+        "_event_cache",
+    )
+
+    def __init__(self) -> None:
+        self._vxy = np.empty((_INITIAL_CAPACITY, 2), dtype=np.float64)
+        self._n_verts = 0
+        self._vert_points: list[Point] = []
+        self._vert_index: dict[Point, int] = {}
+        self._eab = np.empty((_INITIAL_CAPACITY, 2), dtype=np.int64)
+        self._eoid = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._n_edges = 0
+        self._fxy = np.empty((_INITIAL_CAPACITY, 2), dtype=np.float64)
+        self._n_free = 0
+        self._free_points: list[Point] = []
+        self._free_index: dict[Point, int] = {}
+        self._csr_indptr = np.zeros(1, dtype=np.int64)
+        self._csr_indices = np.empty(0, dtype=np.int64)
+        self._csr_dirty = False
+        self._event_cache: tuple[np.ndarray, list[Point]] | None = None
+
+    # ------------------------------------------------------------- mutation
+    def add_obstacle(self, obs: Obstacle) -> None:
+        """Pack one obstacle's vertices and boundary edges."""
+        for v in obs.polygon.vertices:
+            self._intern_vertex(v)
+        edges = list(obs.polygon.edges())
+        need = self._n_edges + len(edges)
+        self._eab = _grown(self._eab, need)
+        self._eoid = _grown(self._eoid, need)
+        for a, b in edges:
+            i = self._n_edges
+            self._eab[i, 0] = self._vert_index[a]
+            self._eab[i, 1] = self._vert_index[b]
+            self._eoid[i] = obs.oid
+            self._n_edges = i + 1
+        self._csr_dirty = True
+
+    def add_free_point(self, p: Point) -> None:
+        """Pack one free point (entity or query point).
+
+        A point coinciding with a packed obstacle vertex is already an
+        event and is not packed twice (mirroring the graph's node
+        identity: one ``Point`` value, one node).
+        """
+        if p in self._free_index or p in self._vert_index:
+            return
+        self._fxy = _grown(self._fxy, self._n_free + 1)
+        slot = self._n_free
+        self._fxy[slot, 0] = p.x
+        self._fxy[slot, 1] = p.y
+        self._free_points.append(p)
+        self._free_index[p] = slot
+        self._n_free = slot + 1
+        self._event_cache = None
+
+    def remove_free_point(self, p: Point) -> None:
+        """Unpack one free point (O(1) swap with the last slot)."""
+        slot = self._free_index.pop(p, None)
+        if slot is None:
+            return
+        last = self._n_free - 1
+        if slot != last:
+            self._fxy[slot] = self._fxy[last]
+            moved = self._free_points[last]
+            self._free_points[slot] = moved
+            self._free_index[moved] = slot
+        self._free_points.pop()
+        self._n_free = last
+        self._event_cache = None
+
+    def _intern_vertex(self, v: Point) -> int:
+        idx = self._vert_index.get(v)
+        if idx is not None:
+            return idx
+        # Mirror the graph's node promotion: a free point at the new
+        # vertex's coordinates becomes the vertex (one event, not two).
+        self.remove_free_point(v)
+        self._vxy = _grown(self._vxy, self._n_verts + 1)
+        idx = self._n_verts
+        self._vxy[idx, 0] = v.x
+        self._vxy[idx, 1] = v.y
+        self._vert_points.append(v)
+        self._vert_index[v] = idx
+        self._n_verts = idx + 1
+        self._csr_dirty = True
+        self._event_cache = None
+        return idx
+
+    # -------------------------------------------------------------- queries
+    @property
+    def vertex_count(self) -> int:
+        """Number of packed obstacle vertices."""
+        return self._n_verts
+
+    @property
+    def edge_count(self) -> int:
+        """Number of packed boundary edges."""
+        return self._n_edges
+
+    @property
+    def free_count(self) -> int:
+        """Number of packed free points."""
+        return self._n_free
+
+    def vertex_xy(self) -> np.ndarray:
+        """``(n_vertices, 2)`` float64 view of obstacle vertex coords."""
+        return self._vxy[: self._n_verts]
+
+    def free_xy(self) -> np.ndarray:
+        """``(n_free, 2)`` float64 view of free-point coords."""
+        return self._fxy[: self._n_free]
+
+    def edge_endpoints(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-edge endpoint indices into :meth:`vertex_xy` (a, b)."""
+        return self._eab[: self._n_edges, 0], self._eab[: self._n_edges, 1]
+
+    def edge_oids(self) -> np.ndarray:
+        """Per-edge owning obstacle id."""
+        return self._eoid[: self._n_edges]
+
+    def vertex_id(self, p: Point) -> int | None:
+        """Packed index of obstacle vertex ``p`` (``None`` if not one)."""
+        return self._vert_index.get(p)
+
+    def event_arrays(self) -> tuple[np.ndarray, list[Point]]:
+        """Every event, in packed order (vertices then free points), as
+        ``(coords, points)``: an ``(n, 2)`` float64 array and the
+        parallel ``Point`` list.  Cached between mutations — one sweep
+        per graph node means this is requested O(n) times per build —
+        and must be treated as read-only by callers.
+        """
+        if self._event_cache is None:
+            xy = (
+                np.vstack([self.vertex_xy(), self.free_xy()])
+                if self._n_free
+                else self.vertex_xy()
+            )
+            self._event_cache = (xy, self._vert_points + self._free_points)
+        return self._event_cache
+
+    def event_points(self) -> list[Point]:
+        """Every event point, in packed order: vertices then free points.
+
+        Index ``i`` corresponds to row ``i`` of
+        ``event_arrays()[0]``.
+        """
+        return self.event_arrays()[1]
+
+    # ------------------------------------------------------------------ CSR
+    def incident_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-vertex incident-edge CSR: ``(indptr, edge_indices)``.
+
+        Edge ids incident to vertex ``v`` are
+        ``edge_indices[indptr[v]:indptr[v + 1]]``.  Rebuilt lazily
+        after mutations (one vectorized pass over the edge arrays).
+        """
+        if self._csr_dirty:
+            self._rebuild_csr()
+        return self._csr_indptr, self._csr_indices
+
+    def incident_edge_ids(self, vertex: int) -> np.ndarray:
+        """Edge ids having packed vertex ``vertex`` as an endpoint."""
+        indptr, indices = self.incident_csr()
+        return indices[indptr[vertex] : indptr[vertex + 1]]
+
+    def _rebuild_csr(self) -> None:
+        n, m = self._n_verts, self._n_edges
+        ends = self._eab[:m].T.reshape(-1)  # all a-endpoints, then all b
+        eids = np.tile(np.arange(m, dtype=np.int64), 2)
+        order = np.argsort(ends, kind="stable")
+        self._csr_indices = eids[order]
+        counts = np.bincount(ends, minlength=n) if m else np.zeros(n, np.int64)
+        self._csr_indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+        )
+        self._csr_dirty = False

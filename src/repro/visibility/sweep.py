@@ -16,7 +16,6 @@ general position and exact everywhere.
 
 from __future__ import annotations
 
-import math
 from typing import Protocol, Iterable, Sequence
 
 from repro.geometry.constants import EPS
@@ -24,6 +23,7 @@ from repro.geometry.point import Point
 from repro.geometry.segment import CCW, CW, ccw, segment_intersection_params
 from repro.model import Obstacle
 from repro.visibility.edges import BoundaryEdge, OpenEdges
+from repro.visibility.ordering import sort_events
 
 #: Blocking classification for the closest open edge.
 _CLEAR = 0
@@ -59,12 +59,21 @@ def visible_from(p: Point, scene: SweepScene) -> list[Point]:
     events = [w for w in scene.sweep_points() if w != p]
     if not events:
         return []
-    events.sort(key=lambda w: (_angle(p, w), p.distance_sq(w)))
-    open_edges = OpenEdges(p)
-    _load_initial_edges(p, scene, open_edges)
-
     obstacles = scene.scene_obstacles()
     p_boundary = scene.boundary_obstacles(p)
+    # A center strictly inside an obstacle sees nothing: every segment
+    # leaves through the interior.  (Valid scenes never place points
+    # there, but the sweep must agree with the exact oracle — and the
+    # other backends — even on such inputs.)  A boundary point cannot
+    # be strictly interior under the disjoint-interiors assumption, so
+    # the scan is skipped for the vertex centers dominating builds.
+    if not p_boundary:
+        for obs in obstacles:
+            if obs.polygon.contains(p):
+                return []
+    events = sort_events(p, events)
+    open_edges = OpenEdges(p)
+    _load_initial_edges(p, scene, open_edges)
     visible: list[Point] = []
     for w in events:
         incident = scene.incident_edges(w)
@@ -164,11 +173,3 @@ def _load_initial_edges(
         x_cross = a.x + t * (b.x - a.x)
         if x_cross > p.x + EPS * (abs(p.x) + 1.0):
             open_edges.insert(w0, edge)
-
-
-def _angle(p: Point, w: Point) -> float:
-    """Polar angle of ``w`` around ``p`` in ``[0, 2*pi)``."""
-    a = math.atan2(w.y - p.y, w.x - p.x)
-    if a < 0.0:
-        a += 2.0 * math.pi
-    return a

@@ -1,0 +1,88 @@
+"""Regression tests for the per-backend sweep counters in
+:class:`~repro.runtime.stats.RuntimeStats` (``sweeps_run``,
+``sweep_events``, ``sweep_seconds``, ``backend``)."""
+
+import pytest
+
+from repro.core.engine import ObstacleDatabase
+from repro.geometry import Point, Rect
+from repro.runtime.stats import RuntimeStats
+from repro.visibility import default_backend_name
+
+
+@pytest.fixture
+def small_db():
+    db = ObstacleDatabase([Rect(4, 4, 6, 6), Rect(10, 2, 12, 8)])
+    db.add_entity_set("P", [Point(0, 0), Point(14, 5), Point(5, 10)])
+    return db
+
+
+class TestSweepCounters:
+    def test_snapshot_exposes_kernel_fields(self, small_db):
+        stats = small_db.runtime_stats()
+        for field in ("sweeps_run", "sweep_events", "sweep_seconds", "backend"):
+            assert field in stats
+        assert stats["sweeps_run"] == 0
+        assert stats["backend"] == default_backend_name()
+
+    def test_distance_ticks_sweep_counters(self, small_db):
+        small_db.obstructed_distance((0, 0), (14, 5))
+        stats = small_db.runtime_stats()
+        assert stats["sweeps_run"] > 0
+        # Every sweep processes at least the other query point.
+        assert stats["sweep_events"] >= stats["sweeps_run"]
+        assert stats["sweep_seconds"] > 0.0
+
+    def test_reset_zeroes_counters_but_keeps_backend(self, small_db):
+        small_db.nearest("P", (1, 1), k=2)
+        assert small_db.runtime_stats()["sweeps_run"] > 0
+        small_db.reset_stats()
+        stats = small_db.runtime_stats()
+        assert stats["sweeps_run"] == 0
+        assert stats["sweep_events"] == 0
+        assert stats["sweep_seconds"] == 0.0
+        assert stats["backend"] == default_backend_name()
+
+    @pytest.mark.parametrize("name", ["python-sweep", "naive"])
+    def test_explicit_backend_is_reported(self, name):
+        db = ObstacleDatabase([Rect(4, 4, 6, 6)], backend=name)
+        db.add_entity_set("P", [Point(0, 0), Point(9, 9)])
+        db.obstructed_distance((0, 0), (9, 9))
+        stats = db.runtime_stats()
+        assert stats["backend"] == name
+        assert stats["sweeps_run"] > 0
+
+    def test_numpy_kernel_backend_counts_match_python_sweep(self):
+        pytest.importorskip("numpy")
+        counts = {}
+        for name in ("python-sweep", "numpy-kernel"):
+            db = ObstacleDatabase(
+                [Rect(4, 4, 6, 6), Rect(10, 2, 12, 8)], backend=name
+            )
+            db.add_entity_set("P", [Point(0, 0), Point(14, 5)])
+            db.nearest("P", (1, 1), k=2)
+            stats = db.runtime_stats()
+            counts[name] = (stats["sweeps_run"], stats["sweep_events"])
+        # Identical query plans on identical scenes: the two backends
+        # must run the same sweeps over the same events.
+        assert counts["python-sweep"] == counts["numpy-kernel"]
+
+    def test_standalone_stats_default_backend_label(self):
+        assert RuntimeStats().backend == ""
+
+    def test_shared_backend_instance_ticks_each_database(self):
+        """One backend instance across two databases: each database's
+        counters reflect its own sweeps (the instance is wrapped, not
+        mutated and bound to the first database's stats)."""
+        from repro.visibility.kernel.backend import PythonSweepBackend
+
+        shared = PythonSweepBackend()
+        dbs = []
+        for _ in range(2):
+            db = ObstacleDatabase([Rect(4, 4, 6, 6)], backend=shared)
+            db.add_entity_set("P", [Point(0, 0), Point(9, 9)])
+            dbs.append(db)
+        dbs[1].obstructed_distance((0, 0), (9, 9))
+        assert dbs[0].runtime_stats()["sweeps_run"] == 0
+        assert dbs[1].runtime_stats()["sweeps_run"] > 0
+        assert shared.stats is None

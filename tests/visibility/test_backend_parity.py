@@ -1,0 +1,305 @@
+"""Backend parity: the vectorized kernel must return *identical*
+visible sets to the python sweep — on random scenes, on degenerate
+collinear/touching scenes, and through every dynamic update — and
+both must match the exact pairwise oracle."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.geometry import Point, Polygon, Rect
+from repro.model import Obstacle
+from repro.visibility import (
+    VisibilityGraph,
+    available_backends,
+    is_visible,
+    resolve_backend,
+)
+from tests.conftest import random_disjoint_rects, random_free_points, rect_obstacle
+from tests.strategies import disjoint_rect_obstacles
+
+pytest.importorskip("numpy")
+
+PY = "python-sweep"
+NP = "numpy-kernel"
+
+
+def _visible_sets(points, obstacles, method):
+    g = VisibilityGraph.build(points, obstacles, method=method)
+    backend = resolve_backend(method)
+    return {u: frozenset(backend.visible_from(u, g)) for u in g.nodes()}
+
+
+def _assert_backend_parity(points, obstacles, tag=""):
+    py = _visible_sets(points, obstacles, PY)
+    np_ = _visible_sets(points, obstacles, NP)
+    assert set(py) == set(np_)
+    for u in py:
+        assert py[u] == np_[u], f"{tag}: backends diverge at {u}"
+    # ... and both match the pairwise oracle.
+    nodes = list(py)
+    for u in nodes:
+        want = frozenset(
+            v for v in nodes if v != u and is_visible(u, v, obstacles)
+        )
+        assert py[u] == want, f"{tag}: python-sweep vs oracle at {u}"
+        assert np_[u] == want, f"{tag}: numpy-kernel vs oracle at {u}"
+
+
+class TestRegistry:
+    def test_all_backends_listed(self):
+        assert available_backends() == ["naive", "numpy-kernel", "python-sweep"]
+
+    def test_sweep_alias_resolves_to_python_sweep(self):
+        assert resolve_backend("sweep").name == PY
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            resolve_backend("fortran-kernel")
+
+    def test_graph_records_backend_name(self):
+        g = VisibilityGraph(method=NP)
+        assert g.method == NP
+
+    def test_auto_pick_falls_back_without_numpy(self, monkeypatch):
+        from repro.visibility.kernel import backend as backend_mod
+
+        monkeypatch.delenv(backend_mod.AUTO_BACKEND_ENV, raising=False)
+        monkeypatch.setattr(backend_mod, "numpy_available", lambda: False)
+        assert backend_mod.default_backend_name() == PY
+
+    def test_env_override_wins_even_without_numpy(self, monkeypatch):
+        from repro.visibility.kernel import backend as backend_mod
+
+        monkeypatch.setenv(backend_mod.AUTO_BACKEND_ENV, "naive")
+        monkeypatch.setattr(backend_mod, "numpy_available", lambda: False)
+        assert backend_mod.default_backend_name() == "naive"
+
+    def test_numpy_kernel_unavailable_becomes_query_error(self, monkeypatch):
+        """When the kernel module cannot import (numpy missing), asking
+        for numpy-kernel by name fails with a QueryError, not a bare
+        ImportError."""
+        import sys
+
+        import repro.visibility.kernel as kernel_pkg
+        from repro.errors import QueryError
+
+        # None in sys.modules makes the lazy import raise ImportError;
+        # the bound package attribute (set by any earlier import) must
+        # go too, or `from ... import numpy_sweep` short-circuits.
+        if hasattr(kernel_pkg, "numpy_sweep"):
+            monkeypatch.delattr(kernel_pkg, "numpy_sweep")
+        monkeypatch.setitem(
+            sys.modules, "repro.visibility.kernel.numpy_sweep", None
+        )
+        with pytest.raises(QueryError, match="unavailable"):
+            resolve_backend(NP)
+
+
+class TestRandomScenes:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_rect_scenes(self, seed):
+        rng = random.Random(seed * 131 + 17)
+        obstacles = random_disjoint_rects(rng, rng.randint(1, 10))
+        points = random_free_points(rng, 6, obstacles)
+        _assert_backend_parity(points, obstacles, f"seed {seed}")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_polygon_scenes(self, seed):
+        """Non-rectangular obstacles: L-shapes exercise reflex vertices."""
+        rng = random.Random(seed * 59 + 11)
+        obstacles = []
+        for oid, x0 in enumerate(range(0, 90, 30)):
+            y0 = rng.choice((0, 40))
+            s = rng.uniform(8, 14)
+            obstacles.append(
+                Obstacle(
+                    oid,
+                    Polygon(
+                        [
+                            Point(x0, y0),
+                            Point(x0 + s, y0),
+                            Point(x0 + s, y0 + s / 3),
+                            Point(x0 + s / 3, y0 + s / 3),
+                            Point(x0 + s / 3, y0 + s),
+                            Point(x0, y0 + s),
+                        ]
+                    ),
+                )
+            )
+        points = random_free_points(rng, 5, obstacles)
+        _assert_backend_parity(points, obstacles, f"L-seed {seed}")
+
+
+class TestDegenerateScenes:
+    def test_collinear_row_of_boxes(self):
+        obstacles = [
+            rect_obstacle(0, 0, 0, 10, 10),
+            rect_obstacle(1, 20, 0, 30, 10),
+            rect_obstacle(2, 40, 0, 50, 10),
+        ]
+        points = [
+            Point(15, 0),   # on the shared bottom edge line, between boxes
+            Point(35, 10),  # on the shared top edge line
+            Point(-5, 0),
+            Point(55, 0),
+            Point(5, 0),    # on a boundary edge
+            Point(25, 10),  # on a boundary edge
+        ]
+        _assert_backend_parity(points, obstacles, "collinear row")
+
+    def test_vertex_touching_diagonal(self):
+        """Boxes touching corner-to-corner: rays through shared vertices."""
+        obstacles = [
+            rect_obstacle(0, 0, 0, 10, 10),
+            rect_obstacle(1, 10, 10, 20, 20),
+        ]
+        points = [Point(5, 15), Point(15, 5), Point(-1, -1), Point(21, 21)]
+        _assert_backend_parity(points, obstacles, "corner touch")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_grid_aligned_with_boundary_entities(self, seed):
+        rng = random.Random(seed * 17 + 3)
+        obstacles, occupied = [], []
+        for y in (10, 10, 30, 50):
+            x0 = rng.choice((0, 20, 40, 60))
+            rect = Rect(x0, y, x0 + rng.choice((10, 15)), y + 4)
+            if any(rect.intersects(o) for o in occupied):
+                continue
+            occupied.append(rect)
+            obstacles.append(
+                rect_obstacle(
+                    len(obstacles), rect.minx, rect.miny, rect.maxx, rect.maxy
+                )
+            )
+        points = [o.polygon.boundary_point_at(rng.random()) for o in obstacles]
+        points += [Point(-5, 10), Point(100, 10), Point(-5, 14)]
+        points = [
+            p for p in points if not any(o.polygon.contains(p) for o in obstacles)
+        ]
+        _assert_backend_parity(points, obstacles, f"grid {seed}")
+
+
+class TestOutOfContractInputs:
+    """Valid scenes never place points inside obstacles, but the
+    backends must stay oracle-identical even on such inputs: a center
+    strictly inside an obstacle sees nothing."""
+
+    @pytest.mark.parametrize("method", [PY, NP, "naive"])
+    def test_interior_center_sees_nothing(self, method):
+        obstacles = [rect_obstacle(0, 1, 9, 3, 12)]
+        inside = Point(2, 11)
+        boundary = Point(3, 10)
+        g = VisibilityGraph.build([inside, boundary], obstacles, method=method)
+        assert resolve_backend(method).visible_from(inside, g) == []
+        assert dict(g.neighbors(inside)) == {}
+
+    def test_interior_query_distance_agrees_across_backends(self):
+        from math import isinf
+
+        from repro.core.engine import ObstacleDatabase
+        from repro.geometry import Rect
+
+        results = set()
+        for method in (PY, NP, "naive"):
+            db = ObstacleDatabase([Rect(1, 9, 3, 12)], backend=method)
+            d = db.obstructed_distance((2, 11), (3, 10))
+            results.add(d)
+        assert len(results) == 1
+        assert isinf(results.pop())
+
+
+class TestDynamicParity:
+    """Both backends stay identical through incremental maintenance —
+    the packed scene must track add_obstacle / add_entity /
+    delete_entity exactly."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_incremental_updates_converge(self, seed):
+        rng = random.Random(seed * 7 + 1)
+        obstacles = random_disjoint_rects(rng, 8)
+        points = random_free_points(rng, 4, obstacles)
+        half = len(obstacles) // 2
+        gp = VisibilityGraph.build(points, obstacles[:half], method=PY)
+        gn = VisibilityGraph.build(points, obstacles[:half], method=NP)
+        gn.packed_scene()  # force the packed mirror before the updates
+        for obs in obstacles[half:]:
+            gp.add_obstacle(obs)
+            gn.add_obstacle(obs)
+        extra = random_free_points(rng, 4, obstacles)
+        for p in extra:
+            gp.add_entity(p)
+            gn.add_entity(p)
+        for p in extra[:2]:
+            gp.delete_entity(p)
+            gn.delete_entity(p)
+        for p in random_free_points(rng, 2, obstacles):
+            gp.add_entity(p)  # exercises swap-remove slot reuse
+            gn.add_entity(p)
+        assert {u: dict(gp.neighbors(u)) for u in gp.nodes()} == {
+            u: dict(gn.neighbors(u)) for u in gn.nodes()
+        }
+
+    @pytest.mark.parametrize("method", [PY, NP])
+    def test_entity_promoted_to_obstacle_vertex_survives_delete(self, method):
+        """An entity coinciding with a later obstacle's vertex becomes
+        that vertex: delete_entity must refuse to tear it out of the
+        graph, and the packed scene must not keep a stale free copy."""
+        g = VisibilityGraph(method=method)
+        corner = Point(4, 4)
+        assert g.add_entity(corner)
+        if method == NP:
+            g.packed_scene()
+        g.add_obstacle(rect_obstacle(99, 4, 4, 6, 6))
+        assert not g.delete_entity(corner)
+        assert g.has_node(corner)
+        assert g.add_entity(Point(3, 3))  # sweeps again; must not crash
+        assert corner in g.neighbors(Point(3, 3))
+        if method == NP:
+            packed = g.packed_scene()
+            assert packed.free_count == 1  # only Point(3, 3)
+            assert packed.vertex_id(corner) is not None
+
+    @pytest.mark.parametrize("method", [PY, NP])
+    def test_build_with_vertex_coincident_point_is_not_deletable(self, method):
+        """Same invariant through the other registration order: build()
+        registers obstacles first, so a point list containing an
+        obstacle-vertex coordinate must not make that vertex an
+        entity."""
+        corner = Point(4, 4)
+        g = VisibilityGraph.build(
+            [corner, Point(0, 0)], [rect_obstacle(0, 4, 4, 6, 6)], method=method
+        )
+        assert corner not in g.free_points()
+        assert not g.delete_entity(corner)
+        assert g.has_node(corner)
+        assert g.add_entity(Point(3, 3))  # must not crash on stale nodes
+        assert corner in g.neighbors(Point(3, 3))
+
+    def test_rebuild_resets_packed_scene(self):
+        obstacles = [rect_obstacle(0, 0, 0, 10, 10)]
+        g = VisibilityGraph.build([Point(-5, -5)], obstacles, method=NP)
+        packed = g.packed_scene()
+        assert packed.vertex_count == 4
+        g.rebuild([rect_obstacle(1, 20, 20, 30, 30), rect_obstacle(2, 40, 0, 45, 5)])
+        fresh = g.packed_scene()
+        assert fresh is not packed
+        assert fresh.vertex_count == 8
+        assert fresh.free_count == 1
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(disjoint_rect_obstacles())
+def test_property_backends_agree_on_random_scenes(obstacles):
+    py = _visible_sets([], obstacles, PY)
+    np_ = _visible_sets([], obstacles, NP)
+    assert py == np_
+    nodes = list(py)
+    for u in nodes[: min(len(nodes), 8)]:
+        want = frozenset(
+            v for v in nodes if v != u and is_visible(u, v, obstacles)
+        )
+        assert np_[u] == want

@@ -1,0 +1,88 @@
+"""Unit tests for the PackedScene array layout: vertex interning,
+edge/oid packing, the incident-edge CSR, and free-point swap-remove."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.geometry import Point
+from repro.visibility.kernel import PackedScene
+from tests.conftest import rect_obstacle
+
+
+@pytest.fixture
+def scene():
+    packed = PackedScene()
+    packed.add_obstacle(rect_obstacle(7, 0, 0, 10, 10))
+    packed.add_obstacle(rect_obstacle(9, 20, 0, 30, 10))
+    return packed
+
+
+class TestVertexPacking:
+    def test_counts(self, scene):
+        assert scene.vertex_count == 8
+        assert scene.edge_count == 8
+        assert scene.free_count == 0
+
+    def test_coords_match_points(self, scene):
+        xy = scene.vertex_xy()
+        for i, p in enumerate(scene.event_points()):
+            assert (xy[i, 0], xy[i, 1]) == (p.x, p.y)
+            assert scene.vertex_id(p) == i
+
+    def test_shared_vertices_interned_once(self):
+        packed = PackedScene()
+        packed.add_obstacle(rect_obstacle(0, 0, 0, 10, 10))
+        packed.add_obstacle(rect_obstacle(1, 10, 0, 20, 10))  # shares 2 corners
+        assert packed.vertex_count == 6
+        assert packed.edge_count == 8
+
+    def test_edge_oids_tag_owning_obstacle(self, scene):
+        oids = scene.edge_oids()
+        assert sorted(set(oids.tolist())) == [7, 9]
+        assert (oids[:4] == 7).all() and (oids[4:] == 9).all()
+
+
+class TestIncidentCSR:
+    def test_every_rect_vertex_has_two_incident_edges(self, scene):
+        indptr, indices = scene.incident_csr()
+        assert indptr[0] == 0 and indptr[-1] == indices.shape[0] == 16
+        ea, eb = scene.edge_endpoints()
+        for v in range(scene.vertex_count):
+            ids = scene.incident_edge_ids(v)
+            assert len(ids) == 2
+            for e in ids.tolist():
+                assert v in (ea[e], eb[e])
+
+    def test_csr_tracks_incremental_obstacles(self, scene):
+        scene.incident_csr()  # build once
+        scene.add_obstacle(rect_obstacle(11, 40, 0, 50, 10))
+        assert len(scene.incident_edge_ids(scene.vertex_count - 1)) == 2
+
+
+class TestFreePoints:
+    def test_swap_remove_keeps_slots_dense(self, scene):
+        pts = [Point(-1, -1), Point(-2, -2), Point(-3, -3)]
+        for p in pts:
+            scene.add_free_point(p)
+        scene.remove_free_point(pts[0])
+        assert scene.free_count == 2
+        xy = scene.free_xy()
+        remaining = {tuple(row) for row in xy.tolist()}
+        assert remaining == {(-2.0, -2.0), (-3.0, -3.0)}
+        assert scene.event_points()[-scene.free_count :] == [pts[2], pts[1]]
+
+    def test_remove_unknown_is_noop(self, scene):
+        scene.remove_free_point(Point(99, 99))
+        assert scene.free_count == 0
+
+    def test_vertex_coincident_free_point_not_duplicated(self, scene):
+        scene.add_free_point(Point(0, 0))  # a rect corner
+        assert scene.free_count == 0
+
+    def test_vertex_interning_absorbs_existing_free_point(self):
+        packed = PackedScene()
+        packed.add_free_point(Point(4, 4))
+        packed.add_obstacle(rect_obstacle(0, 4, 4, 6, 6))
+        assert packed.free_count == 0
+        assert packed.vertex_id(Point(4, 4)) is not None

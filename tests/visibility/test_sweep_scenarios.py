@@ -119,12 +119,18 @@ class TestNonConvexScenes:
                 ]
             ),
         )
-        # pocket point between the spiral arms
-        pocket = Point(15, 25)
+        # pocket point in the spiral's channel (the region between the
+        # inner arm at x=20 and the wall at x=30 is the only exterior
+        # pocket; (15, 25) — the seed's original pick — is actually
+        # *interior*, as Polygon.contains and the exact oracle agree)
+        pocket = Point(25, 25)
         vis = _visible([pocket], [spiral], pocket)
-        assert Point(10, 20) in vis
         assert Point(20, 20) in vis
+        assert Point(20, 30) in vis
+        assert Point(30, 30) in vis
         assert Point(40, 0) not in vis
+        # the interior point sees nothing — matching the exact oracle
+        assert _visible([Point(15, 25)], [spiral], Point(15, 25)) == set()
 
 
 class TestRegularPolygons:

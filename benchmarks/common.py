@@ -301,6 +301,61 @@ def run_repeated_distance(
     }
 
 
+@lru_cache(maxsize=4)
+def batch_bench_db(
+    n_obstacles: int,
+    entity_spec: tuple[tuple[str, int], ...],
+    n_queries: int,
+    shards: int | None = None,
+) -> tuple[ObstacleDatabase, Workload]:
+    """Like :func:`bench_db`, with optional sharded obstacle storage.
+
+    Cached separately per ``shards`` value so sharded/monolithic
+    comparisons run on the *same* workload object.
+    """
+    workload = bench_workload(n_obstacles, entity_spec, n_queries)
+    db = ObstacleDatabase(
+        workload.obstacles,
+        max_entries=BENCH_PAGE_ENTRIES,
+        min_entries=max(2, int(BENCH_PAGE_ENTRIES * 0.4)),
+        shards=shards,
+    )
+    for name, points in workload.entity_sets.items():
+        db.add_entity_set(name, points)
+    return db, workload
+
+
+def run_batch_nearest(
+    db: ObstacleDatabase,
+    set_name: str,
+    queries: list[Point],
+    k: int,
+    *,
+    workers: int = 0,
+    mode: str | None = None,
+) -> tuple[list, dict[str, float]]:
+    """Execute one ``batch_nearest`` workload; returns (results, metrics).
+
+    ``workers=0`` is the sequential single-context path; ``workers>=2``
+    exercises the parallel batch engine.  Metrics report wall-clock and
+    the runtime's parallel/memo counters (page accesses are only
+    meaningful for the sequential path — fork workers keep theirs).
+    """
+    db.reset_stats(clear_buffers=True)
+    timer = Timer()
+    with timer:
+        results = db.batch_nearest(
+            set_name, queries, k, workers=workers, mode=mode
+        )
+    runtime = db.runtime_stats()
+    return results, {
+        "cpu_s": timer.elapsed,
+        "workers": float(workers),
+        "parallel_batches": float(runtime["parallel_batches"]),
+        "batch_memo_hits": float(runtime["batch_memo_hits"]),
+    }
+
+
 def timed_graph_build(
     n_rects: int, method: str, seed: int = 7
 ) -> tuple[float, int]:

@@ -276,7 +276,10 @@ def smoke() -> int:
     if cached["graph_builds"] >= fresh["graph_builds"]:
         print("FAIL: persistent cache did not reduce graph builds")
         return 1
-    return smoke_kernel()
+    code = smoke_kernel()
+    if code:
+        return code
+    return smoke_shard_parallel()
 
 
 def smoke_kernel() -> int:
@@ -305,6 +308,44 @@ def smoke_kernel() -> int:
     if metrics["speedup"] < 1.0:
         print("FAIL: numpy kernel slower than the python sweep")
         return 1
+    return 0
+
+
+def smoke_shard_parallel() -> int:
+    """Shard/parallel smoke: sharded storage answers like monolithic,
+    and a 4-worker batch returns results identical to sequential.
+    Wall-clock speedup is *reported* but not enforced here (CI smoke
+    boxes may be single-core); the benchmark bar lives in
+    ``benchmarks/test_shard_parallel.py``."""
+    import os
+
+    from benchmarks.common import batch_bench_db, run_batch_nearest
+
+    n = 200
+    mono, workload = batch_bench_db(n, (("P1", n),), 24)
+    sharded, __ = batch_bench_db(n, (("P1", n),), 24, 16)
+    queries = workload.queries[:24]
+    index = sharded.obstacle_index
+    print(
+        f"\nshard smoke: |O|={n} over {index.shard_count} shards "
+        f"(grid order {index.grid.order})"
+    )
+    seq, seq_metrics = run_batch_nearest(mono, "P1", queries, 4)
+    shard_seq, __ = run_batch_nearest(sharded, "P1", queries, 4)
+    if shard_seq != seq:
+        print("FAIL: sharded storage changed batch answers")
+        return 1
+    par, par_metrics = run_batch_nearest(mono, "P1", queries, 4, workers=4)
+    if par != seq:
+        print("FAIL: 4-worker batch diverged from sequential")
+        return 1
+    print(
+        f"batch_nearest x{len(queries)}: sequential "
+        f"{seq_metrics['cpu_s'] * 1000:.0f} ms, 4-worker "
+        f"{par_metrics['cpu_s'] * 1000:.0f} ms "
+        f"({seq_metrics['cpu_s'] / par_metrics['cpu_s']:.2f}x, "
+        f"{os.cpu_count() or 1} cores)"
+    )
     return 0
 
 

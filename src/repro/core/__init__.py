@@ -16,7 +16,13 @@ from only the relevant obstacles eliminate the false hits.
 """
 
 from repro.core.distance import ObstructedDistanceComputer, compute_obstructed_distance
-from repro.core.source import CompositeObstacleIndex, ObstacleIndex
+from repro.core.source import (
+    CompositeObstacleIndex,
+    ObstacleIndex,
+    ShardedObstacleIndex,
+    build_obstacle_index,
+    build_sharded_obstacle_index,
+)
 from repro.core.range import obstacle_range
 from repro.core.nearest import iter_obstacle_nearest, obstacle_nearest
 from repro.core.join import obstacle_distance_join
@@ -29,6 +35,9 @@ __all__ = [
     "compute_obstructed_distance",
     "ObstacleIndex",
     "CompositeObstacleIndex",
+    "ShardedObstacleIndex",
+    "build_obstacle_index",
+    "build_sharded_obstacle_index",
     "obstacle_range",
     "obstacle_nearest",
     "iter_obstacle_nearest",

@@ -22,7 +22,10 @@ the dynamic obstacle API (:meth:`insert_obstacle` /
 :meth:`delete_obstacle`) bumps the obstacle-set version so stale
 graphs are discarded lazily at their next lookup.  Batch entry points
 (:meth:`batch_nearest`, :meth:`batch_range`) amortize the context
-across whole workloads.
+across whole workloads, and fan out over a worker pool when asked
+(``workers=`` / ``REPRO_BATCH_WORKERS``).  Obstacle storage is either
+one monolithic R*-tree per set or, with ``shards=N``, a spatially
+sharded store whose mutations invalidate cached graphs per shard.
 """
 
 from __future__ import annotations
@@ -34,7 +37,12 @@ from repro.core.join import obstacle_distance_join
 from repro.core.nearest import iter_obstacle_nearest, obstacle_nearest
 from repro.core.range import obstacle_range
 from repro.core.semijoin import obstacle_semijoin
-from repro.core.source import CompositeObstacleIndex, ObstacleIndex
+from repro.core.source import (
+    CompositeObstacleIndex,
+    ObstacleIndex,
+    ShardedObstacleIndex,
+    build_sharded_obstacle_index,
+)
 from repro.errors import DatasetError, QueryError
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
@@ -68,6 +76,14 @@ class ObstacleDatabase:
         4 KB pages, 10 % buffers).
     graph_cache_size:
         LRU capacity of the shared visibility-graph cache.
+    shards:
+        ``None`` (default) stores each obstacle set in one monolithic
+        R-tree.  An integer switches to spatially sharded storage
+        (:class:`~repro.core.source.ShardedObstacleIndex`): obstacles
+        are partitioned over a Hilbert-keyed grid of at least that
+        many cells, retrievals fan out only to the shards intersecting
+        the query disk, and dynamic obstacle updates invalidate cached
+        visibility graphs per shard instead of globally.
     backend:
         The visibility backend used for every sweep (``"python-sweep"``,
         ``"numpy-kernel"``, ``"naive"``, or a
@@ -87,8 +103,12 @@ class ObstacleDatabase:
         max_entries: int | None = None,
         min_entries: int | None = None,
         graph_cache_size: int = 64,
+        shards: int | None = None,
         backend: "str | VisibilityBackend | None" = None,
     ) -> None:
+        if shards is not None and shards < 1:
+            raise DatasetError(f"shards must be >= 1, got {shards}")
+        self._shards = shards
         self._bulk = bulk
         self._tree_kwargs = dict(
             page_size=page_size,
@@ -101,7 +121,9 @@ class ObstacleDatabase:
         self._runtime_stats = RuntimeStats()
         self._backend = resolve_backend(backend, stats=self._runtime_stats)
         self._entity_trees: dict[str, RStarTree] = {}
-        self._obstacle_indexes: dict[str, ObstacleIndex] = {}
+        self._obstacle_indexes: dict[
+            str, ObstacleIndex | ShardedObstacleIndex
+        ] = {}
         self._context: QueryContext | None = None
         self.add_obstacle_set("obstacles", obstacles)
 
@@ -117,14 +139,23 @@ class ObstacleDatabase:
         if name in self._obstacle_indexes:
             raise DatasetError(f"obstacle set {name!r} already exists")
         records = [self._coerce_obstacle(o) for o in obstacles]
-        tree = RStarTree(name=f"obstacles:{name}", **self._tree_kwargs)
-        items = [(obs, obs.mbr) for obs in records]
-        if self._bulk:
-            str_pack(tree, items)
+        if self._shards is not None:
+            self._obstacle_indexes[name] = build_sharded_obstacle_index(
+                records,
+                shards=self._shards,
+                bulk=self._bulk,
+                name=f"obstacles:{name}",
+                **self._tree_kwargs,
+            )
         else:
-            for obs, rect in items:
-                tree.insert(obs, rect)
-        self._obstacle_indexes[name] = ObstacleIndex(tree)
+            tree = RStarTree(name=f"obstacles:{name}", **self._tree_kwargs)
+            items = [(obs, obs.mbr) for obs in records]
+            if self._bulk:
+                str_pack(tree, items)
+            else:
+                for obs, rect in items:
+                    tree.insert(obs, rect)
+            self._obstacle_indexes[name] = ObstacleIndex(tree)
         self._rebuild_context()
 
     def add_entity_set(self, name: str, points: Iterable[PointLike]) -> None:
@@ -162,7 +193,9 @@ class ObstacleDatabase:
         :meth:`delete_obstacle`.  The set's version is bumped, so every
         cached visibility graph built against the old obstacle set is
         invalidated lazily at its next lookup — queries never consult a
-        stale graph.
+        stale graph.  With sharded storage (``shards=``) only the
+        shards the obstacle overlaps move, so cached graphs that never
+        touched those shards stay valid.
         """
         record = self._coerce_obstacle(obstacle)
         self._obstacle_index_named(set_name).insert(record)
@@ -185,7 +218,9 @@ class ObstacleDatabase:
             record = obstacle
         return index.delete(record)
 
-    def _obstacle_index_named(self, name: str) -> ObstacleIndex:
+    def _obstacle_index_named(
+        self, name: str
+    ) -> ObstacleIndex | ShardedObstacleIndex:
         try:
             return self._obstacle_indexes[name]
         except KeyError:
@@ -200,14 +235,22 @@ class ObstacleDatabase:
             raise DatasetError(f"unknown entity set {name!r}") from None
 
     @property
-    def obstacle_index(self) -> ObstacleIndex | CompositeObstacleIndex:
-        """The (possibly composite) obstacle source used by queries."""
+    def obstacle_index(
+        self,
+    ) -> ObstacleIndex | CompositeObstacleIndex | ShardedObstacleIndex:
+        """The (possibly composite or sharded) obstacle source."""
         return self._context.source  # type: ignore[union-attr,return-value]
 
     @property
     def obstacle_tree(self) -> RStarTree:
-        """The primary obstacle R*-tree."""
-        return self._obstacle_indexes["obstacles"].tree
+        """The primary obstacle R*-tree (monolithic storage only)."""
+        index = self._obstacle_indexes["obstacles"]
+        if isinstance(index, ShardedObstacleIndex):
+            raise DatasetError(
+                "sharded obstacle storage has no single primary tree; "
+                "use obstacle_index.trees() or obstacle_index.shard(key)"
+            )
+        return index.tree
 
     @property
     def context(self) -> QueryContext:
@@ -331,28 +374,61 @@ class ObstacleDatabase:
 
     # ---------------------------------------------------------------- batch
     def batch_nearest(
-        self, name: str, qs: Iterable[PointLike], k: int = 1
+        self,
+        name: str,
+        qs: Iterable[PointLike],
+        k: int = 1,
+        *,
+        workers: int | None = None,
+        mode: str | None = None,
     ) -> list[list[tuple[Point, float]]]:
-        """ONN for many query points through one shared context.
+        """ONN for many query points through the batch engine.
 
         Returns one result list per query point, in input order;
-        duplicate query points are computed once.
+        duplicate query points are computed once.  ``workers`` (default
+        from ``REPRO_BATCH_WORKERS``, 0 = sequential through the shared
+        context) fans distinct points over a worker pool of private
+        contexts; ``mode`` picks the pool kind (``REPRO_BATCH_MODE``:
+        ``fork``/``thread``/``auto``).  A mid-batch obstacle mutation
+        raises :class:`DatasetError` instead of returning mixed-version
+        answers.
         """
         metric = ObstructedMetric(self.context)
         queries = [self._coerce_point(q) for q in qs]
-        return batch_nearest(self.entity_tree(name), metric, queries, k)
+        return batch_nearest(
+            self.entity_tree(name),
+            metric,
+            queries,
+            k,
+            workers=workers,
+            mode=mode,
+        )
 
     def batch_range(
-        self, name: str, qs: Iterable[PointLike], e: float
+        self,
+        name: str,
+        qs: Iterable[PointLike],
+        e: float,
+        *,
+        workers: int | None = None,
+        mode: str | None = None,
     ) -> list[list[tuple[Point, float]]]:
-        """OR for many query points through one shared context.
+        """OR for many query points through the batch engine.
 
         Returns one result list per query point, in input order;
-        duplicate query points are computed once.
+        duplicate query points are computed once.  ``workers`` and
+        ``mode`` parallelize exactly as for :meth:`batch_nearest`.
         """
         metric = ObstructedMetric(self.context)
         queries = [self._coerce_point(q) for q in qs]
-        return batch_range(self.entity_tree(name), metric, queries, e)
+        return batch_range(
+            self.entity_tree(name),
+            metric,
+            queries,
+            e,
+            workers=workers,
+            mode=mode,
+        )
 
     def shortest_path(
         self, a: PointLike, b: PointLike
@@ -390,10 +466,22 @@ class ObstacleDatabase:
 
     # ---------------------------------------------------------------- stats
     def stats(self) -> Mapping[str, Mapping[str, int]]:
-        """Per-tree page-access counters (reads / misses / writes)."""
+        """Per-tree page-access counters (reads / misses / writes).
+
+        Sharded obstacle sets are reported under their set name with
+        counters summed over the per-shard trees, so workloads read
+        the same keys regardless of the storage layout.
+        """
         out: dict[str, dict[str, int]] = {}
-        for idx in self._obstacle_indexes.values():
-            out[idx.tree.name] = idx.tree.counter.snapshot()
+        for name, idx in self._obstacle_indexes.items():
+            if isinstance(idx, ShardedObstacleIndex):
+                total: dict[str, int] = {"reads": 0, "misses": 0, "writes": 0}
+                for tree in idx.trees():
+                    for key, value in tree.counter.snapshot().items():
+                        total[key] = total.get(key, 0) + value
+                out[f"obstacles:{name}"] = total
+            else:
+                out[idx.tree.name] = idx.tree.counter.snapshot()
         for tree in self._entity_trees.values():
             out[tree.name] = tree.counter.snapshot()
         return out
@@ -413,7 +501,8 @@ class ObstacleDatabase:
         not prime each other.
         """
         for idx in self._obstacle_indexes.values():
-            idx.tree.reset_stats(clear_buffer=clear_buffers)
+            for tree in idx.trees():
+                tree.reset_stats(clear_buffer=clear_buffers)
         for tree in self._entity_trees.values():
             tree.reset_stats(clear_buffer=clear_buffers)
         if clear_buffers and self._context is not None:

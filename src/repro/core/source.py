@@ -6,6 +6,13 @@ range retrieval of relevant obstacles (paper Sec. 3).  The paper notes
 that "the extension to multiple obstacle datasets is straightforward" —
 :class:`CompositeObstacleIndex` is that extension: it unions the
 relevant obstacles of several indexes.
+
+:class:`ShardedObstacleIndex` is the scale-out variant: one dataset
+spatially partitioned over a :class:`~repro.runtime.sharding.ShardGrid`
+into many small per-shard R-trees.  Range retrievals fan out only to
+the shards whose cells intersect the query disk, and versioning is a
+per-shard vector, so the runtime invalidates cached visibility graphs
+shard-locally instead of globally.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.rstar import RStarTree
 from repro.model import Obstacle
+from repro.runtime.sharding import ShardGrid, ShardVersionStamp
 
 
 class ObstacleIndex:
@@ -78,6 +86,10 @@ class ObstacleIndex:
         """MBR of the whole obstacle dataset (``None`` when empty)."""
         return self.tree.mbr()
 
+    def trees(self) -> list[RStarTree]:
+        """The backing R-trees (one, for a monolithic index)."""
+        return [self.tree]
+
     def __len__(self) -> int:
         return len(self.tree)
 
@@ -119,8 +131,191 @@ class CompositeObstacleIndex:
             return None
         return Rect.union_all(rects)
 
+    def trees(self) -> list[RStarTree]:
+        """The backing R-trees of every member index."""
+        return [tree for idx in self.indexes for tree in idx.trees()]
+
     def __len__(self) -> int:
         return sum(len(idx) for idx in self.indexes)
+
+
+class ShardedObstacleIndex:
+    """One obstacle dataset spatially partitioned into per-shard R-trees.
+
+    Each occupied grid cell owns a full :class:`ObstacleIndex` (its own
+    versioned R-tree); an obstacle is stored in every shard its MBR
+    overlaps, and retrievals dedupe by obstacle id — the same union
+    semantics as :class:`CompositeObstacleIndex`, but with *spatial*
+    membership, so:
+
+    * ``obstacles_in_range`` consults only the shards whose cells
+      intersect the query disk (in Hilbert key order, for buffer
+      locality and determinism);
+    * mutations bump only the versions of the shards they touch, and
+      :meth:`version_stamp` hands the query runtime a per-shard version
+      vector (:class:`~repro.runtime.sharding.ShardVersionStamp`) so
+      cached visibility graphs survive mutations in shards they never
+      read.
+
+    Shards are created lazily on first insert into their cell (bumping
+    ``layout_version``) and never removed — an emptied shard keeps its
+    version history, which is what makes stamp comparison sound.
+    """
+
+    def __init__(
+        self,
+        grid: ShardGrid,
+        *,
+        name: str = "obstacles",
+        **tree_kwargs: object,
+    ) -> None:
+        self.grid = grid
+        self.name = name
+        self._tree_kwargs = dict(tree_kwargs)
+        self._shards: dict[int, ObstacleIndex] = {}
+        self._layout_version = 0
+        self._count = 0
+
+    # -------------------------------------------------------------- shards
+    @property
+    def layout_version(self) -> int:
+        """Bumped whenever a new shard is created (never on mutation)."""
+        return self._layout_version
+
+    @property
+    def shard_count(self) -> int:
+        """Number of occupied shards."""
+        return len(self._shards)
+
+    def shard_keys(self) -> list[int]:
+        """Occupied shard keys in Hilbert order."""
+        return sorted(self._shards)
+
+    def shard(self, key: int) -> ObstacleIndex:
+        """The shard stored under ``key`` (raises on unoccupied cells)."""
+        try:
+            return self._shards[key]
+        except KeyError:
+            raise DatasetError(f"no shard with key {key}") from None
+
+    def shard_version(self, key: int) -> int:
+        """Version of the shard under ``key`` (0 for unoccupied cells)."""
+        shard = self._shards.get(key)
+        return 0 if shard is None else shard.version
+
+    def occupied_keys_for_disk(self, center: Point, radius: float) -> list[int]:
+        """Occupied shard keys whose cells intersect the disk, sorted
+        in Hilbert order (the retrieval fan-out set)."""
+        if radius == inf:
+            return sorted(self._shards)
+        grid = self.grid
+        keys = {
+            grid.key(cx, cy) for cx, cy in grid.cells_for_disk(center, radius)
+        }
+        return sorted(keys & self._shards.keys())
+
+    def _shard_for_key(self, key: int) -> ObstacleIndex:
+        shard = self._shards.get(key)
+        if shard is None:
+            tree = RStarTree(
+                name=f"{self.name}[{key:04d}]",
+                **self._tree_kwargs,  # type: ignore[arg-type]
+            )
+            shard = ObstacleIndex(tree)
+            self._shards[key] = shard
+            self._layout_version += 1
+        return shard
+
+    def _keys_for_obstacle(self, obstacle: Obstacle) -> list[int]:
+        grid = self.grid
+        return sorted(
+            {grid.key(cx, cy) for cx, cy in grid.cells_for_rect(obstacle.mbr)}
+        )
+
+    # ------------------------------------------------------------ versioning
+    @property
+    def version(self) -> int:
+        """Global version: moves whenever *any* shard mutates.
+
+        Kept for API parity with the monolithic sources (and for code
+        paths that only need "did anything change"); the runtime
+        prefers the per-shard :meth:`version_stamp`.
+        """
+        return sum(shard.version for shard in self._shards.values())
+
+    def version_stamp(self, center: Point, radius: float) -> ShardVersionStamp:
+        """The per-shard version vector for a graph covering the disk."""
+        versions = {
+            key: self._shards[key].version
+            for key in self.occupied_keys_for_disk(center, radius)
+        }
+        return ShardVersionStamp(
+            self, center, radius, versions, self._layout_version
+        )
+
+    # -------------------------------------------------------------- queries
+    def obstacles_in_range(self, center: Point, radius: float) -> list[Obstacle]:
+        """Obstacles intersecting the disk — fanned out only to the
+        shards whose cells intersect it, deduped by obstacle id."""
+        result: list[Obstacle] = []
+        seen: set[int] = set()
+        for key in self.occupied_keys_for_disk(center, radius):
+            for obs in self._shards[key].obstacles_in_range(center, radius):
+                if obs.oid not in seen:
+                    seen.add(obs.oid)
+                    result.append(obs)
+        return result
+
+    def find(self, oid: int) -> Obstacle | None:
+        """The obstacle with id ``oid``, or ``None`` (scans shards)."""
+        for key in sorted(self._shards):
+            found = self._shards[key].find(oid)
+            if found is not None:
+                return found
+        return None
+
+    def universe(self) -> Rect | None:
+        """MBR of the stored obstacles (``None`` when empty).
+
+        This is the *data* MBR, not the (fixed) grid universe.
+        """
+        rects = [shard.universe() for shard in self._shards.values()]
+        rects = [r for r in rects if r is not None]
+        return Rect.union_all(rects) if rects else None
+
+    def trees(self) -> list[RStarTree]:
+        """The per-shard R-trees, in Hilbert key order."""
+        return [self._shards[key].tree for key in sorted(self._shards)]
+
+    def __len__(self) -> int:
+        """Number of distinct stored obstacles (spanning obstacles are
+        replicated across shards but counted once)."""
+        return self._count
+
+    # ------------------------------------------------------------- mutation
+    def insert(self, obstacle: Obstacle) -> None:
+        """Insert one obstacle into every shard its MBR overlaps."""
+        for key in self._keys_for_obstacle(obstacle):
+            self._shard_for_key(key).insert(obstacle)
+        self._count += 1
+
+    def delete(self, obstacle: Obstacle) -> bool:
+        """Delete one obstacle from the shards holding it."""
+        found = False
+        for key in self._keys_for_obstacle(obstacle):
+            shard = self._shards.get(key)
+            if shard is not None and shard.delete(obstacle):
+                found = True
+        if found:
+            self._count -= 1
+        return found
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedObstacleIndex({self._count} obstacles, "
+            f"{len(self._shards)}/{self.grid.cell_count} shards, "
+            f"order={self.grid.order})"
+        )
 
 
 def build_obstacle_index(
@@ -145,3 +340,46 @@ def build_obstacle_index(
         for obs, rect in items:
             tree.insert(obs, rect)
     return ObstacleIndex(tree)
+
+
+def build_sharded_obstacle_index(
+    obstacles: Iterable[Obstacle],
+    *,
+    shards: int = 16,
+    universe: Rect | None = None,
+    bulk: bool = True,
+    name: str = "obstacles",
+    **tree_kwargs: object,
+) -> ShardedObstacleIndex:
+    """Index an obstacle collection into a spatially sharded store.
+
+    ``shards`` is a target count — the grid is the tightest power-of-two
+    square with at least that many cells.  ``universe`` fixes the grid
+    extent (defaults to the collection's MBR; later inserts outside it
+    are clamped into the rim shards).  ``bulk=True`` STR-packs each
+    shard's tree.
+    """
+    from repro.index.bulk import str_pack
+
+    items = list(obstacles)
+    if universe is None:
+        universe = (
+            Rect.union_all([obs.mbr for obs in items])
+            if items
+            else Rect(0.0, 0.0, 1.0, 1.0)
+        )
+    grid = ShardGrid.for_shards(universe, shards)
+    index = ShardedObstacleIndex(grid, name=name, **tree_kwargs)
+    if not bulk:
+        for obs in items:
+            index.insert(obs)
+        return index
+    per_shard: dict[int, list[Obstacle]] = {}
+    for obs in items:
+        for key in index._keys_for_obstacle(obs):
+            per_shard.setdefault(key, []).append(obs)
+    for key in sorted(per_shard):
+        shard = index._shard_for_key(key)
+        str_pack(shard.tree, [(obs, obs.mbr) for obs in per_shard[key]])
+    index._count = len(items)
+    return index

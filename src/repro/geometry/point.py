@@ -48,6 +48,13 @@ class Point:
     def __hash__(self) -> int:
         return hash((self.x, self.y))
 
+    def __reduce__(self) -> tuple:
+        # Default slot-based pickling would call ``__setattr__`` (which
+        # raises for immutability); reconstruct through the constructor
+        # instead so points can cross process boundaries (the parallel
+        # batch executor ships query results between workers).
+        return (Point, (self.x, self.y))
+
     def __repr__(self) -> str:
         return f"Point({self.x:g}, {self.y:g})"
 

@@ -52,14 +52,25 @@ class LRUBuffer:
         self._evict_to(self.capacity_for(len(self._pages)))
 
     def access(self, page_id: int, store_pages: int) -> bool:
-        """Touch a page; returns ``True`` on a buffer hit."""
-        hit = page_id in self._pages
-        if hit:
-            self._pages.move_to_end(page_id)
-        else:
-            self._pages[page_id] = None
-            self._evict_to(self.capacity_for(store_pages))
-        return hit
+        """Touch a page; returns ``True`` on a buffer hit.
+
+        Sequentially deterministic; also safe under the thread-mode
+        batch executor, where several workers share one tree's buffer:
+        a page observed present can be evicted by another worker before
+        the LRU touch lands, which is absorbed as a miss-equivalent
+        re-admit instead of a ``KeyError`` (counters may then be
+        slightly off — parallel runs trade counter fidelity for
+        wall-clock, as documented in :mod:`repro.runtime.executor`).
+        """
+        if page_id in self._pages:
+            try:
+                self._pages.move_to_end(page_id)
+                return True
+            except KeyError:  # concurrently evicted mid-access
+                pass
+        self._pages[page_id] = None
+        self._evict_to(self.capacity_for(store_pages))
+        return False
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page from the buffer (on page deallocation)."""
@@ -71,7 +82,10 @@ class LRUBuffer:
 
     def _evict_to(self, capacity: int) -> None:
         while len(self._pages) > capacity:
-            self._pages.popitem(last=False)
+            try:
+                self._pages.popitem(last=False)
+            except KeyError:  # concurrently drained by another worker
+                break
 
     def __len__(self) -> int:
         return len(self._pages)

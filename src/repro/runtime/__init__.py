@@ -18,12 +18,23 @@ graph.  This package owns that machinery once, instead of per query:
 * :mod:`~repro.runtime.skeletons` — the generic best-first traversal
   and the shared bounded-Dijkstra expansion;
 * :mod:`~repro.runtime.batch` — batch entry points amortizing one
-  context across many query points.
+  context across many query points;
+* :mod:`~repro.runtime.executor` — the parallel batch engine: a
+  worker pool (``REPRO_BATCH_WORKERS`` / ``REPRO_BATCH_MODE``)
+  evaluating independent query points over per-worker contexts;
+* :mod:`~repro.runtime.sharding` — the spatial shard grid and the
+  per-shard version stamps backing
+  :class:`~repro.core.source.ShardedObstacleIndex`.
 """
 
 from repro.runtime.batch import batch_distance, batch_nearest, batch_range
 from repro.runtime.cache import CachedGraph, VisibilityGraphCache
 from repro.runtime.context import QueryContext
+from repro.runtime.executor import (
+    BatchExecutor,
+    resolve_mode,
+    resolve_workers,
+)
 from repro.runtime.metric import (
     DistanceField,
     DistanceOracle,
@@ -40,6 +51,7 @@ from repro.runtime.queries import (
     metric_range,
     metric_semijoin,
 )
+from repro.runtime.sharding import ShardGrid, ShardVersionStamp
 from repro.runtime.skeletons import (
     best_first,
     bounded_expansion,
@@ -68,6 +80,11 @@ __all__ = [
     "batch_nearest",
     "batch_range",
     "batch_distance",
+    "BatchExecutor",
+    "resolve_workers",
+    "resolve_mode",
+    "ShardGrid",
+    "ShardVersionStamp",
     "best_first",
     "bounded_expansion",
     "emit_in_metric_order",

@@ -1,13 +1,27 @@
-"""Batch query execution over one shared context.
+"""Batch query execution: one shared context, or a parallel worker pool.
 
 A workload of many query points against the same datasets is the
 common production shape (the paper's experiments run 200-query
-workloads).  Executing them through one
+workloads).  Sequentially, executing them through one
 :class:`~repro.runtime.context.QueryContext` amortizes the runtime
 state: R-tree buffers stay warm, visibility graphs persist in the LRU
 cache across queries, and *repeated* query points — ubiquitous in real
 traffic — are answered from a per-batch memo without touching the
 trees at all.
+
+Because query points are independent given a frozen obstacle version,
+batches also parallelize: with ``workers >= 2`` (argument or the
+``REPRO_BATCH_WORKERS`` environment variable) the distinct query
+points are fanned out over a
+:class:`~repro.runtime.executor.BatchExecutor` worker pool — one
+private context per worker, per-worker stats merged on join, result
+order preserved, and the duplicate-point memo applied up front (each
+distinct point is evaluated exactly once in either path).
+
+Every batch snapshots the obstacle version on entry and verifies it
+before returning: a mid-batch obstacle mutation raises
+:class:`~repro.errors.DatasetError` instead of silently returning
+answers computed against a mix of obstacle versions.
 
 The batch functions take a :class:`~repro.runtime.metric.DistanceOracle`
 so the same entry points serve Euclidean and obstructed execution;
@@ -17,17 +31,91 @@ so the same entry points serve Euclidean and obstructed execution;
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.errors import DatasetError
 from repro.geometry.point import Point
 from repro.index.rstar import RStarTree
+from repro.runtime.executor import BatchExecutor
 from repro.runtime.metric import DistanceOracle
 from repro.runtime.queries import metric_nearest, metric_range
+
+R = TypeVar("R")
 
 
 def _memo_stats(metric: DistanceOracle):
     context = getattr(metric, "context", None)
     return getattr(context, "stats", None)
+
+
+class _VersionGuard:
+    """Snapshot of the metric's obstacle version at batch start.
+
+    ``check()`` raises :class:`DatasetError` when the version moved —
+    results computed so far span two obstacle sets and must not be
+    returned as one batch.
+    """
+
+    __slots__ = ("_context", "_version")
+
+    def __init__(self, metric: DistanceOracle) -> None:
+        self._context = getattr(metric, "context", None)
+        self._version = (
+            self._context.version if self._context is not None else None
+        )
+
+    def check(self) -> None:
+        if self._context is None:
+            return
+        current = self._context.version
+        if current != self._version:
+            raise DatasetError(
+                "obstacle set mutated during batch execution "
+                f"(version {self._version} -> {current}); the partial "
+                "answers span two obstacle versions — re-run the batch "
+                "after quiescing updates"
+            )
+
+
+def _run_batch(
+    metric: DistanceOracle,
+    queries: Iterable[Point],
+    evaluate: Callable[[DistanceOracle, Point], R],
+    *,
+    workers: int | None,
+    mode: str | None,
+) -> list[R]:
+    """Shared batch skeleton: dedupe, guard, dispatch, reassemble.
+
+    Duplicate query points are evaluated once and fanned back out to
+    every occurrence (booked as ``batch_memo_hits``); distinct points
+    run either through the caller's shared metric (sequential) or a
+    worker pool of spawned metrics (parallel).
+    """
+    queries = list(queries)
+    guard = _VersionGuard(metric)
+    stats = _memo_stats(metric)
+    order: dict[Point, int] = {}
+    for q in queries:
+        if q not in order:
+            order[q] = len(order)
+    distinct = list(order)
+    if stats is not None:
+        stats.batch_memo_hits += len(queries) - len(distinct)
+
+    executor = BatchExecutor(workers, mode)
+    if (
+        executor.parallel
+        and len(distinct) > 1
+        and hasattr(metric, "spawn")
+    ):
+        evaluated = executor.run(metric, distinct, evaluate, stats=stats)
+        if stats is not None:
+            stats.parallel_batches += 1
+    else:
+        evaluated = [evaluate(metric, q) for q in distinct]
+    guard.check()
+    return [evaluated[order[q]] for q in queries]
 
 
 def batch_nearest(
@@ -37,26 +125,24 @@ def batch_nearest(
     k: int = 1,
     *,
     prune_bound: bool = True,
+    workers: int | None = None,
+    mode: str | None = None,
 ) -> list[list[tuple[Point, float]]]:
     """One k-NN result list per query point, in input order.
 
     Exactly equivalent to calling
     :func:`~repro.runtime.queries.metric_nearest` per point with a
-    shared metric; duplicate query points are computed once (the
-    datasets must not be mutated mid-batch).
+    shared metric; duplicate query points are computed once, and
+    ``workers >= 2`` fans the distinct points over a worker pool (the
+    obstacle set must not be mutated mid-batch — a moved version
+    raises :class:`DatasetError`).
     """
-    memo: dict[Point, list[tuple[Point, float]]] = {}
-    stats = _memo_stats(metric)
-    results: list[list[tuple[Point, float]]] = []
-    for q in queries:
-        cached = memo.get(q)
-        if cached is None:
-            cached = metric_nearest(tree, metric, q, k, prune_bound=prune_bound)
-            memo[q] = cached
-        elif stats is not None:
-            stats.batch_memo_hits += 1
-        results.append(list(cached))
-    return results
+
+    def evaluate(m: DistanceOracle, q: Point) -> list[tuple[Point, float]]:
+        return metric_nearest(tree, m, q, k, prune_bound=prune_bound)
+
+    shared = _run_batch(metric, queries, evaluate, workers=workers, mode=mode)
+    return [list(result) for result in shared]
 
 
 def batch_range(
@@ -64,25 +150,23 @@ def batch_range(
     metric: DistanceOracle,
     queries: Iterable[Point],
     e: float,
+    *,
+    workers: int | None = None,
+    mode: str | None = None,
 ) -> list[list[tuple[Point, float]]]:
     """One range result list per query point, in input order.
 
     Exactly equivalent to calling
     :func:`~repro.runtime.queries.metric_range` per point with a
-    shared metric; duplicate query points are computed once.
+    shared metric; duplicate query points are computed once, and
+    ``workers >= 2`` parallelizes exactly as for :func:`batch_nearest`.
     """
-    memo: dict[Point, list[tuple[Point, float]]] = {}
-    stats = _memo_stats(metric)
-    results: list[list[tuple[Point, float]]] = []
-    for q in queries:
-        cached = memo.get(q)
-        if cached is None:
-            cached = metric_range(tree, metric, q, e)
-            memo[q] = cached
-        elif stats is not None:
-            stats.batch_memo_hits += 1
-        results.append(list(cached))
-    return results
+
+    def evaluate(m: DistanceOracle, q: Point) -> list[tuple[Point, float]]:
+        return metric_range(tree, m, q, e)
+
+    shared = _run_batch(metric, queries, evaluate, workers=workers, mode=mode)
+    return [list(result) for result in shared]
 
 
 def batch_distance(
@@ -93,6 +177,10 @@ def batch_distance(
 
     Pairs sharing their second element reuse the cached graph keyed at
     that expansion centre (the ODJ seed observation applied to ad-hoc
-    distance workloads).
+    distance workloads).  Like the other batch entry points, a
+    mid-batch obstacle mutation raises :class:`DatasetError`.
     """
-    return [metric.distance(p, q) for p, q in pairs]
+    guard = _VersionGuard(metric)
+    results = [metric.distance(p, q) for p, q in pairs]
+    guard.check()
+    return results

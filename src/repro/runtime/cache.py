@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.geometry.point import Point
+from repro.runtime.sharding import stamp_is_stale
 from repro.runtime.stats import RuntimeStats
 from repro.visibility.graph import VisibilityGraph
 
@@ -30,8 +31,11 @@ class CachedGraph:
 
     ``covered`` is the radius around ``center`` up to which *all*
     obstacles are known to be in the graph; ``version`` is the obstacle
-    source's version at build time (a mismatch at lookup means the
-    entry is stale and must be discarded).
+    source's version at build time — a plain integer for monolithic
+    sources, or a per-shard
+    :class:`~repro.runtime.sharding.ShardVersionStamp` for sharded
+    ones (then only mutations in shards the graph actually touched
+    make the entry stale).
     """
 
     __slots__ = ("graph", "center", "covered", "version")
@@ -41,7 +45,7 @@ class CachedGraph:
         graph: VisibilityGraph,
         center: Point,
         covered: float,
-        version: int,
+        version: "int | object",
     ) -> None:
         self.graph = graph
         self.center = center
@@ -96,7 +100,7 @@ class VisibilityGraphCache:
         if entry is None:
             self.stats.graph_cache_misses += 1
             return None
-        if entry.version != version:
+        if stamp_is_stale(entry.version, version):
             del self._entries[center]
             self.stats.graph_cache_invalidations += 1
             self.stats.graph_cache_misses += 1

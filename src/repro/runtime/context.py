@@ -24,6 +24,7 @@ from math import inf
 from repro.core.distance import ObstacleSource, SourceDistanceField
 from repro.geometry.point import Point
 from repro.runtime.cache import CachedGraph, VisibilityGraphCache
+from repro.runtime.sharding import stamp_for, stamp_is_stale
 from repro.runtime.stats import RuntimeStats
 from repro.visibility.graph import VisibilityGraph
 from repro.visibility.kernel.backend import VisibilityBackend, resolve_backend
@@ -80,6 +81,28 @@ class QueryContext:
         """Drop every cached graph (e.g. after swapping the source)."""
         self.cache.clear()
 
+    def spawn(self, *, stats: RuntimeStats | None = None) -> "QueryContext":
+        """An independent context over the same obstacle source.
+
+        The parallel batch executor gives each worker one: same source
+        and backend *kind*, but a private graph cache and private stats
+        (merged into the parent's on join), so workers never contend on
+        mutable runtime state.
+        """
+        from repro.visibility.kernel.backend import available_backends
+
+        backend = (
+            self.backend.name
+            if self.backend.name in available_backends()
+            else self.backend
+        )
+        return QueryContext(
+            self.source,
+            cache_size=self.cache.capacity,
+            stats=stats,
+            backend=backend,
+        )
+
     # ------------------------------------------------------------ graph reuse
     def entry_for(self, center: Point, radius: float = 0.0) -> CachedGraph:
         """The cached graph expanded around ``center``, covering ``radius``.
@@ -90,6 +113,9 @@ class QueryContext:
         """
         entry = self.cache.get(center, self.version)
         if entry is None:
+            # Stamp before retrieving: the stamp must never post-date
+            # the obstacle set the graph is built from.
+            stamp = stamp_for(self.source, center, radius)
             obstacles = (
                 self.source.obstacles_in_range(center, radius)
                 if radius > 0
@@ -99,7 +125,7 @@ class QueryContext:
                 [center], obstacles, method=self.backend
             )
             self.stats.graph_builds += 1
-            entry = CachedGraph(graph, center, radius, self.version)
+            entry = CachedGraph(graph, center, radius, stamp)
             self.cache.put(entry)
         elif radius > entry.covered:
             self.ensure_coverage(entry, radius)
@@ -123,12 +149,12 @@ class QueryContext:
         (covering at least its previous radius), keeping every held
         reference valid and fresh.
         """
-        version = self.version
-        if entry.version != version:
+        if stamp_is_stale(entry.version, self.version):
             # In-place refresh of a held entry: booked as a rebuild,
             # not as a cache invalidation (the entry is never dropped)
             # nor a fresh build.
             radius = max(radius, entry.covered)
+            stamp = stamp_for(self.source, entry.center, radius)
             obstacles = (
                 self.source.obstacles_in_range(entry.center, radius)
                 if radius > 0
@@ -136,7 +162,7 @@ class QueryContext:
             )
             entry.graph.rebuild(obstacles)
             self.stats.graph_rebuilds += 1
-            entry.version = version
+            entry.version = stamp
             entry.covered = radius
             return True
         if radius <= entry.covered:
@@ -149,6 +175,11 @@ class QueryContext:
             if graph.add_obstacle(obs):
                 self.stats.obstacles_added += 1
                 added = True
+        extend = getattr(entry.version, "extend", None)
+        if extend is not None:
+            # Per-shard stamps absorb the newly touched shards (at
+            # their just-retrieved versions) as the disk grows.
+            extend(radius)
         entry.covered = radius
         return added
 

@@ -1,0 +1,228 @@
+"""The parallel batch execution engine.
+
+A batch workload is a list of independent query points evaluated
+against a frozen obstacle version — exactly the shape a worker pool
+parallelizes: split the (deduplicated) query list into contiguous
+chunks, give every worker a *private* :class:`~repro.runtime.context.
+QueryContext` over the shared obstacle source (private graph cache,
+private :class:`~repro.runtime.stats.RuntimeStats`), run the chunks
+concurrently, and merge the worker stats into the parent context on
+join.  Result order is preserved by reassembling chunks by offset.
+
+Worker count
+    ``workers`` argument, else the ``REPRO_BATCH_WORKERS`` environment
+    variable, else 0.  Values of 0 or 1 mean sequential execution —
+    the batch entry points in :mod:`repro.runtime.batch` keep their
+    single-context fast path and never construct an executor pool.
+
+Execution mode
+    ``mode`` argument, else ``REPRO_BATCH_MODE``, else ``auto``:
+
+    ``fork``
+        One OS process per worker (``multiprocessing`` fork context).
+        CPython's GIL serializes the pure-python sweep/Dijkstra work
+        that dominates obstructed queries, so true wall-clock speedup
+        needs processes.  The pool is forked per batch, so children
+        see the parent's current trees copy-on-write and nothing needs
+        pickling except the results and the per-worker stats
+        snapshots.  Page-access counters ticked inside workers stay in
+        the children (runtime stats are merged back; simulated I/O
+        counts are not), so benchmarks measuring page accesses should
+        run sequentially.
+    ``thread``
+        A ``ThreadPoolExecutor``.  Shares all counters and buffers and
+        has no fork cost, but only overlaps work while the GIL is
+        released — useful mainly where fork is unavailable.
+    ``auto``
+        ``fork`` where the platform supports it, else ``thread``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import QueryError
+from repro.runtime.stats import RuntimeStats
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_BATCH_WORKERS"
+
+#: Environment variable supplying the default execution mode.
+MODE_ENV = "REPRO_BATCH_MODE"
+
+_MODES = ("auto", "thread", "fork")
+
+Q = TypeVar("Q")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """The effective worker count: argument, env, or 0 (sequential)."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise QueryError(
+                f"invalid {WORKERS_ENV}={raw!r}: expected an integer"
+            ) from None
+    if workers < 0:
+        raise QueryError(f"worker count must be >= 0, got {workers}")
+    return workers
+
+
+def fork_available() -> bool:
+    """True when the fork start method exists on this platform."""
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_mode(mode: str | None = None) -> str:
+    """The effective execution mode: argument, env, or ``auto``."""
+    if mode is None:
+        mode = os.environ.get(MODE_ENV, "").strip() or "auto"
+    if mode not in _MODES:
+        raise QueryError(
+            f"unknown batch mode {mode!r} (expected one of {_MODES})"
+        )
+    if mode == "auto":
+        return "fork" if fork_available() else "thread"
+    return mode
+
+
+def _chunk_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """``parts`` contiguous, balanced ``(start, stop)`` ranges over ``n``."""
+    size, extra = divmod(n, parts)
+    ranges = []
+    start = 0
+    for i in range(parts):
+        stop = start + size + (1 if i < extra else 0)
+        if stop > start:
+            ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+class _ForkTask:
+    """The per-batch state fork children inherit (never pickled)."""
+
+    __slots__ = ("metric", "queries", "evaluate")
+
+    def __init__(self, metric, queries, evaluate) -> None:
+        self.metric = metric
+        self.queries = queries
+        self.evaluate = evaluate
+
+
+_FORK_TASK: _ForkTask | None = None
+
+#: Serializes concurrent fork-mode batches in one process: the task
+#: state travels to the children through a module global set between
+#: lock acquisition and pool fork, so two parent threads forking at
+#: once would otherwise race on it (and oversubscribe the cores).
+_FORK_LOCK = threading.Lock()
+
+
+def _run_chunk_fork(chunk: tuple[int, int]):
+    """Executed inside a forked worker: evaluate one chunk over a
+    private context spawned from the inherited task state."""
+    task = _FORK_TASK
+    assert task is not None, "fork worker started without task state"
+    return _evaluate_chunk(task.metric, task.queries, task.evaluate, chunk)
+
+
+def _evaluate_chunk(
+    metric, queries: Sequence[Q], evaluate, chunk: tuple[int, int]
+):
+    worker_metric = metric.spawn()
+    start, stop = chunk
+    results = [evaluate(worker_metric, queries[i]) for i in range(start, stop)]
+    context = getattr(worker_metric, "context", None)
+    stats = context.stats.snapshot() if context is not None else None
+    return start, results, stats
+
+
+class BatchExecutor:
+    """A worker pool evaluating independent queries over spawned metrics.
+
+    The executor is construction-cheap: pools are created per
+    :meth:`run` call (fork mode *must* fork per batch so children see
+    the current obstacle trees).  ``workers <= 1`` executors report
+    :attr:`parallel` as ``False`` and refuse to run — callers keep
+    their sequential path, which shares one context and its memo.
+    """
+
+    def __init__(
+        self, workers: int | None = None, mode: str | None = None
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.mode = resolve_mode(mode)
+
+    @property
+    def parallel(self) -> bool:
+        """True when this executor would actually fan out."""
+        return self.workers > 1
+
+    def run(
+        self,
+        metric,
+        queries: Sequence[Q],
+        evaluate: Callable[[object, Q], R],
+        *,
+        stats: RuntimeStats | None = None,
+    ) -> list[R]:
+        """``[evaluate(worker_metric, q) for q in queries]``, in order.
+
+        ``metric`` must support ``spawn()`` (an independent equivalent
+        metric); each worker evaluates its chunk against its own spawn.
+        Worker runtime stats are merged into ``stats`` when given.
+        """
+        if not self.parallel:
+            raise QueryError("BatchExecutor.run needs >= 2 workers")
+        n = len(queries)
+        chunks = _chunk_ranges(n, min(self.workers, n))
+        if self.mode == "fork":
+            parts = self._run_fork(metric, queries, evaluate, chunks)
+        else:
+            parts = self._run_thread(metric, queries, evaluate, chunks)
+        results: list[R] = [None] * n  # type: ignore[list-item]
+        for start, chunk_results, worker_stats in parts:
+            results[start : start + len(chunk_results)] = chunk_results
+            if stats is not None and worker_stats is not None:
+                stats.merge(worker_stats)
+        return results
+
+    def _run_thread(self, metric, queries, evaluate, chunks):
+        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            futures = [
+                pool.submit(_evaluate_chunk, metric, queries, evaluate, chunk)
+                for chunk in chunks
+            ]
+            return [f.result() for f in futures]
+
+    def _run_fork(self, metric, queries, evaluate, chunks):
+        import multiprocessing
+
+        global _FORK_TASK
+        if _FORK_TASK is not None:  # pragma: no cover - nested batches
+            # A forked child running a batch of its own must not
+            # re-fork over the parent's task state (children are born
+            # with _FORK_TASK set, and never touch the lock).
+            return self._run_thread(metric, queries, evaluate, chunks)
+        with _FORK_LOCK:
+            _FORK_TASK = _ForkTask(metric, queries, evaluate)
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(processes=len(chunks)) as pool:
+                    return pool.map(_run_chunk_fork, chunks)
+            finally:
+                _FORK_TASK = None
+
+    def __repr__(self) -> str:
+        return f"BatchExecutor(workers={self.workers}, mode={self.mode!r})"

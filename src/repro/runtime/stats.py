@@ -34,6 +34,7 @@ class RuntimeStats:
         "distance_calls",
         "field_builds",
         "batch_memo_hits",
+        "parallel_batches",
         "sweeps_run",
         "sweep_events",
         "sweep_seconds",
@@ -57,6 +58,7 @@ class RuntimeStats:
         self.distance_calls = 0
         self.field_builds = 0
         self.batch_memo_hits = 0
+        self.parallel_batches = 0
         self.sweeps_run = 0
         self.sweep_events = 0
         self.sweep_seconds = 0.0
@@ -64,6 +66,23 @@ class RuntimeStats:
     def snapshot(self) -> dict[str, int | float | str]:
         """The current counter values as a plain dict."""
         return {name: getattr(self, name) for name in self.__slots__}
+
+    def merge(self, other: "RuntimeStats | dict[str, int | float | str]") -> None:
+        """Fold another instance's (or snapshot's) counters into this one.
+
+        The parallel batch executor gives each worker a private
+        ``RuntimeStats`` and merges them here on join, so the parent
+        context's counters account all work regardless of worker
+        count.  The ``backend`` label is configuration, not work, and
+        is left untouched.
+        """
+        snapshot = other.snapshot() if isinstance(other, RuntimeStats) else other
+        for name in self.__slots__:
+            if name == "backend":
+                continue
+            value = snapshot.get(name)
+            if value:
+                setattr(self, name, getattr(self, name) + value)
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())

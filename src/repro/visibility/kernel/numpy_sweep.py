@@ -111,8 +111,32 @@ def kernel_visible_from(
     obstacles = None
     visible: list[Point] = []
     survivors = np.nonzero(~blocked)[0]
-    for amb, idx in zip(
-        ambiguous[survivors].tolist(), ev_ids[survivors].tolist()
+    amb_mask = ambiguous[survivors]
+    # Residual check, vectorized: a segment leaving p straight through
+    # the interior of an obstacle whose boundary contains p generates
+    # no crossing candidates at all.  For a survivor with *no*
+    # ambiguous pair every non-incident edge is strictly separated
+    # from the open segment p-w, so the segment meets each boundary
+    # only at its endpoints: one midpoint containment test per
+    # boundary obstacle decides `crosses_interior` exactly, except for
+    # midpoints within a conservative band of the boundary (collinear
+    # grazes along an edge through p), which keep the exact test.
+    drop = np.zeros(survivors.shape[0], dtype=bool)
+    if p_boundary:
+        plain = np.nonzero(~amb_mask)[0]
+        if plain.size:
+            plain_ids = ev_ids[survivors[plain]]
+            inside, borderline = _interior_departures(
+                p, p_boundary, exy[plain_ids]
+            )
+            for j in np.nonzero(borderline)[0].tolist():
+                w = points[plain_ids[j]]
+                inside[j] = any(
+                    obs.polygon.crosses_interior(p, w) for obs in p_boundary
+                )
+            drop[plain] = inside
+    for amb, dropped, idx in zip(
+        amb_mask.tolist(), drop.tolist(), ev_ids[survivors].tolist()
     ):
         w = points[idx]
         if amb:
@@ -121,10 +145,68 @@ def kernel_visible_from(
             if is_visible(p, w, obstacles):
                 visible.append(w)
             continue
-        if any(obs.polygon.crosses_interior(p, w) for obs in p_boundary):
+        if dropped:
             continue
         visible.append(w)
     return visible
+
+
+#: Half-width of the boundary band (relative, scaled by edge length)
+#: inside which the vectorized midpoint containment defers to the
+#: exact ``crosses_interior``.  Three orders of magnitude wider than
+#: the tolerant scalar predicates' band (``EPS * (len + 1)``), so every
+#: decision the python geometry could see differently is deferred.
+_BOUNDARY_BAND = 1e-6
+
+
+def _interior_departures(
+    p: Point, p_boundary, wxy: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-target flags ``(inside, borderline)`` for the residual check.
+
+    For each target ``w`` (a row of ``wxy``) the midpoint of ``p-w`` is
+    tested for strict containment in each obstacle of ``p_boundary``
+    with the same even-odd ray cast as
+    :meth:`repro.geometry.polygon.Polygon._crossing_number_odd`.  The
+    caller guarantees the open segment meets every obstacle boundary
+    at most at its endpoints (all crossing candidates were strictly
+    clear), so the midpoint verdict *is* ``crosses_interior`` — except
+    when the midpoint falls within ``_BOUNDARY_BAND`` of a boundary
+    edge, where ``borderline`` sends the decision back to the exact
+    scalar test.
+    """
+    n = wxy.shape[0]
+    mx = (wxy[:, 0] + p.x) * 0.5
+    my = (wxy[:, 1] + p.y) * 0.5
+    inside = np.zeros(n, dtype=bool)
+    borderline = np.zeros(n, dtype=bool)
+    for obs in p_boundary:
+        verts = obs.polygon.vertices
+        ax = np.array([v.x for v in verts])
+        ay = np.array([v.y for v in verts])
+        bx = np.roll(ax, -1)
+        by = np.roll(ay, -1)
+        ex = bx - ax
+        ey = by - ay
+        e_len_sq = ex * ex + ey * ey
+        # Distance from each midpoint to each closed boundary edge
+        # (clamped projection), against the per-edge band width.
+        t = ((mx[:, None] - ax) * ex + (my[:, None] - ay) * ey) / e_len_sq
+        np.clip(t, 0.0, 1.0, out=t)
+        dx = mx[:, None] - (ax + t * ex)
+        dy = my[:, None] - (ay + t * ey)
+        band = _BOUNDARY_BAND * (np.sqrt(e_len_sq) + 1.0)
+        near = ((dx * dx + dy * dy) <= band * band).any(axis=1)
+        # Even-odd ray cast to +x, the scalar test's exact arithmetic:
+        # half-open rule on the edge y-range, crossing strictly right.
+        straddles = (ay > my[:, None]) != (by > my[:, None])
+        denom = np.where(straddles, by - ay, 1.0)
+        x_cross = ax + (my[:, None] - ay) * ex / denom
+        crossings = (straddles & (x_cross > mx[:, None])).sum(axis=1)
+        odd = (crossings & 1).astype(bool)
+        inside |= odd & ~near
+        borderline |= near
+    return inside, borderline & ~inside
 
 
 def _classify_events(

@@ -56,16 +56,20 @@ def test_both_strictly_inside_implies_crossing(a, b):
 def test_proper_edge_crossing_implies_interior_crossing(a, b):
     if a == b:
         return
-    # The property holds only away from polygon corners: an endpoint
-    # within tolerance scale of a vertex (e.g. Point(0, 4e-54) next to
-    # the origin corner) can properly cross an edge while its interior
-    # excursion stays below tolerance — a graze, which the tolerant
-    # crosses_interior rightly ignores.  EPS (1e-9) is *relative* to
-    # segment lengths, which reach ~85 in this +-30 box around the
-    # 10x10 square, so absolute tolerance distances reach ~1e-7 here.
+    # The property holds only away from the polygon boundary: an
+    # endpoint within tolerance scale of a vertex (e.g. Point(0, 4e-54)
+    # next to the origin corner) or of an edge (e.g. Point(1, 3e-9)
+    # just above the bottom edge) can properly cross an edge while its
+    # interior excursion stays below tolerance — a graze, which the
+    # tolerant crosses_interior rightly ignores.  EPS (1e-9) is
+    # *relative* to segment lengths, which reach ~85 in this +-30 box
+    # around the 10x10 square, so absolute tolerance distances reach
+    # ~1e-7 here.
+    from repro.geometry.segment import point_segment_distance
+
     if any(
-        v.distance(p) < 1e-7
-        for v in SQUARE.vertices
+        point_segment_distance(p, e1, e2) < 1e-7
+        for e1, e2 in SQUARE.edges()
         for p in (a, b)
     ):
         return

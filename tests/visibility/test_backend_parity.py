@@ -291,6 +291,62 @@ class TestDynamicParity:
         assert fresh.free_count == 1
 
 
+class TestResidualInteriorCheck:
+    """The vectorized residual `crosses_interior` check: sweep centers
+    on obstacle boundaries whose rays dive straight through their own
+    polygon's interior generate no crossing candidates and are decided
+    by the (now batched) midpoint containment."""
+
+    def test_interior_diagonals_blocked(self):
+        """Opposite rectangle corners see each other only around the
+        outside, never through the diagonal."""
+        obstacles = [rect_obstacle(0, 10, 10, 20, 18)]
+        for method in (PY, NP):
+            g = VisibilityGraph.build([], obstacles, method=method)
+            corners = obstacles[0].polygon.vertices
+            for u in corners:
+                nbrs = set(resolve_backend(method).visible_from(u, g))
+                # Adjacent corners visible, opposite corner is not.
+                assert len(nbrs & set(corners)) == 2, method
+
+    def test_concave_polygon_pocket(self):
+        """A U-shaped polygon: vertices across the pocket see each
+        other (segment through free space), vertices across an arm do
+        not — both via the residual check, no blocking candidates."""
+        u_shape = Obstacle(
+            0,
+            Polygon(
+                [
+                    Point(0, 0), Point(30, 0), Point(30, 20), Point(20, 20),
+                    Point(20, 6), Point(10, 6), Point(10, 20), Point(0, 20),
+                ]
+            ),
+        )
+        points = [Point(15, 25), Point(-5, 10), Point(35, 10)]
+        _assert_backend_parity(points, [u_shape], "U pocket")
+
+    def test_entity_on_edge_interior(self):
+        """Entities sitting on (not at a vertex of) obstacle edges:
+        the residual midpoint falls on/near the boundary and must be
+        settled exactly, on both sides of the edge."""
+        obstacles = [rect_obstacle(0, 10, 10, 20, 18)]
+        points = [
+            Point(15, 10),  # bottom edge midpoint
+            Point(15, 18),  # top edge midpoint
+            Point(20, 14),  # right edge midpoint
+            Point(15, 5),
+            Point(15, 25),
+        ]
+        _assert_backend_parity(points, obstacles, "edge entities")
+
+    def test_collinear_run_along_boundary(self):
+        """A target collinear with a boundary edge through the center:
+        the grazing run must not read as an interior departure."""
+        obstacles = [rect_obstacle(0, 10, 10, 20, 18)]
+        points = [Point(5, 10), Point(25, 10), Point(30, 10)]
+        _assert_backend_parity(points, obstacles, "boundary graze")
+
+
 @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(disjoint_rect_obstacles())
 def test_property_backends_agree_on_random_scenes(obstacles):

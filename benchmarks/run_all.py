@@ -6,9 +6,14 @@ accesses per tree, CPU time, false-hit ratios).
 
 Usage::
 
-    python benchmarks/run_all.py            # all figures
-    python benchmarks/run_all.py 13 17 21   # a subset
-    python benchmarks/run_all.py --smoke    # CI: tiny fixed-size run
+    python benchmarks/run_all.py                      # all figures
+    python benchmarks/run_all.py 13 17 21             # a subset
+    python benchmarks/run_all.py --smoke              # CI: tiny fixed-size run
+    python benchmarks/run_all.py --json BENCH_x.json  # + machine-readable dump
+
+``--json PATH`` (composable with every other mode) writes one JSON
+document with the run configuration and the per-benchmark metric rows
+— the machine-readable perf trajectory tracked across PRs.
 
 Environment knobs are shared with the pytest benches (see
 ``benchmarks/common.py``): REPRO_BENCH_O, REPRO_BENCH_QUERIES,
@@ -17,8 +22,10 @@ REPRO_BENCH_PAGE_ENTRIES.
 
 from __future__ import annotations
 
+import json
 import math
 import os
+import platform
 import sys
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
@@ -47,7 +54,20 @@ from benchmarks.common import (  # noqa: E402
 from repro.stats.experiment import ExperimentSeries, format_table
 
 
+#: Per-benchmark metric rows of the current run, keyed by benchmark
+#: title — dumped verbatim by ``--json``.
+RESULTS: dict[str, object] = {}
+
+
+def _record(title: str, x_label: str, rows: list[tuple[float, dict]]) -> None:
+    RESULTS[title] = {
+        "x_label": x_label,
+        "rows": [{"x": x, **metrics} for x, metrics in rows],
+    }
+
+
 def _print(title: str, x_label: str, rows: list[tuple[float, dict]], keys: list[tuple[str, str]]) -> None:
+    _record(title, x_label, rows)
     series = [ExperimentSeries(label) for __, label in keys]
     for x, metrics in rows:
         for s, (key, __) in zip(series, keys):
@@ -257,6 +277,7 @@ def smoke() -> int:
         ("OCP (k=4)", run_ocp(db, "P1", "T", 4)),
     ]
     print(f"# smoke: |O|={n_obstacles}, 2 queries\n")
+    RESULTS["smoke"] = {name: metrics for name, metrics in rows}
     for name, metrics in rows:
         cells = ", ".join(f"{k}={v:.3g}" for k, v in sorted(metrics.items()))
         print(f"{name:10s} {cells}")
@@ -268,6 +289,7 @@ def smoke() -> int:
     ]
     fresh = run_repeated_distance(db, pairs, persistent=False)
     cached = run_repeated_distance(db, pairs, persistent=True)
+    RESULTS["smoke repeated d_O"] = {"fresh": fresh, "cached": cached}
     print(
         f"\nrepeated d_O ({len(pairs)} calls, {len(targets)} targets): "
         f"graph builds {fresh['graph_builds']:.0f} -> "
@@ -277,6 +299,9 @@ def smoke() -> int:
         print("FAIL: persistent cache did not reduce graph builds")
         return 1
     code = smoke_kernel()
+    if code:
+        return code
+    code = smoke_moving_cache()
     if code:
         return code
     return smoke_shard_parallel()
@@ -296,6 +321,7 @@ def smoke_kernel() -> int:
 
     n_rects = 48
     metrics = kernel_comparison(n_rects)
+    RESULTS["smoke kernel"] = metrics
     print(
         f"\nkernel smoke ({4 * n_rects} vertices): "
         f"python-sweep {metrics['python-sweep_s'] * 1000:.0f} ms, "
@@ -307,6 +333,52 @@ def smoke_kernel() -> int:
         return 1
     if metrics["speedup"] < 1.0:
         print("FAIL: numpy kernel slower than the python sweep")
+        return 1
+    return 0
+
+
+def smoke_moving_cache() -> int:
+    """Cache-effectiveness smoke: a moving-query workload on a fixed
+    small scene, comparing the exact-key cache against the spatial
+    (snapped) key.  The regression bar on full-builds-avoided: the
+    spatial key must avoid at least 2/3 of the exact key's graph
+    builds (the full >= 3x acceptance bar at benchmark scale lives in
+    ``benchmarks/test_moving_query_cache.py``), with bit-identical
+    answers.  Deterministic (build counters), so it runs everywhere
+    including single-core boxes."""
+    from benchmarks.common import (
+        moving_query_db,
+        moving_query_path,
+        moving_snap,
+        run_moving_query,
+    )
+
+    n = 200
+    steps = 24
+    exact_db, workload = moving_query_db(n, 0.0)
+    snapped_db, __ = moving_query_db(n, moving_snap())
+    path = moving_query_path(workload, steps)
+    exact_answers, exact_metrics = run_moving_query(exact_db, workload, path)
+    snapped_answers, snapped_metrics = run_moving_query(
+        snapped_db, workload, path
+    )
+    RESULTS["smoke moving-query cache"] = {
+        "exact": exact_metrics,
+        "snapped": snapped_metrics,
+    }
+    builds_exact = exact_metrics["graph_builds"]
+    builds_snapped = snapped_metrics["graph_builds"]
+    avoided = 1.0 - builds_snapped / builds_exact if builds_exact else 0.0
+    print(
+        f"\nmoving-query cache ({steps} steps, |O|={n}): graph builds "
+        f"{builds_exact:.0f} (exact key) -> {builds_snapped:.0f} "
+        f"(spatial key), {avoided:.0%} of full builds avoided"
+    )
+    if snapped_answers != exact_answers:
+        print("FAIL: spatial cache key changed moving-query answers")
+        return 1
+    if avoided < 2 / 3:
+        print("FAIL: spatial key avoided fewer than 2/3 of full builds")
         return 1
     return 0
 
@@ -346,12 +418,49 @@ def smoke_shard_parallel() -> int:
         f"({seq_metrics['cpu_s'] / par_metrics['cpu_s']:.2f}x, "
         f"{os.cpu_count() or 1} cores)"
     )
+    RESULTS["smoke shard+parallel"] = {
+        "sequential": seq_metrics,
+        "parallel": par_metrics,
+    }
     return 0
 
 
+def write_json(path: str) -> None:
+    """Dump the run's configuration and every recorded benchmark's
+    metric rows to ``path`` (the perf trajectory tracked across PRs)."""
+    document = {
+        "config": {
+            "bench_o": BENCH_O,
+            "bench_queries": BENCH_QUERIES,
+            "range_scale_factor": scale_factor(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": RESULTS,
+    }
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(RESULTS)} benchmark result set(s) to {path}")
+
+
 def main(argv: list[str]) -> int:
+    argv = list(argv)
+    json_path = None
+    if "--json" in argv:
+        flag = argv.index("--json")
+        try:
+            json_path = argv[flag + 1]
+        except IndexError:
+            print("--json needs a file path argument", file=sys.stderr)
+            return 2
+        del argv[flag : flag + 2]
     if "--smoke" in argv:
-        return smoke()
+        code = smoke()
+        if json_path is not None:
+            write_json(json_path)
+        return code
     wanted = argv or sorted(FIGURES)
     print(
         f"# |O|={BENCH_O}, queries={BENCH_QUERIES}, "
@@ -363,6 +472,8 @@ def main(argv: list[str]) -> int:
             print(f"unknown figure: {fig}", file=sys.stderr)
             return 2
         fn()
+    if json_path is not None:
+        write_json(json_path)
     return 0
 
 

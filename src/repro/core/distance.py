@@ -85,7 +85,10 @@ class SourceDistanceField:
     current provisional distance and must return ``True`` when new
     obstacles entered the graph.  The query runtime passes the cached
     graph's coverage-aware expansion here, so already-covered radii
-    skip the obstacle retrieval entirely.
+    skip the obstacle retrieval entirely.  ``readmit`` is how an
+    evicted source re-enters a *shared* graph: the runtime passes its
+    guest-tracked admission so the re-added point stays subject to the
+    guest bound; without it the point is added directly.
     """
 
     def __init__(
@@ -95,6 +98,7 @@ class SourceDistanceField:
         source: ObstacleSource,
         *,
         grow: Callable[[float], bool] | None = None,
+        readmit: Callable[[], None] | None = None,
     ) -> None:
         if not graph.has_node(source_point):
             graph.add_entity(source_point)
@@ -102,6 +106,7 @@ class SourceDistanceField:
         self._q = source_point
         self._source = source
         self._grow = grow
+        self._readmit = readmit
         self._field: dict[Point, float] | None = None
         self._field_revision = -1
 
@@ -146,6 +151,14 @@ class SourceDistanceField:
 
         if p == self._q:
             return 0.0
+        if not self._graph.has_node(self._q):
+            # A shared, cached graph may have evicted this field's
+            # source in the meantime (guest-point bound of the spatial
+            # cache key): re-admit it before evaluating.
+            if self._readmit is not None:
+                self._readmit()
+            else:
+                self._graph.add_entity(self._q)
         revision = self._graph.obstacle_revision
         if self._field is None or self._field_revision != revision:
             self._field = dijkstra(self._graph, self._q)

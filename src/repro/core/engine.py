@@ -30,6 +30,7 @@ sharded store whose mutations invalidate cached graphs per shard.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.closest import iter_obstacle_closest_pairs, obstacle_closest_pairs
@@ -76,6 +77,13 @@ class ObstacleDatabase:
         4 KB pages, 10 % buffers).
     graph_cache_size:
         LRU capacity of the shared visibility-graph cache.
+    graph_cache_snap:
+        Spatial-key quantum of the graph cache.  ``0`` keys cached
+        graphs by exact expansion centre (the historical behaviour); a
+        positive value snaps centres to a grid of that cell size, so
+        near-duplicate centres (moving queries, dense batches) share
+        one coverage-guarded graph.  ``None`` (default) reads the
+        ``REPRO_CACHE_SNAP`` environment variable, else ``0``.
     shards:
         ``None`` (default) stores each obstacle set in one monolithic
         R-tree.  An integer switches to spatially sharded storage
@@ -103,11 +111,19 @@ class ObstacleDatabase:
         max_entries: int | None = None,
         min_entries: int | None = None,
         graph_cache_size: int = 64,
+        graph_cache_snap: float | None = None,
         shards: int | None = None,
         backend: "str | VisibilityBackend | None" = None,
     ) -> None:
         if shards is not None and shards < 1:
             raise DatasetError(f"shards must be >= 1, got {shards}")
+        if graph_cache_snap is None:
+            graph_cache_snap = float(os.environ.get("REPRO_CACHE_SNAP", "0"))
+        if graph_cache_snap < 0:
+            raise DatasetError(
+                f"graph_cache_snap must be >= 0, got {graph_cache_snap}"
+            )
+        self._graph_cache_snap = graph_cache_snap
         self._shards = shards
         self._bulk = bulk
         self._tree_kwargs = dict(
@@ -190,12 +206,14 @@ class ObstacleDatabase:
 
         Returns the stored :class:`~repro.model.Obstacle` record (with
         its database-assigned id), which can later be passed to
-        :meth:`delete_obstacle`.  The set's version is bumped, so every
-        cached visibility graph built against the old obstacle set is
-        invalidated lazily at its next lookup — queries never consult a
-        stale graph.  With sharded storage (``shards=``) only the
-        shards the obstacle overlaps move, so cached graphs that never
-        touched those shards stay valid.
+        :meth:`delete_obstacle`.  The mutation is routed repair-first:
+        cached visibility graphs whose coverage disk the new obstacle
+        intersects are patched in place (one ``add_obstacle``), others
+        get a version-stamp refresh; a graph is rebuilt only when
+        repair is impossible (rebuild-fallback).  With sharded storage
+        (``shards=``) only graphs registered under the shards the
+        obstacle overlaps are even visited — queries never consult a
+        stale graph either way.
         """
         record = self._coerce_obstacle(obstacle)
         self._obstacle_index_named(set_name).insert(record)
@@ -206,8 +224,11 @@ class ObstacleDatabase:
     ) -> bool:
         """Delete one obstacle (by record or by id) from an obstacle set.
 
-        Returns ``True`` when found; the version bump invalidates
-        cached graphs exactly as for :meth:`insert_obstacle`.
+        Returns ``True`` when found.  Like :meth:`insert_obstacle` the
+        delete is repair-first: affected cached graphs are patched by
+        :meth:`~repro.visibility.graph.VisibilityGraph.remove_obstacle`
+        (a local re-sweep of the obstacle's visibility shadow) instead
+        of being dropped for a from-scratch rebuild.
         """
         index = self._obstacle_index_named(set_name)
         if isinstance(obstacle, int):
@@ -271,6 +292,7 @@ class ObstacleDatabase:
         self._context = QueryContext(
             source,
             cache_size=self._graph_cache_size,
+            snap=self._graph_cache_snap,
             stats=self._runtime_stats,
             backend=self._backend,
         )

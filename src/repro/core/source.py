@@ -17,8 +17,9 @@ shard-locally instead of globally.
 
 from __future__ import annotations
 
+import weakref
 from math import inf
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import DatasetError
 from repro.euclidean.range import obstacles_in_range
@@ -27,6 +28,43 @@ from repro.geometry.rect import Rect
 from repro.index.rstar import RStarTree
 from repro.model import Obstacle
 from repro.runtime.sharding import ShardGrid, ShardVersionStamp
+
+
+#: Signature of a mutation listener: ``callback(kind, obstacle)`` with
+#: ``kind`` one of ``"insert"`` / ``"delete"``, called synchronously
+#: *after* the mutation is applied (so version stamps taken inside the
+#: callback describe the post-mutation state).
+MutationListener = Callable[[str, Obstacle], None]
+
+
+class _MutationFeed:
+    """Weakly-held mutation listeners of one obstacle source.
+
+    The query runtime subscribes its repair-first cache maintenance
+    here (:meth:`repro.runtime.context.QueryContext._on_obstacle_mutation`).
+    Listeners are bound methods held through ``weakref.WeakMethod`` so
+    a source never keeps a dead ``QueryContext`` (and its graph cache)
+    alive; dead references are pruned on notify.
+    """
+
+    __slots__ = ("_subs",)
+
+    def __init__(self) -> None:
+        self._subs: list[weakref.WeakMethod] = []
+
+    def subscribe(self, callback: MutationListener) -> None:
+        self._subs.append(weakref.WeakMethod(callback))  # type: ignore[arg-type]
+
+    def notify(self, kind: str, obstacle: Obstacle) -> None:
+        if not self._subs:
+            return
+        live = []
+        for ref in self._subs:
+            callback = ref()
+            if callback is not None:
+                live.append(ref)
+                callback(kind, obstacle)
+        self._subs = live
 
 
 class ObstacleIndex:
@@ -48,6 +86,12 @@ class ObstacleIndex:
     def __init__(self, tree: RStarTree) -> None:
         self.tree = tree
         self._mutations = 0
+        self._feed = _MutationFeed()
+
+    def subscribe(self, callback: MutationListener) -> None:
+        """Register a (weakly held) mutation listener; it is called
+        after every :meth:`insert` / :meth:`delete`."""
+        self._feed.subscribe(callback)
 
     @property
     def version(self) -> int:
@@ -67,12 +111,14 @@ class ObstacleIndex:
         """Add one obstacle and bump the version."""
         self.tree.insert(obstacle, obstacle.mbr)
         self._mutations += 1
+        self._feed.notify("insert", obstacle)
 
     def delete(self, obstacle: Obstacle) -> bool:
         """Remove one obstacle; bumps the version when found."""
         found = self.tree.delete(obstacle, obstacle.mbr)
         if found:
             self._mutations += 1
+            self._feed.notify("delete", obstacle)
         return found
 
     def find(self, oid: int) -> Obstacle | None:
@@ -106,6 +152,11 @@ class CompositeObstacleIndex:
         if not indexes:
             raise DatasetError("composite obstacle index needs >= 1 member")
         self.indexes = list(indexes)
+
+    def subscribe(self, callback: MutationListener) -> None:
+        """Register a mutation listener with every member index."""
+        for index in self.indexes:
+            index.subscribe(callback)
 
     @property
     def version(self) -> int:
@@ -175,6 +226,12 @@ class ShardedObstacleIndex:
         self._shards: dict[int, ObstacleIndex] = {}
         self._layout_version = 0
         self._count = 0
+        self._feed = _MutationFeed()
+
+    def subscribe(self, callback: MutationListener) -> None:
+        """Register a (weakly held) mutation listener; it is called
+        once per :meth:`insert` / :meth:`delete` (not per shard)."""
+        self._feed.subscribe(callback)
 
     # -------------------------------------------------------------- shards
     @property
@@ -226,7 +283,10 @@ class ShardedObstacleIndex:
             self._layout_version += 1
         return shard
 
-    def _keys_for_obstacle(self, obstacle: Obstacle) -> list[int]:
+    def keys_for_obstacle(self, obstacle: Obstacle) -> list[int]:
+        """The shard keys of every cell the obstacle's MBR overlaps —
+        the mutation footprint the runtime uses to reach exactly the
+        cached graphs a mutation can affect."""
         grid = self.grid
         return sorted(
             {grid.key(cx, cy) for cx, cy in grid.cells_for_rect(obstacle.mbr)}
@@ -295,19 +355,21 @@ class ShardedObstacleIndex:
     # ------------------------------------------------------------- mutation
     def insert(self, obstacle: Obstacle) -> None:
         """Insert one obstacle into every shard its MBR overlaps."""
-        for key in self._keys_for_obstacle(obstacle):
+        for key in self.keys_for_obstacle(obstacle):
             self._shard_for_key(key).insert(obstacle)
         self._count += 1
+        self._feed.notify("insert", obstacle)
 
     def delete(self, obstacle: Obstacle) -> bool:
         """Delete one obstacle from the shards holding it."""
         found = False
-        for key in self._keys_for_obstacle(obstacle):
+        for key in self.keys_for_obstacle(obstacle):
             shard = self._shards.get(key)
             if shard is not None and shard.delete(obstacle):
                 found = True
         if found:
             self._count -= 1
+            self._feed.notify("delete", obstacle)
         return found
 
     def __repr__(self) -> str:
@@ -376,7 +438,7 @@ def build_sharded_obstacle_index(
         return index
     per_shard: dict[int, list[Obstacle]] = {}
     for obs in items:
-        for key in index._keys_for_obstacle(obs):
+        for key in index.keys_for_obstacle(obs):
             per_shard.setdefault(key, []).append(obs)
     for key in sorted(per_shard):
         shard = index._shard_for_key(key)

@@ -10,11 +10,18 @@ hooks — so consecutive queries amortize each other's work:
 
 * graphs are keyed by expansion centre and reused across query types
   (a ``distance`` call primes the graph a later ``nearest`` uses);
+  with a positive ``snap`` quantum the key is spatial, so
+  near-duplicate centres (moving queries, dense batches) share one
+  graph through the coverage guard of :meth:`entry_for`;
 * each graph tracks its obstacle *coverage radius*, so Fig. 8's
   iterative range enlargement skips retrievals that cannot surface
   anything new;
-* dynamic obstacle updates bump the source's version, and stale graphs
-  are discarded lazily at the next lookup.
+* dynamic obstacle updates are routed repair-first: the context
+  subscribes to the source's mutation feed and patches affected cached
+  graphs in place (``add_obstacle`` on insert, ``remove_obstacle``'s
+  local re-sweep on delete), falling back to version-based lazy
+  invalidation (and a rebuild at next lookup) only when repair is not
+  possible.
 """
 
 from __future__ import annotations
@@ -22,13 +29,28 @@ from __future__ import annotations
 from math import inf
 
 from repro.core.distance import ObstacleSource, SourceDistanceField
+from repro.geometry.circle import Circle
 from repro.geometry.point import Point
+from repro.model import Obstacle
 from repro.runtime.cache import CachedGraph, VisibilityGraphCache
 from repro.runtime.sharding import stamp_for, stamp_is_stale
 from repro.runtime.stats import RuntimeStats
 from repro.visibility.graph import VisibilityGraph
 from repro.visibility.kernel.backend import VisibilityBackend, resolve_backend
 from repro.visibility.shortest_path import shortest_path_dist
+
+
+#: Above this node count an in-place delete-repair (an O(pairs) python
+#: re-sweep) costs more than the from-scratch rebuild it replaces, so
+#: the affected entry is discarded instead (rebuild-fallback at its
+#: next lookup).
+DELETE_REPAIR_NODE_LIMIT = 256
+
+#: Maximum off-centre query positions retained per cached graph as
+#: persistent free points (spatial keys); the oldest guest is evicted
+#: beyond this, bounding the shared graph's growth under a jittering
+#: (e.g. GPS-noise) centre stream.
+GUEST_LIMIT = 64
 
 
 class QueryContext:
@@ -42,9 +64,15 @@ class QueryContext:
         :class:`~repro.core.distance.ObstacleSource`).  If it exposes a
         ``version`` attribute, cached graphs are invalidated whenever
         the version moves (see
-        :meth:`repro.core.engine.ObstacleDatabase.insert_obstacle`).
+        :meth:`repro.core.engine.ObstacleDatabase.insert_obstacle`);
+        if it additionally exposes ``subscribe``, mutations are
+        repaired in place instead (repair-first, rebuild-fallback).
     cache_size:
         LRU capacity of the visibility-graph cache.
+    snap:
+        Spatial-key quantum of the cache (0 = exact centre keys; a
+        positive value lets near-duplicate centres share graphs, see
+        :class:`~repro.runtime.cache.VisibilityGraphCache`).
     stats:
         Optional shared counters (one per database, by default).
     backend:
@@ -62,6 +90,7 @@ class QueryContext:
         source: ObstacleSource,
         *,
         cache_size: int = 64,
+        snap: float = 0.0,
         stats: RuntimeStats | None = None,
         backend: "str | VisibilityBackend | None" = None,
     ) -> None:
@@ -69,7 +98,12 @@ class QueryContext:
         self.stats = stats if stats is not None else RuntimeStats()
         self.backend = resolve_backend(backend, stats=self.stats)
         self.stats.backend = self.backend.name
-        self.cache = VisibilityGraphCache(cache_size, stats=self.stats)
+        self.cache = VisibilityGraphCache(
+            cache_size, snap=snap, stats=self.stats
+        )
+        subscribe = getattr(source, "subscribe", None)
+        if subscribe is not None:
+            subscribe(self._on_obstacle_mutation)
 
     # ------------------------------------------------------------- versioning
     @property
@@ -99,17 +133,97 @@ class QueryContext:
         return QueryContext(
             self.source,
             cache_size=self.cache.capacity,
+            snap=self.cache.snap,
             stats=stats,
             backend=backend,
         )
 
+    # --------------------------------------------------------- repair plumbing
+    def _disk_shards(
+        self, center: Point, radius: float
+    ) -> "frozenset[int] | None":
+        """The shard keys of every grid cell the disk touches, or
+        ``None`` for unsharded sources.
+
+        Deliberately *geometric* (grid cells, not occupied shards): a
+        later insert that creates a brand-new shard inside the disk
+        still reaches the entry through this registration.
+        """
+        grid = getattr(self.source, "grid", None)
+        if grid is None:
+            return None
+        return frozenset(
+            grid.key(cx, cy) for cx, cy in grid.cells_for_disk(center, radius)
+        )
+
+    def _on_obstacle_mutation(self, kind: str, obstacle: Obstacle) -> None:
+        """Repair-first maintenance of the cached graphs after one
+        source mutation (called synchronously by the source's feed).
+
+        With a sharded source only the entries registered under the
+        mutation's shard footprint are visited — O(affected), not
+        O(cache size); monolithic sources carry one global version, so
+        every entry needs at least a stamp refresh and the scan is the
+        whole cache.
+        """
+        keys_for = getattr(self.source, "keys_for_obstacle", None)
+        if keys_for is not None:
+            affected = self.cache.entries_for_shards(keys_for(obstacle))
+        else:
+            affected = self.cache.entries()
+        for entry in affected:
+            self._repair_entry(entry, kind, obstacle)
+
+    def _repair_entry(
+        self, entry: CachedGraph, kind: str, obstacle: Obstacle
+    ) -> None:
+        """Patch one cached graph in place for a single mutation, then
+        refresh its version stamp; on failure discard the entry so the
+        next lookup rebuilds (rebuild-fallback)."""
+        graph = entry.graph
+        try:
+            if kind == "delete":
+                if (
+                    graph.has_obstacle(obstacle.oid)
+                    and graph.node_count > DELETE_REPAIR_NODE_LIMIT
+                ):
+                    # The local re-sweep would cost more than a fresh
+                    # build of a graph this size: fall back to rebuild.
+                    self.cache.discard(entry)
+                    return
+                if graph.remove_obstacle(obstacle.oid):
+                    self.stats.graph_cache_repairs += 1
+            else:
+                disk = Circle(entry.center, entry.covered)
+                # Same filter/refinement as obstacles_in_range: only an
+                # obstacle intersecting the coverage disk enters the
+                # graph, keeping repair identical to a from-scratch
+                # rebuild over the same disk.
+                if disk.intersects_polygon(obstacle.polygon) and (
+                    graph.add_obstacle(obstacle)
+                ):
+                    self.stats.graph_cache_repairs += 1
+        except Exception:
+            self.cache.discard(entry)
+            return
+        # No shard re-registration here: repairs change neither the
+        # entry's centre nor its coverage radius, and the registry is
+        # purely geometric in those two (ensure_coverage refreshes it
+        # when the disk actually grows).
+        entry.version = stamp_for(self.source, entry.center, entry.covered)
+
     # ------------------------------------------------------------ graph reuse
     def entry_for(self, center: Point, radius: float = 0.0) -> CachedGraph:
-        """The cached graph expanded around ``center``, covering ``radius``.
+        """The cached graph serving ``center``, covering ``radius``.
 
         On a miss the graph is built from the obstacles intersecting
-        the disk ``(center, radius)``; on a hit whose coverage is
-        smaller than ``radius`` the graph is topped up incrementally.
+        the disk ``(center, radius)``.  A hit may return an entry whose
+        own centre differs from ``center`` (spatial keys): reuse is
+        then guarded by coverage — the entry is valid only once its
+        coverage disk contains ``disk(center, radius)``, so an
+        under-covered entry is topped up around its *own* centre by the
+        widened radius (extend-and-promote) before being served, and
+        ``center`` is added to the shared graph as a free point.
         """
         entry = self.cache.get(center, self.version)
         if entry is None:
@@ -126,10 +240,54 @@ class QueryContext:
             )
             self.stats.graph_builds += 1
             entry = CachedGraph(graph, center, radius, stamp)
-            self.cache.put(entry)
-        elif radius > entry.covered:
-            self.ensure_coverage(entry, radius)
+            self.cache.put(entry, shards=self._disk_shards(center, radius))
+            return entry
+        required = self.required_radius(entry, center, radius)
+        if required > entry.covered:
+            if entry.center != center:
+                self.stats.graph_cache_promotions += 1
+            self.ensure_coverage(entry, required)
+        if entry.center != center:
+            self._admit_guest(entry, center)
         return entry
+
+    def _admit_guest(self, entry: CachedGraph, center: Point) -> None:
+        """Make an off-centre ``center`` a node of the entry's shared
+        graph: one sweep now, zero builds for every later query at this
+        centre.  Guests are retained insertion-ordered up to
+        :data:`GUEST_LIMIT`; beyond it the oldest is deleted again, so
+        a jittering centre stream cannot grow the graph unboundedly.
+        """
+        graph = entry.graph
+        if graph.add_entity(center):
+            entry.guests[center] = None
+        elif center in entry.guests:
+            # Refresh recency so a re-visited centre is evicted last.
+            del entry.guests[center]
+            entry.guests[center] = None
+        while len(entry.guests) > GUEST_LIMIT:
+            oldest = next(iter(entry.guests))
+            del entry.guests[oldest]
+            if oldest != center:
+                graph.delete_entity(oldest)
+
+    @staticmethod
+    def required_radius(
+        entry: CachedGraph, center: Point, radius: float
+    ) -> float:
+        """The coverage radius around the *entry's* centre that
+        guarantees ``disk(center, radius)`` is covered (the spatial
+        reuse guard: centre offset widens the requirement)."""
+        if center == entry.center:
+            return radius
+        return entry.center.distance(center) + radius
+
+    def cover(self, entry: CachedGraph, center: Point, radius: float) -> bool:
+        """:meth:`ensure_coverage` for a disk around an arbitrary
+        ``center`` (possibly off the entry's own centre)."""
+        return self.ensure_coverage(
+            entry, self.required_radius(entry, center, radius)
+        )
 
     def ensure_coverage(self, entry: CachedGraph, radius: float) -> bool:
         """Guarantee all obstacles within ``radius`` of the entry's centre
@@ -142,10 +300,11 @@ class QueryContext:
         at all.
 
         Holders of a live entry (a distance field mid-iteration) may
-        outlive a dynamic obstacle update; the cache would drop the
-        stale entry at its next lookup, but a held reference bypasses
-        the cache, so staleness is re-checked here: on version drift
-        the graph is rebuilt in place over the current obstacle set
+        outlive a dynamic obstacle update; mutations routed through the
+        source's feed repair the entry in place, but mutations applied
+        behind the runtime's back (direct tree edits) only move the
+        version, so staleness is re-checked here: on version drift the
+        graph is rebuilt in place over the current obstacle set
         (covering at least its previous radius), keeping every held
         reference valid and fresh.
         """
@@ -164,6 +323,9 @@ class QueryContext:
             self.stats.graph_rebuilds += 1
             entry.version = stamp
             entry.covered = radius
+            self.cache.refresh_shards(
+                entry, self._disk_shards(entry.center, radius)
+            )
             return True
         if radius <= entry.covered:
             return False
@@ -181,6 +343,7 @@ class QueryContext:
             # their just-retrieved versions) as the disk grows.
             extend(radius)
         entry.covered = radius
+        self.cache.refresh_shards(entry, self._disk_shards(entry.center, radius))
         return added
 
     # ----------------------------------------------------------- evaluations
@@ -201,7 +364,7 @@ class QueryContext:
         try:
             d = shortest_path_dist(graph, p, q)
             while d <= bound:
-                if not self.ensure_coverage(entry, d):
+                if not self.cover(entry, q, d):
                     break
                 d = shortest_path_dist(graph, p, q)
         finally:
@@ -213,14 +376,21 @@ class QueryContext:
         """A distance field from ``q`` over the cached graph for ``q``.
 
         The field's Fig. 8 enlargement is routed through
-        :meth:`ensure_coverage`, so repeated fields over the same
-        centre skip redundant obstacle retrievals.
+        :meth:`cover`, so repeated fields over the same centre (or a
+        near-duplicate one, with spatial keys) skip redundant obstacle
+        retrievals.
         """
         entry = self.entry_for(q, radius)
         self.stats.field_builds += 1
+        readmit = (
+            (lambda: self._admit_guest(entry, q))
+            if q != entry.center
+            else None
+        )
         return SourceDistanceField(
             entry.graph,
             q,
             self.source,
-            grow=lambda r: self.ensure_coverage(entry, r),
+            grow=lambda r: self.cover(entry, q, r),
+            readmit=readmit,
         )

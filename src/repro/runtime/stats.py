@@ -29,6 +29,8 @@ class RuntimeStats:
         "graph_cache_misses",
         "graph_cache_evictions",
         "graph_cache_invalidations",
+        "graph_cache_repairs",
+        "graph_cache_promotions",
         "coverage_expansions",
         "obstacles_added",
         "distance_calls",
@@ -53,6 +55,8 @@ class RuntimeStats:
         self.graph_cache_misses = 0
         self.graph_cache_evictions = 0
         self.graph_cache_invalidations = 0
+        self.graph_cache_repairs = 0
+        self.graph_cache_promotions = 0
         self.coverage_expansions = 0
         self.obstacles_added = 0
         self.distance_calls = 0

@@ -10,6 +10,16 @@ implemented exactly as described:
   cross the new polygon's interior, then sweeps each new vertex;
 * ``add_entity`` — one rotational sweep for the new point;
 * ``delete_entity`` — removes the point and its incident edges.
+
+``remove_obstacle`` extends the paper's set with the inverse of
+``add_obstacle``: the obstacle's vertices and boundary edges are torn
+out and the visibility lost to the obstacle is rediscovered by a
+*local re-sweep* — only node pairs whose connecting segment meets the
+removed polygon's bounding box can have been blocked by it, so only
+those pairs are re-examined (against the exact oracle both sweep
+backends reduce to).  This turns an obstacle delete from a full
+rebuild into an in-place repair proportional to the obstacle's
+visibility shadow.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ class VisibilityGraph:
         "_obstacles",
         "_incident",
         "_free",
+        "_promoted",
         "_boundary",
         "_edges",
         "_obstacle_revision",
@@ -63,6 +74,10 @@ class VisibilityGraph:
         self._obstacles: dict[int, Obstacle] = {}
         self._incident: dict[Point, list[BoundaryEdge]] = {}
         self._free: set[Point] = set()
+        # Free points promoted to obstacle vertices (coinciding
+        # coordinates): remembered so removing the owning obstacle
+        # demotes them back to free points instead of deleting them.
+        self._promoted: set[Point] = set()
         self._boundary: dict[Point, tuple[Obstacle, ...]] = {}
         self._edges: list[BoundaryEdge] = []
         self._packed: "PackedScene | None" = None
@@ -208,11 +223,12 @@ class VisibilityGraph:
         new obstacle set through the ``obstacle_revision`` bump instead
         of dangling on a stale copy.
         """
-        free = list(self._free)
+        free = list(self._free) + sorted(self._promoted)
         self._adj.clear()
         self._obstacles.clear()
         self._incident.clear()
         self._free.clear()
+        self._promoted.clear()
         self._boundary.clear()
         self._edges.clear()
         self._packed = None
@@ -245,6 +261,95 @@ class VisibilityGraph:
             for w in self._visible_from(v):
                 self._set_edge(v, w)
         return True
+
+    def remove_obstacle(self, oid: int) -> bool:
+        """Remove one obstacle and repair the graph in place.
+
+        The inverse of :meth:`add_obstacle`: the obstacle's boundary
+        edges leave the scene, its vertices leave the node set (unless
+        another obstacle shares them), and every node pair the obstacle
+        could have been blocking is re-examined — a pair can gain
+        visibility only if its segment crossed the removed interior, so
+        the re-sweep is confined to segments meeting the obstacle's
+        MBR.  Returns ``False`` when the obstacle is not in the graph.
+        """
+        obs = self._obstacles.pop(oid, None)
+        if obs is None:
+            return False
+        self._obstacle_revision += 1
+        poly = obs.polygon
+        self._edges = [e for e in self._edges if e.oid != oid]
+        revived: list[Point] = []
+        for v in set(poly.vertices):
+            incident = [e for e in self._incident.get(v, ()) if e.oid != oid]
+            if incident:
+                self._incident[v] = incident
+                continue
+            self._incident.pop(v, None)
+            if v in self._promoted:
+                # The vertex doubled as an entity before (or after) the
+                # obstacle arrived: demote it back to a free point —
+                # its node and edges stay (a cached query centre must
+                # survive the delete of an obstacle cornered on it).
+                self._promoted.discard(v)
+                self._free.add(v)
+                revived.append(v)
+            elif v in self._adj:
+                # Owned by no remaining obstacle: leaves the node set.
+                for nbr in list(self._adj[v]):
+                    del self._adj[nbr][v]
+                del self._adj[v]
+        for p, membership in list(self._boundary.items()):
+            if obs in membership:
+                rest = tuple(o for o in membership if o is not obs)
+                if rest:
+                    self._boundary[p] = rest
+                else:
+                    del self._boundary[p]
+        if self._packed is not None:
+            self._packed.remove_obstacle(oid)
+            for v in revived:
+                self._packed.add_free_point(v)
+        for v in revived:
+            membership = tuple(
+                o for o in self._obstacles.values() if o.polygon.on_boundary(v)
+            )
+            if membership:
+                self._boundary[v] = membership
+        self._resweep_region(poly.mbr)
+        return True
+
+    def _resweep_region(self, region: Rect) -> None:
+        """Rediscover visibility edges inside ``region``.
+
+        Every currently non-adjacent node pair whose segment's bounding
+        box meets ``region`` is re-tested with the exact visibility
+        oracle (the reference both sweep backends are parity-locked
+        to), so a repaired graph is identical to a from-scratch
+        rebuild.
+        """
+        from repro.visibility.naive import is_visible
+
+        nodes = list(self._adj)
+        obstacles = list(self._obstacles.values())
+        rminx, rminy = region.minx, region.miny
+        rmaxx, rmaxy = region.maxx, region.maxy
+        for i, u in enumerate(nodes):
+            adj_u = self._adj[u]
+            ux, uy = u.x, u.y
+            for w in nodes[i + 1:]:
+                if w in adj_u:
+                    continue
+                wx, wy = w.x, w.y
+                if (
+                    (ux < rminx and wx < rminx)
+                    or (ux > rmaxx and wx > rmaxx)
+                    or (uy < rminy and wy < rminy)
+                    or (uy > rmaxy and wy > rmaxy)
+                ):
+                    continue
+                if is_visible(u, w, obstacles):
+                    self._set_edge(u, w)
 
     def add_entity(self, p: Point) -> bool:
         """Add a free point and connect it to all visible nodes.
@@ -295,8 +400,11 @@ class VisibilityGraph:
             # A free point coinciding with the new vertex is promoted to
             # an obstacle vertex: it keeps its node (and edges) but can
             # no longer be removed by delete_entity, which would tear an
-            # obstacle corner out of the graph.
-            self._free.discard(v)
+            # obstacle corner out of the graph.  remove_obstacle demotes
+            # it back when the last owning obstacle goes.
+            if v in self._free:
+                self._free.discard(v)
+                self._promoted.add(v)
             self._boundary[v] = self._boundary.get(v, ()) + (obs,)
         return new_vertices
 
@@ -306,7 +414,9 @@ class VisibilityGraph:
             # it must not enter _free — delete_entity would tear the
             # obstacle corner out of the graph (the reverse order,
             # obstacle arriving second, is handled by the promotion in
-            # _register_obstacle).
+            # _register_obstacle).  Remember it so remove_obstacle can
+            # demote it back to a free point.
+            self._promoted.add(p)
             return
         self._adj.setdefault(p, {})
         self._free.add(p)

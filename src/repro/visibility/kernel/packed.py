@@ -101,6 +101,43 @@ class PackedScene:
             self._n_edges = i + 1
         self._csr_dirty = True
 
+    def remove_obstacle(self, oid: int) -> None:
+        """Unpack one obstacle: drop its boundary edges and every vertex
+        no remaining edge references.
+
+        Edge rows are compacted with one vectorized boolean-mask pass;
+        surviving vertices are renumbered densely and the edge endpoint
+        indices remapped, so the arrays stay contiguous and the CSR
+        rebuild cost stays proportional to the surviving scene.
+        """
+        m = self._n_edges
+        keep = self._eoid[:m] != oid
+        n_keep = int(keep.sum())
+        if n_keep == m:
+            return
+        kept_ab = self._eab[:m][keep]
+        kept_oid = self._eoid[:m][keep]
+        n = self._n_verts
+        used = np.zeros(n, dtype=bool)
+        if n_keep:
+            used[kept_ab.reshape(-1)] = True
+        if not used.all():
+            remap = np.cumsum(used, dtype=np.int64) - 1
+            new_points = [
+                p for p, u in zip(self._vert_points, used.tolist()) if u
+            ]
+            self._vxy[: len(new_points)] = self._vxy[:n][used]
+            self._vert_points = new_points
+            self._vert_index = {p: i for i, p in enumerate(new_points)}
+            self._n_verts = len(new_points)
+            if n_keep:
+                kept_ab = remap[kept_ab]
+        self._eab[:n_keep] = kept_ab
+        self._eoid[:n_keep] = kept_oid
+        self._n_edges = n_keep
+        self._csr_dirty = True
+        self._event_cache = None
+
     def add_free_point(self, p: Point) -> None:
         """Pack one free point (entity or query point).
 

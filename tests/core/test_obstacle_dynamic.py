@@ -68,17 +68,26 @@ class TestInsertObstacle:
         other = db.insert_obstacle(Polygon.from_rect(Rect(20, 20, 21, 21)))
         assert other.oid == 2
 
-    def test_version_bump_invalidates_cache(self, db):
+    def test_mutation_repairs_cached_graph_in_place(self, db):
+        """Repair-first: the insert patches the primed graph (one
+        ``add_obstacle``) instead of invalidating it — the next query
+        is a cache hit with zero additional builds."""
         a, b = Point(0, 0), Point(10, 0)
         db.obstructed_distance(a, b)  # primes the cache for b
         stats_before = db.runtime_stats()
         assert stats_before["graph_builds"] >= 1
         db.insert_obstacle(WALL)
-        db.obstructed_distance(a, b)
+        assert db.obstructed_distance(a, b) > 10.0
         stats_after = db.runtime_stats()
         assert (
+            stats_after["graph_cache_repairs"]
+            > stats_before["graph_cache_repairs"]
+        )
+        assert stats_after["graph_builds"] == stats_before["graph_builds"]
+        assert stats_after["graph_rebuilds"] == stats_before["graph_rebuilds"]
+        assert (
             stats_after["graph_cache_invalidations"]
-            > stats_before["graph_cache_invalidations"]
+            == stats_before["graph_cache_invalidations"]
         )
 
     def test_unknown_set_rejected(self, db):

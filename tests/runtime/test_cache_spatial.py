@@ -1,0 +1,229 @@
+"""Spatial cache keys: near-duplicate centres share coverage-guarded graphs.
+
+Satellite acceptance for the coverage-aware cache key: on a batch
+workload of near-duplicate query centres, the snapped-key cache must
+answer *identically* to the exact-key cache (the coverage guard makes
+reuse lossless) while hitting far more often and building far fewer
+graphs.
+"""
+
+import random
+
+import pytest
+
+from repro import ObstacleDatabase, Point
+from repro.geometry import Rect
+from repro.runtime.cache import CachedGraph, VisibilityGraphCache
+from repro.visibility import VisibilityGraph
+from tests.conftest import random_disjoint_rects, random_free_points
+
+
+def _dbs(seed, snap, shards=None):
+    rng = random.Random(seed)
+    obstacles = random_disjoint_rects(rng, 20)
+    polygons = [o.polygon for o in obstacles]
+    exact = ObstacleDatabase(
+        polygons, max_entries=8, min_entries=3, graph_cache_snap=0.0,
+        shards=shards,
+    )
+    snapped = ObstacleDatabase(
+        polygons, max_entries=8, min_entries=3, graph_cache_snap=snap,
+        shards=shards,
+    )
+    points = random_free_points(rng, 12, obstacles)
+    return rng, exact, snapped, points
+
+
+def _near_duplicate_queries(rng, anchors, jitter, per_anchor):
+    """A batch of query centres clustered tightly around a few anchors
+    (the moving-query / hot-key shape)."""
+    queries = []
+    for anchor in anchors:
+        for __ in range(per_anchor):
+            queries.append(
+                Point(
+                    anchor.x + rng.uniform(-jitter, jitter),
+                    anchor.y + rng.uniform(-jitter, jitter),
+                )
+            )
+    return queries
+
+
+class TestSnappedKeyParity:
+    @pytest.mark.parametrize("shards", [None, 16])
+    def test_batch_answers_identical_and_hit_rate_improves(self, shards):
+        rng, exact, snapped, points = _dbs(42, snap=4.0, shards=shards)
+        for db in (exact, snapped):
+            db.add_entity_set("pois", points)
+        queries = _near_duplicate_queries(rng, points[:4], 0.5, 6)
+        res_exact = exact.batch_nearest("pois", queries, 3)
+        res_snapped = snapped.batch_nearest("pois", queries, 3)
+        assert res_snapped == res_exact
+        se, ss = exact.runtime_stats(), snapped.runtime_stats()
+        assert ss["graph_builds"] < se["graph_builds"]
+
+        def hit_rate(s):
+            total = s["graph_cache_hits"] + s["graph_cache_misses"]
+            return s["graph_cache_hits"] / total if total else 0.0
+
+        assert hit_rate(ss) > hit_rate(se)
+
+    def test_distance_answers_bit_identical(self):
+        rng, exact, snapped, points = _dbs(77, snap=3.0)
+        queries = _near_duplicate_queries(rng, points[:3], 0.4, 5)
+        for q in queries:
+            for p in points[6:9]:
+                assert snapped.obstructed_distance(p, q) == (
+                    exact.obstructed_distance(p, q)
+                )
+
+    def test_range_and_nearest_parity(self):
+        rng, exact, snapped, points = _dbs(101, snap=3.0)
+        for db in (exact, snapped):
+            db.add_entity_set("pois", points[4:])
+        for q in _near_duplicate_queries(rng, points[:2], 0.3, 4):
+            assert snapped.nearest("pois", q, 3) == exact.nearest("pois", q, 3)
+            assert snapped.range("pois", q, 20.0) == exact.range(
+                "pois", q, 20.0
+            )
+
+    def test_mutations_stay_correct_with_snapping(self):
+        rng, exact, snapped, points = _dbs(55, snap=3.0)
+        a, q = points[0], points[1]
+        assert snapped.obstructed_distance(a, q) == (
+            exact.obstructed_distance(a, q)
+        )
+        wall = Rect(
+            min(a.x, q.x) + abs(q.x - a.x) / 2 - 1, -5,
+            min(a.x, q.x) + abs(q.x - a.x) / 2 + 1, 105,
+        )
+        recs = (exact.insert_obstacle(wall), snapped.insert_obstacle(wall))
+        assert snapped.obstructed_distance(a, q) == (
+            exact.obstructed_distance(a, q)
+        )
+        assert exact.delete_obstacle(recs[0])
+        assert snapped.delete_obstacle(recs[1])
+        assert snapped.obstructed_distance(a, q) == (
+            exact.obstructed_distance(a, q)
+        )
+
+
+class TestGuestBound:
+    def test_jittering_centre_does_not_grow_graph_unboundedly(self):
+        """A stationary-but-noisy centre stream (GPS jitter inside one
+        snap cell) keeps the shared graph bounded: old guest centres
+        are evicted beyond GUEST_LIMIT."""
+        from repro.core.source import build_obstacle_index
+        from repro.runtime.context import GUEST_LIMIT, QueryContext
+        from tests.conftest import rect_obstacle
+
+        index = build_obstacle_index(
+            [rect_obstacle(0, 40, 40, 44, 44)], max_entries=8, min_entries=3
+        )
+        ctx = QueryContext(index, snap=10.0)
+        rng = random.Random(8)
+        p = Point(0.0, 0.0)
+        for __ in range(3 * GUEST_LIMIT):
+            q = Point(20 + rng.uniform(-1, 1), 20 + rng.uniform(-1, 1))
+            d = ctx.distance(p, q)
+            assert d == pytest.approx(p.distance(q))  # unobstructed
+        entry = ctx.cache.get(Point(20, 20), ctx.version)
+        assert entry is not None
+        assert len(entry.guests) <= GUEST_LIMIT
+        # centre + bounded guests (transient p is removed per call).
+        assert entry.graph.node_count <= GUEST_LIMIT + 1 + 4
+        assert ctx.stats.graph_builds == 1
+
+    def test_field_survives_guest_eviction(self):
+        """A held distance field whose source was evicted from the
+        shared graph re-admits it instead of failing."""
+        from repro.core.source import build_obstacle_index
+        from repro.runtime.context import GUEST_LIMIT, QueryContext
+        from tests.conftest import rect_obstacle
+
+        wall = rect_obstacle(0, 4, -10, 6, 10)
+        index = build_obstacle_index([wall], max_entries=8, min_entries=3)
+        ctx = QueryContext(index, snap=50.0)
+        entry = ctx.entry_for(Point(9.0, 0.5), 25.0)  # owns the cell
+        q = Point(10.0, 0.1)  # off-centre: admitted as a guest
+        field = ctx.field_for(q, radius=25.0)
+        first = field.distance_to(Point(0, 0))
+        # Flood the same snap cell with enough distinct centres to
+        # evict q from the shared graph's guest list.
+        for i in range(GUEST_LIMIT + 5):
+            ctx.entry_for(Point(10.0 + 0.01 * (i + 1), 0.1), 1.0)
+        assert not entry.graph.has_node(q)
+        assert field.distance_to(Point(0, 0)) == first
+        # The re-admission went through the guest bookkeeping: the
+        # source is evictable again, not a permanent untracked node.
+        assert q in entry.guests
+        assert len(entry.guests) <= GUEST_LIMIT
+
+
+class TestSpatialCacheUnit:
+    def _entry(self, x, y, covered=0.0, version=0):
+        center = Point(x, y)
+        return CachedGraph(
+            VisibilityGraph.build([center], []), center, covered, version
+        )
+
+    def test_snap_validation(self):
+        with pytest.raises(ValueError):
+            VisibilityGraphCache(4, snap=-1.0)
+
+    def test_zero_snap_keeps_exact_keys(self):
+        cache = VisibilityGraphCache(4, snap=0.0)
+        a, b = self._entry(0, 0), self._entry(0.4, 0.4)
+        cache.put(a)
+        cache.put(b)
+        assert len(cache) == 2
+        assert cache.get(a.center, 0) is a
+        assert cache.get(b.center, 0) is b
+
+    def test_near_duplicates_share_one_cell(self):
+        cache = VisibilityGraphCache(4, snap=2.0)
+        a = self._entry(10.0, 10.0)
+        cache.put(a)
+        # The near-duplicate centre maps to the same cell: spatial hit.
+        assert cache.get(Point(10.6, 9.5), 0) is a
+        assert len(cache) == 1
+        # A far centre maps elsewhere: miss.
+        assert cache.get(Point(20.0, 20.0), 0) is None
+
+    def test_put_in_occupied_cell_replaces(self):
+        cache = VisibilityGraphCache(4, snap=2.0)
+        a, b = self._entry(10.0, 10.0), self._entry(10.3, 10.3)
+        cache.put(a)
+        cache.put(b)
+        assert len(cache) == 1
+        assert cache.get(a.center, 0) is b
+
+    def test_shard_registration_and_affected_lookup(self):
+        cache = VisibilityGraphCache(8)
+        a, b, c = self._entry(0, 0), self._entry(1, 1), self._entry(2, 2)
+        cache.put(a, shards=[1, 2])
+        cache.put(b, shards=[2, 3])
+        cache.put(c)  # unsharded entry: never in a shard's fan-in
+        assert set(map(id, cache.entries_for_shards([1]))) == {id(a)}
+        assert set(map(id, cache.entries_for_shards([2]))) == {id(a), id(b)}
+        assert cache.entries_for_shards([9]) == []
+        cache.refresh_shards(a, [5])
+        assert cache.entries_for_shards([1]) == []
+        assert set(map(id, cache.entries_for_shards([5]))) == {id(a)}
+
+    def test_eviction_unregisters_shards(self):
+        cache = VisibilityGraphCache(1)
+        a, b = self._entry(0, 0), self._entry(1, 1)
+        cache.put(a, shards=[1])
+        cache.put(b, shards=[1])
+        assert set(map(id, cache.entries_for_shards([1]))) == {id(b)}
+
+    def test_discard_is_identity_checked(self):
+        cache = VisibilityGraphCache(4)
+        a = self._entry(0, 0)
+        impostor = self._entry(0, 0)
+        cache.put(a)
+        assert not cache.discard(impostor)
+        assert cache.get(a.center, 0) is a
+        assert cache.discard(a)
+        assert a.center not in cache

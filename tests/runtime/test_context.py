@@ -102,7 +102,7 @@ class TestGraphReuse:
 
 
 class TestVersionInvalidation:
-    def test_insert_invalidates_cached_graph(self):
+    def test_insert_repairs_cached_graph(self):
         index = _index([rect_obstacle(0, 100, 100, 101, 101)])
         ctx = QueryContext(index)
         a, b = Point(0, 0), Point(10, 0)
@@ -112,7 +112,11 @@ class TestVersionInvalidation:
         d = ctx.distance(a, b)
         assert d == pytest.approx(oracle_distance(a, b, [wall]))
         assert d > 10.0
-        assert ctx.stats.graph_cache_invalidations >= 1
+        # The mutation feed repaired the cached graph in place — no
+        # invalidation, no rebuild, one build total.
+        assert ctx.stats.graph_cache_repairs >= 1
+        assert ctx.stats.graph_cache_invalidations == 0
+        assert ctx.stats.graph_builds == 1
 
     def test_delete_restores_distance(self):
         wall = rect_obstacle(0, 4, -10, 6, 10)

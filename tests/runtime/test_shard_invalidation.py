@@ -26,25 +26,35 @@ def _sharded_context(obstacles, shards=16):
 
 
 class TestPerShardInvalidation:
-    def test_far_mutation_keeps_cached_graph(self):
+    def test_far_mutation_repairs_only_touched_shard(self):
         near = [rect_obstacle(0, 10, 10, 13, 13)]
         far = [rect_obstacle(1, 90, 90, 93, 93)]
         index, ctx = _sharded_context(near + far)
         a = ctx.distance(Point(5, 5), Point(16, 16))
         b = ctx.distance(Point(85, 85), Point(96, 96))
         assert a > 0 and b > 0
+        near_entry = ctx.cache.get(Point(16, 16), ctx.version)
+        near_version = near_entry.version
         hits = ctx.stats.graph_cache_hits
-        invalidations = ctx.stats.graph_cache_invalidations
+        builds = ctx.stats.graph_builds
 
-        index.insert(rect_obstacle(2, 94, 94, 96, 96))  # far shard only
+        new_obs = rect_obstacle(2, 94, 94, 96, 96)
+        index.insert(new_obs)  # far shard only
 
-        # The near graph survives the far mutation: lookup is a hit.
-        assert ctx.cache.get(Point(16, 16), ctx.version) is not None
-        assert ctx.stats.graph_cache_hits == hits + 1
-        assert ctx.stats.graph_cache_invalidations == invalidations
-        # The far graph is stale and is discarded at lookup.
-        assert ctx.cache.get(Point(96, 96), ctx.version) is None
-        assert ctx.stats.graph_cache_invalidations == invalidations + 1
+        # The near graph was never visited: same stamp object, still a
+        # hit — the mutation fan-in is O(affected), not O(cache size).
+        assert ctx.cache.get(Point(16, 16), ctx.version) is near_entry
+        assert near_entry.version is near_version
+        assert not near_entry.graph.has_obstacle(2)
+        # The far graph was repaired in place (one add_obstacle), not
+        # invalidated: lookup hits and the new obstacle is in the graph.
+        far_entry = ctx.cache.get(Point(96, 96), ctx.version)
+        assert far_entry is not None
+        assert far_entry.graph.has_obstacle(2)
+        assert ctx.stats.graph_cache_repairs == 1
+        assert ctx.stats.graph_cache_invalidations == 0
+        assert ctx.stats.graph_cache_hits == hits + 2
+        assert ctx.stats.graph_builds == builds
 
     def test_mutated_shard_queries_see_new_obstacle(self):
         far = [rect_obstacle(0, 90, 90, 93, 93)]
@@ -57,16 +67,22 @@ class TestPerShardInvalidation:
         assert d == pytest.approx(oracle_distance(a, b, far + [wall]))
         assert d > a.distance(b)
 
-    def test_monolithic_behaviour_unchanged(self):
+    def test_monolithic_mutation_refreshes_every_entry(self):
         near = [rect_obstacle(0, 10, 10, 13, 13)]
         far = [rect_obstacle(1, 90, 90, 93, 93)]
         index = build_obstacle_index(near + far, max_entries=8, min_entries=3)
         ctx = QueryContext(index)
         ctx.distance(Point(5, 5), Point(16, 16))
         index.insert(rect_obstacle(2, 94, 94, 96, 96))
-        # Monolithic versioning stays global: even the unrelated graph
-        # is invalidated (the documented, pre-sharding behaviour).
-        assert ctx.cache.get(Point(16, 16), ctx.version) is None
+        # Monolithic versioning stays global, so the repair scan visits
+        # every entry — here the far obstacle misses the near graph's
+        # coverage disk, so the visit is a pure stamp refresh: the
+        # entry survives at its old content with the new version.
+        entry = ctx.cache.get(Point(16, 16), ctx.version)
+        assert entry is not None
+        assert not entry.graph.has_obstacle(2)
+        assert entry.version == ctx.version
+        assert ctx.stats.graph_cache_repairs == 0
 
     def test_held_entry_refreshes_against_mutated_shard(self):
         far = [rect_obstacle(0, 90, 90, 93, 93)]
@@ -86,11 +102,16 @@ class TestPerShardInvalidation:
         index, ctx = _sharded_context(near + far)
         q = Point(5, 5)
         entry = ctx.entry_for(q, 5.0)
+        assert not entry.graph.has_obstacle(1)
         # Grow the disk until it reaches the far cluster's shard.
         ctx.ensure_coverage(entry, 90.0)
-        # A mutation in that shard must now invalidate the grown graph.
+        assert entry.graph.has_obstacle(1)
+        # A mutation in that shard now reaches the grown graph: the
+        # repair scan patches the new obstacle into it in place.
         index.insert(rect_obstacle(2, 61, 61, 62, 62))
-        assert ctx.cache.get(q, ctx.version) is None
+        assert ctx.cache.get(q, ctx.version) is entry
+        assert entry.graph.has_obstacle(2)
+        assert ctx.stats.graph_cache_repairs == 1
 
 
 class TestShardedQueryParity:

@@ -412,15 +412,12 @@ def moving_query_path(workload: Workload, n_steps: int) -> list[Point]:
     step = DEFAULT_UNIVERSE.width * MOVING_STEP_FRACTION
     obstacles = workload.obstacles
     candidates = [
-        p
+        [
+            Point(q0.x + i * step * dx, q0.y + i * step * dy)
+            for i in range(n_steps)
+        ]
         for q0 in workload.queries
         for dx, dy in ((1.0, 0.0), (0.0, 1.0), (1.0, 0.6), (-1.0, 0.0))
-        for p in [
-            [
-                Point(q0.x + i * step * dx, q0.y + i * step * dy)
-                for i in range(n_steps)
-            ]
-        ]
     ]
     for path in candidates:
         if all(

@@ -163,10 +163,30 @@ class SourceDistanceField:
         if self._field is None or self._field_revision != revision:
             self._field = dijkstra(self._graph, self._q)
             self._field_revision = revision
-        if self._graph.has_node(p):
-            return self._field.get(p, inf)
-        best = inf
         field = self._field
+        if self._graph.has_node(p):
+            dp = field.get(p)
+            if dp is not None:
+                return dp
+            # p joined the graph after the field's Dijkstra snapshot
+            # (free-point admissions — e.g. a shared graph taking on a
+            # near-duplicate centre as a guest — do not bump
+            # obstacle_revision).  The field would wrongly report inf;
+            # answer through p's live adjacency instead.  Neighbours
+            # absent from the field are themselves post-snapshot free
+            # points, safe to skip: a shortest path never turns at a
+            # free point, so any path through one also leaves p along
+            # a direct edge to a fielded node.
+            best = inf
+            for v, w in self._graph.neighbors(p).items():
+                dv = field.get(v)
+                if dv is not None and dv + w < best:
+                    best = dv + w
+            # Memoize: this equals what Dijkstra would have stored for
+            # p, and the field is discarded on any revision bump.
+            field[p] = best
+            return best
+        best = inf
         for v in visible_from(p, self._graph):
             dv = field.get(v)
             if dv is not None:

@@ -118,7 +118,13 @@ class ObstacleDatabase:
         if shards is not None and shards < 1:
             raise DatasetError(f"shards must be >= 1, got {shards}")
         if graph_cache_snap is None:
-            graph_cache_snap = float(os.environ.get("REPRO_CACHE_SNAP", "0"))
+            raw_snap = os.environ.get("REPRO_CACHE_SNAP", "0")
+            try:
+                graph_cache_snap = float(raw_snap)
+            except ValueError:
+                raise DatasetError(
+                    f"REPRO_CACHE_SNAP must be a number, got {raw_snap!r}"
+                ) from None
         if graph_cache_snap < 0:
             raise DatasetError(
                 f"graph_cache_snap must be >= 0, got {graph_cache_snap}"

@@ -30,10 +30,15 @@ from repro.model import Obstacle
 from repro.runtime.sharding import ShardGrid, ShardVersionStamp
 
 
-#: Signature of a mutation listener: ``callback(kind, obstacle)`` with
-#: ``kind`` one of ``"insert"`` / ``"delete"``, called synchronously
-#: *after* the mutation is applied (so version stamps taken inside the
-#: callback describe the post-mutation state).
+#: Signature of a mutation listener: ``callback(kind, obstacle)``.
+#: Each mutation fires two synchronous notifications: a
+#: ``"pre-insert"`` / ``"pre-delete"`` immediately *before* the
+#: mutation is applied (so listeners can snapshot which of their
+#: derived structures are still consistent with the pre-mutation
+#: state) and the matching ``"insert"`` / ``"delete"`` immediately
+#: *after* (so version stamps taken inside the callback describe the
+#: post-mutation state).  A delete that finds nothing fires only the
+#: ``pre-`` notification.
 MutationListener = Callable[[str, Obstacle], None]
 
 
@@ -42,18 +47,26 @@ class _MutationFeed:
 
     The query runtime subscribes its repair-first cache maintenance
     here (:meth:`repro.runtime.context.QueryContext._on_obstacle_mutation`).
-    Listeners are bound methods held through ``weakref.WeakMethod`` so
-    a source never keeps a dead ``QueryContext`` (and its graph cache)
-    alive; dead references are pruned on notify.
+    Bound-method listeners are held through ``weakref.WeakMethod`` so a
+    source never keeps a dead ``QueryContext`` (and its graph cache)
+    alive; dead references are pruned on notify.  Plain functions and
+    lambdas have no bound instance to track and are held strongly —
+    their lifetime is the subscriber's responsibility.
     """
 
     __slots__ = ("_subs",)
 
     def __init__(self) -> None:
-        self._subs: list[weakref.WeakMethod] = []
+        self._subs: list[Callable[[], MutationListener | None]] = []
 
     def subscribe(self, callback: MutationListener) -> None:
-        self._subs.append(weakref.WeakMethod(callback))  # type: ignore[arg-type]
+        try:
+            ref: Callable[[], MutationListener | None] = weakref.WeakMethod(
+                callback  # type: ignore[arg-type]
+            )
+        except TypeError:
+            ref = lambda cb=callback: cb  # noqa: E731
+        self._subs.append(ref)
 
     def notify(self, kind: str, obstacle: Obstacle) -> None:
         if not self._subs:
@@ -89,8 +102,10 @@ class ObstacleIndex:
         self._feed = _MutationFeed()
 
     def subscribe(self, callback: MutationListener) -> None:
-        """Register a (weakly held) mutation listener; it is called
-        after every :meth:`insert` / :meth:`delete`."""
+        """Register a (weakly held) mutation listener; every
+        :meth:`insert` / :meth:`delete` calls it twice — ``pre-insert``
+        / ``pre-delete`` just before applying, ``insert`` / ``delete``
+        just after (a not-found delete fires only the ``pre-``)."""
         self._feed.subscribe(callback)
 
     @property
@@ -109,12 +124,14 @@ class ObstacleIndex:
 
     def insert(self, obstacle: Obstacle) -> None:
         """Add one obstacle and bump the version."""
+        self._feed.notify("pre-insert", obstacle)
         self.tree.insert(obstacle, obstacle.mbr)
         self._mutations += 1
         self._feed.notify("insert", obstacle)
 
     def delete(self, obstacle: Obstacle) -> bool:
         """Remove one obstacle; bumps the version when found."""
+        self._feed.notify("pre-delete", obstacle)
         found = self.tree.delete(obstacle, obstacle.mbr)
         if found:
             self._mutations += 1
@@ -229,8 +246,10 @@ class ShardedObstacleIndex:
         self._feed = _MutationFeed()
 
     def subscribe(self, callback: MutationListener) -> None:
-        """Register a (weakly held) mutation listener; it is called
-        once per :meth:`insert` / :meth:`delete` (not per shard)."""
+        """Register a (weakly held) mutation listener; each
+        :meth:`insert` / :meth:`delete` notifies it once before and
+        once after applying (``pre-`` then plain kind — not per
+        shard; a not-found delete fires only the ``pre-``)."""
         self._feed.subscribe(callback)
 
     # -------------------------------------------------------------- shards
@@ -355,6 +374,7 @@ class ShardedObstacleIndex:
     # ------------------------------------------------------------- mutation
     def insert(self, obstacle: Obstacle) -> None:
         """Insert one obstacle into every shard its MBR overlaps."""
+        self._feed.notify("pre-insert", obstacle)
         for key in self.keys_for_obstacle(obstacle):
             self._shard_for_key(key).insert(obstacle)
         self._count += 1
@@ -362,6 +382,7 @@ class ShardedObstacleIndex:
 
     def delete(self, obstacle: Obstacle) -> bool:
         """Delete one obstacle from the shards holding it."""
+        self._feed.notify("pre-delete", obstacle)
         found = False
         for key in self.keys_for_obstacle(obstacle):
             shard = self._shards.get(key)

@@ -101,6 +101,13 @@ class QueryContext:
         self.cache = VisibilityGraphCache(
             cache_size, snap=snap, stats=self.stats
         )
+        #: Entry ids (by identity) whose stamps were fresh at the last
+        #: ``pre-`` mutation notification — the only entries the
+        #: matching post-notification may repair-and-re-stamp — plus
+        #: the affected-entry list itself, stashed so the synchronous
+        #: post pass need not recompute the shard fan-in.
+        self._repairable: frozenset[int] = frozenset()
+        self._pre_affected: list[CachedGraph] | None = None
         subscribe = getattr(source, "subscribe", None)
         if subscribe is not None:
             subscribe(self._on_obstacle_mutation)
@@ -157,29 +164,69 @@ class QueryContext:
         )
 
     def _on_obstacle_mutation(self, kind: str, obstacle: Obstacle) -> None:
-        """Repair-first maintenance of the cached graphs after one
-        source mutation (called synchronously by the source's feed).
+        """Repair-first maintenance of the cached graphs around one
+        source mutation (the source's feed calls this synchronously,
+        once just before the mutation is applied — ``pre-insert`` /
+        ``pre-delete`` — and once just after).
 
         With a sharded source only the entries registered under the
         mutation's shard footprint are visited — O(affected), not
         O(cache size); monolithic sources carry one global version, so
         every entry needs at least a stamp refresh and the scan is the
         whole cache.
+
+        The ``pre-`` pass records which affected entries are fresh
+        against the *pre-mutation* versions: only those are patched in
+        place and re-stamped by the post pass.  An entry already stale
+        at that point missed a mutation applied behind the feed's back
+        (e.g. a direct shard edit); applying just this mutation and
+        taking a fresh stamp would silently absorb the missed one, so
+        such entries are discarded instead (rebuild at next lookup).
         """
+        if kind in ("pre-insert", "pre-delete"):
+            affected = self._affected_entries(obstacle)
+            self._pre_affected = affected
+            self._repairable = frozenset(
+                id(entry)
+                for entry in affected
+                if not stamp_is_stale(entry.version, self.version)
+            )
+            return
+        # Nothing can touch the cache between the synchronous pre and
+        # post passes, so the pre pass's fan-in is reused verbatim
+        # (recomputed only for sources that fire no ``pre-`` events).
+        affected = self._pre_affected
+        self._pre_affected = None
+        if affected is None:
+            affected = self._affected_entries(obstacle)
+        repairable = self._repairable
+        self._repairable = frozenset()
+        for entry in affected:
+            if id(entry) in repairable:
+                self._repair_entry(entry, kind, obstacle)
+            else:
+                self.cache.discard(entry)
+
+    def _affected_entries(self, obstacle: Obstacle) -> "list[CachedGraph]":
+        """The cached entries a mutation of ``obstacle`` can affect:
+        those registered under its shard footprint, or the whole cache
+        for monolithic (single-version) sources."""
         keys_for = getattr(self.source, "keys_for_obstacle", None)
         if keys_for is not None:
-            affected = self.cache.entries_for_shards(keys_for(obstacle))
-        else:
-            affected = self.cache.entries()
-        for entry in affected:
-            self._repair_entry(entry, kind, obstacle)
+            return self.cache.entries_for_shards(keys_for(obstacle))
+        return self.cache.entries()
 
     def _repair_entry(
         self, entry: CachedGraph, kind: str, obstacle: Obstacle
     ) -> None:
         """Patch one cached graph in place for a single mutation, then
         refresh its version stamp; on failure discard the entry so the
-        next lookup rebuilds (rebuild-fallback)."""
+        next lookup rebuilds (rebuild-fallback).
+
+        The caller guarantees the entry was fresh immediately before
+        this mutation (the ``pre-`` notification pass), so the patched
+        graph plus the fresh stamp describe exactly the current
+        obstacle set."""
         graph = entry.graph
         try:
             if kind == "delete":

@@ -106,6 +106,24 @@ class TestSourceDistanceField:
         # obstacles discovered for earlier probes persist
         assert graph.obstacle_ids()  # non-empty after probing around
 
+    def test_node_added_after_snapshot_not_inf(self):
+        """Regression: a free point admitted to the graph *after* the
+        field's Dijkstra snapshot (free-point additions do not bump
+        ``obstacle_revision``) must not read ``inf`` out of the stale
+        field — the shared-graph runtime admits guest centres exactly
+        this way."""
+        wall = rect_obstacle(0, 4, -1, 6, 1)
+        idx = _index([wall])
+        q = Point(0, 0)
+        graph = VisibilityGraph.build([q], [])
+        field = SourceDistanceField(graph, q, idx)
+        assert field.distance_to(Point(0, 5)) == pytest.approx(5.0)
+        guest = Point(10, 0)
+        assert graph.add_entity(guest)  # behind the field's snapshot
+        d = field.distance_to(guest)
+        assert math.isfinite(d)
+        assert d == pytest.approx(oracle_distance(q, guest, [wall]))
+
 
 class TestBoundedCompute:
     def test_bound_early_exit_value_exceeds_bound(self):

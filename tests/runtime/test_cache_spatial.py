@@ -159,6 +159,31 @@ class TestGuestBound:
         assert q in entry.guests
         assert len(entry.guests) <= GUEST_LIMIT
 
+    def test_live_field_answers_guest_admitted_after_snapshot(self):
+        """Regression: a guest centre admitted to the shared graph
+        after a live field's Dijkstra snapshot (free points bump no
+        revision) must still get a finite, exact answer — the stale
+        field must not short-circuit via ``has_node`` into ``inf``
+        and a full-universe ``grow(inf)`` retrieval."""
+        import math
+
+        from repro.core.source import build_obstacle_index
+        from repro.runtime.context import QueryContext
+        from tests.conftest import rect_obstacle
+
+        box = rect_obstacle(0, 2, 2, 3, 3)  # inside the first coverage disk
+        index = build_obstacle_index([box], max_entries=8, min_entries=3)
+        ctx = QueryContext(index, snap=4.0)
+        q1, q2 = Point(0.0, 0.0), Point(1.0, 0.0)  # same snap cell
+        field = ctx.field_for(q1)
+        assert field.distance_to(Point(5.0, 0.0)) == pytest.approx(5.0)
+        entry = ctx.entry_for(q2)  # admitted as a guest of q1's graph
+        assert entry.graph.has_node(q2)
+        d = field.distance_to(q2)
+        assert math.isfinite(d)
+        assert d == pytest.approx(1.0)
+        assert math.isfinite(entry.covered)  # no grow(inf) blow-up
+
 
 class TestSpatialCacheUnit:
     def _entry(self, x, y, covered=0.0, version=0):

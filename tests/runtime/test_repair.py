@@ -217,3 +217,53 @@ class TestRebuildFallback:
         d = db.obstructed_distance(a, b)
         assert d == pytest.approx(oracle_distance(a, b, [wall]))
         assert d > 10.0
+
+    def test_routed_mutation_does_not_mask_direct_tree_edit(self):
+        """Regression: an entry left stale by a direct tree edit must
+        not be 'validated' by a later routed mutation — the repair
+        pass re-stamps only entries that were fresh immediately before
+        the mutation; anything else is discarded and rebuilt."""
+        from repro.geometry import Polygon
+        from repro.model import Obstacle
+
+        db = ObstacleDatabase(
+            [Rect(100, 100, 102, 102)], max_entries=8, min_entries=3
+        )
+        a, b = Point(0, 0), Point(10, 0)
+        assert db.obstructed_distance(a, b) == pytest.approx(10.0)
+        wall = Obstacle(999, Polygon.from_rect(Rect(4, -2, 6, 2)))
+        db.obstacle_tree.insert(wall, wall.mbr)  # behind the feed's back
+        # Routed mutation far away: repairs affected entries in place
+        # and refreshes their stamps — it must not absorb the wall.
+        db.insert_obstacle(Rect(200, 200, 201, 201))
+        d = db.obstructed_distance(a, b)
+        assert d == pytest.approx(oracle_distance(a, b, [wall]))
+        assert d > 10.0
+
+    def test_routed_mutation_does_not_mask_direct_shard_edit(self):
+        """Same guarantee under sharded storage: a direct
+        ``shard(key).insert`` bumps the shard version without firing
+        the outer feed; the next routed mutation must discard the
+        drifted entry instead of re-stamping over the missed wall."""
+        from repro.geometry import Polygon
+        from repro.model import Obstacle
+
+        universe = Rect(-20, -20, 20, 20)
+        corners = [(-15, -15), (-15, 14), (14, -15), (14, 14)]
+        seeds = [
+            rect_obstacle(i, x, y, x + 1, y + 1)
+            for i, (x, y) in enumerate(corners)
+        ]
+        index = build_sharded_obstacle_index(
+            seeds, shards=4, universe=universe, max_entries=8, min_entries=3,
+        )
+        ctx = QueryContext(index)
+        a, b = Point(0, 0), Point(10, 0)
+        assert ctx.distance(a, b) == pytest.approx(10.0)
+        wall = Obstacle(100, Polygon.from_rect(Rect(4, -2, 6, 2)))
+        key = index.keys_for_obstacle(wall)[0]
+        index.shard(key).insert(wall)  # shard version moves; no outer feed
+        index.insert(Obstacle(101, Polygon.from_rect(Rect(14, 10, 15, 11))))
+        d = ctx.distance(a, b)
+        assert d == pytest.approx(oracle_distance(a, b, [wall]))
+        assert d > 10.0

@@ -457,6 +457,7 @@ def run_moving_query(
     *,
     set_name: str = "P1",
     n_sources: int = 4,
+    cold: bool = True,
 ) -> tuple[list[list[float]], dict[str, float]]:
     """Execute a moving-query workload; returns (answers, metrics).
 
@@ -465,10 +466,12 @@ def run_moving_query(
     continuous-ONN inner loop.  ``graph_builds`` is the headline
     metric: with exact cache keys every step's centre is new (one full
     build per step); with a spatial key consecutive steps share
-    coverage-guarded graphs.
+    coverage-guarded graphs.  ``cold=False`` keeps the graph cache and
+    page buffers (counters are still zeroed) — the warm-start leg of
+    the snapshot benchmark, where the cache arrived from disk.
     """
     entities = workload.entity_sets[set_name]
-    db.reset_stats(clear_buffers=True)
+    db.reset_stats(clear_buffers=cold)
     timer = Timer()
     answers = []
     for q in path:
@@ -483,6 +486,46 @@ def run_moving_query(
         "cache_hits": float(stats["graph_cache_hits"]),
         "cache_misses": float(stats["graph_cache_misses"]),
         "promotions": float(stats["graph_cache_promotions"]),
+    }
+
+
+def snapshot_warm_comparison(
+    n_obstacles: int, steps: int, snapshot_path: str
+) -> tuple[bool, dict[str, float]]:
+    """Cold-start vs snapshot warm-start on the moving-query workload.
+
+    Runs the trajectory on a cold database (exact cache keys, so every
+    step costs one full graph build), snapshots the now-warm database,
+    restores it from disk, and replays the identical trajectory on the
+    restored runtime.  Returns ``(answers_match, metrics)`` where the
+    metrics carry the headline ``builds_cold`` / ``builds_warm`` pair
+    (the acceptance bar: warm must build >= 3x fewer full graphs) plus
+    snapshot size and save/load wall-clock.
+    """
+    db, workload = moving_query_db(n_obstacles, 0.0)
+    path = moving_query_path(workload, steps)
+    cold_answers, cold_metrics = run_moving_query(db, workload, path)
+    save_timer = Timer()
+    with save_timer:
+        db.save(snapshot_path)
+    load_timer = Timer()
+    with load_timer:
+        warm_db = ObstacleDatabase.load(snapshot_path)
+    warm_answers, warm_metrics = run_moving_query(
+        warm_db, workload, path, cold=False
+    )
+    builds_cold = cold_metrics["graph_builds"]
+    builds_warm = warm_metrics["graph_builds"]
+    reduction = builds_cold / builds_warm if builds_warm else float("inf")
+    return cold_answers == warm_answers, {
+        "builds_cold": builds_cold,
+        "builds_warm": builds_warm,
+        "build_reduction": reduction,
+        "cold_ms": cold_metrics["cpu_ms"],
+        "warm_ms": warm_metrics["cpu_ms"],
+        "snapshot_bytes": float(os.path.getsize(snapshot_path)),
+        "save_s": save_timer.elapsed,
+        "load_s": load_timer.elapsed,
     }
 
 

@@ -304,6 +304,9 @@ def smoke() -> int:
     code = smoke_moving_cache()
     if code:
         return code
+    code = smoke_snapshot()
+    if code:
+        return code
     return smoke_shard_parallel()
 
 
@@ -379,6 +382,46 @@ def smoke_moving_cache() -> int:
         return 1
     if avoided < 2 / 3:
         print("FAIL: spatial key avoided fewer than 2/3 of full builds")
+        return 1
+    return 0
+
+
+def smoke_snapshot() -> int:
+    """Snapshot warm-start smoke: the moving-query trajectory runs on a
+    cold database (one graph build per step, exact keys), the warmed
+    database is saved and restored from disk, and the identical
+    trajectory replays on the restored runtime.  Bars (both enforced):
+    bit-identical answers, and >= 3x fewer full graph builds warm than
+    cold (the benchmark-scale bar lives in
+    ``benchmarks/test_snapshot_warm.py``).  Deterministic (build
+    counters), so it runs everywhere including single-core boxes."""
+    import tempfile
+
+    from benchmarks.common import snapshot_warm_comparison
+
+    n = 200
+    steps = 24
+    with tempfile.TemporaryDirectory() as td:
+        answers_match, metrics = snapshot_warm_comparison(
+            n, steps, os.path.join(td, "warm.snap")
+        )
+    RESULTS["smoke snapshot warm-start"] = metrics
+    print(
+        f"\nsnapshot warm-start ({steps} steps, |O|={n}): graph builds "
+        f"{metrics['builds_cold']:.0f} (cold) -> "
+        f"{metrics['builds_warm']:.0f} (restored), snapshot "
+        f"{metrics['snapshot_bytes'] / 1024:.0f} KiB, save "
+        f"{metrics['save_s'] * 1000:.0f} ms, load "
+        f"{metrics['load_s'] * 1000:.0f} ms"
+    )
+    if not answers_match:
+        print("FAIL: restored database changed moving-query answers")
+        return 1
+    if metrics["builds_cold"] < 3:
+        print("FAIL: cold baseline too small to measure warm-start gain")
+        return 1
+    if metrics["builds_warm"] * 3 > metrics["builds_cold"]:
+        print("FAIL: warm start avoided fewer than 2/3 of full builds")
         return 1
     return 0
 

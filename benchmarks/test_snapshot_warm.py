@@ -1,0 +1,49 @@
+"""Snapshot warm-start benchmark: cold build cost paid once, on disk.
+
+Not a paper figure — this measures the persistence subsystem on the
+moving-query workload: a cold database pays one full visibility-graph
+build per trajectory step (exact cache keys); a database restored from
+a snapshot of the warmed runtime replays the identical trajectory out
+of its restored cache.
+
+Acceptance bar (CI-enforced): the warm start performs **>= 3x fewer
+full graph builds** than the cold start, with **bit-identical**
+answers.  Deterministic (build counters, not wall-clock), so it is
+enforced unconditionally, including on single-core runners.
+
+Scale knobs: ``REPRO_BENCH_O`` (obstacles), ``REPRO_BENCH_MOVING_STEPS``
+(path length), ``REPRO_BENCH_PAGE_ENTRIES``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import (
+    BENCH_MOVING_STEPS,
+    BENCH_O,
+    snapshot_warm_comparison,
+)
+
+#: Required reduction in full graph builds (the acceptance bar).
+WARM_START_TARGET = 3.0
+
+#: Obstacle cardinality: enough structure for real graphs, small
+#: enough to keep the cold baseline (one build per step) fast.
+SNAPSHOT_O = min(BENCH_O, 500)
+
+
+class TestSnapshotWarmStart:
+    def test_warm_start_builds_3x_fewer_graphs(self, tmp_path):
+        answers_match, metrics = snapshot_warm_comparison(
+            SNAPSHOT_O, BENCH_MOVING_STEPS, str(tmp_path / "warm.snap")
+        )
+        assert answers_match, "restored database changed moving-query answers"
+        builds_cold = metrics["builds_cold"]
+        builds_warm = metrics["builds_warm"]
+        assert builds_cold >= WARM_START_TARGET, (
+            f"cold baseline too small to measure: {builds_cold:.0f} builds"
+        )
+        assert builds_warm * WARM_START_TARGET <= builds_cold, (
+            f"warm start avoided too few builds: {builds_cold:.0f} cold -> "
+            f"{builds_warm:.0f} warm over {BENCH_MOVING_STEPS} steps; bar "
+            f"is {WARM_START_TARGET}x"
+        )

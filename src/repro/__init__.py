@@ -59,6 +59,7 @@ from repro.runtime import (
     RuntimeStats,
     VisibilityGraphCache,
 )
+from repro.persist import load_database, save_database, snapshot_info
 from repro.core import (
     CompositeObstacleIndex,
     ObstacleDatabase,
@@ -110,6 +111,10 @@ __all__ = [
     "path_nearest",
     "scene_to_svg",
     "save_svg",
+    # persistence
+    "save_database",
+    "load_database",
+    "snapshot_info",
     # query runtime
     "QueryContext",
     "RuntimeStats",

@@ -303,6 +303,106 @@ class ObstacleDatabase:
             backend=self._backend,
         )
 
+    # --------------------------------------------------------- persistence
+    def save(
+        self,
+        path: "str | os.PathLike[str]",
+        *,
+        dataset_refs: "Mapping[str, str | os.PathLike[str]] | None" = None,
+        include_cache: bool | None = None,
+    ) -> None:
+        """Write a page-backed snapshot of this database to ``path``.
+
+        The snapshot captures every R*-tree node-per-page (page ids,
+        buffer residency and access counters included), every obstacle
+        set (monolithic or sharded, with per-shard versions and grid
+        layout), and — unless ``include_cache=False`` (default from
+        ``REPRO_SNAPSHOT_CACHE``) — every cached visibility graph with
+        its coverage and version stamp, so :meth:`load` warm-starts.
+        ``dataset_refs`` records source dataset files by content hash;
+        a later load verifies them (hash, not mtime) and refuses drift.
+        """
+        from repro.persist.store import save_database
+
+        save_database(
+            self, path, dataset_refs=dataset_refs, include_cache=include_cache
+        )
+
+    @classmethod
+    def load(
+        cls,
+        path: "str | os.PathLike[str]",
+        *,
+        backend: "str | VisibilityBackend | None" = None,
+    ) -> "ObstacleDatabase":
+        """Restore a database saved by :meth:`save`.
+
+        The restored database is observationally identical to the
+        saved one — bit-identical query answers and identical simulated
+        page-miss counts on any access sequence — and its runtime is
+        warm: restored cache entries are re-admitted under their
+        spatial keys and shard registrations, and the mutation feed is
+        re-subscribed, so post-load mutations still route repair-first.
+        Corrupt, truncated or future-version files raise
+        :class:`~repro.errors.DatasetError` naming the path and offset,
+        without constructing any partial database.
+        """
+        from repro.persist.store import load_database
+
+        return load_database(path, backend=backend)
+
+    def _snapshot_state(self) -> dict:
+        """The parts of this database a snapshot serializes (the
+        inverse of :meth:`_restore`)."""
+        return {
+            "tree_kwargs": dict(self._tree_kwargs),
+            "bulk": self._bulk,
+            "shards": self._shards,
+            "graph_cache_size": self._graph_cache_size,
+            "graph_cache_snap": self._graph_cache_snap,
+            "next_oid": self._next_oid,
+            "obstacle_indexes": self._obstacle_indexes,
+            "entity_trees": self._entity_trees,
+            "context": self._context,
+        }
+
+    @classmethod
+    def _restore(
+        cls,
+        *,
+        tree_kwargs: dict,
+        bulk: bool,
+        shards: int | None,
+        graph_cache_size: int,
+        graph_cache_snap: float,
+        next_oid: int,
+        obstacle_indexes: "dict[str, ObstacleIndex | ShardedObstacleIndex]",
+        entity_trees: dict[str, RStarTree],
+        backend: "str | VisibilityBackend | None" = None,
+    ) -> "ObstacleDatabase":
+        """Assemble a database around already-restored indexes.
+
+        Bypasses the building constructor entirely: the obstacle and
+        entity trees are installed verbatim and only the runtime
+        context is created fresh (which re-subscribes the mutation
+        feed).  The caller (:mod:`repro.persist.store`) re-admits the
+        restored cache entries afterwards.
+        """
+        db = object.__new__(cls)
+        db._graph_cache_snap = graph_cache_snap
+        db._shards = shards
+        db._bulk = bulk
+        db._tree_kwargs = dict(tree_kwargs)
+        db._next_oid = next_oid
+        db._graph_cache_size = graph_cache_size
+        db._runtime_stats = RuntimeStats()
+        db._backend = resolve_backend(backend, stats=db._runtime_stats)
+        db._entity_trees = dict(entity_trees)
+        db._obstacle_indexes = dict(obstacle_indexes)
+        db._context = None
+        db._rebuild_context()
+        return db
+
     # -------------------------------------------------------------- queries
     def range(self, name: str, q: PointLike, e: float) -> list[tuple[Point, float]]:
         """OR: entities of ``name`` within obstructed distance ``e`` of ``q``."""

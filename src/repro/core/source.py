@@ -96,10 +96,18 @@ class ObstacleIndex:
     full tracking.
     """
 
-    def __init__(self, tree: RStarTree) -> None:
+    def __init__(self, tree: RStarTree, *, mutations: int = 0) -> None:
         self.tree = tree
-        self._mutations = 0
+        self._mutations = mutations
         self._feed = _MutationFeed()
+
+    @property
+    def mutation_count(self) -> int:
+        """Indexed mutations applied so far (half of the version's
+        mutation weight).  Persisted by snapshots — restoring it keeps
+        the restored index's :attr:`version` identical to the live
+        one's, so serialized graph stamps stay comparable."""
+        return self._mutations
 
     def subscribe(self, callback: MutationListener) -> None:
         """Register a (weakly held) mutation listener; every
@@ -392,6 +400,34 @@ class ShardedObstacleIndex:
             self._count -= 1
             self._feed.notify("delete", obstacle)
         return found
+
+    @classmethod
+    def restore(
+        cls,
+        grid: ShardGrid,
+        *,
+        name: str,
+        shards: dict[int, ObstacleIndex],
+        layout_version: int,
+        count: int,
+        **tree_kwargs: object,
+    ) -> "ShardedObstacleIndex":
+        """Snapshot-restore hook: reassemble a sharded index from its
+        parts.
+
+        ``shards`` maps shard keys to fully restored per-shard
+        :class:`ObstacleIndex` instances; ``layout_version`` and
+        ``count`` are taken verbatim (they are not derivable from the
+        shard dict — emptied shards keep their version history, and
+        spanning obstacles are replicated).  A fresh mutation feed is
+        created; subscribers re-attach when the runtime context is
+        rebuilt around the restored source.
+        """
+        index = cls(grid, name=name, **tree_kwargs)
+        index._shards = dict(shards)
+        index._layout_version = layout_version
+        index._count = count
+        return index
 
     def __repr__(self) -> str:
         return (

@@ -8,6 +8,7 @@ Formats are deliberately simple and diff-friendly:
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -37,6 +38,23 @@ def load_points(path: str | Path) -> list[Point]:
                 raise DatasetError(f"{path}:{line_no}: expected 'x y', got {line!r}")
             points.append(Point(float(parts[0]), float(parts[1])))
     return points
+
+
+def content_hash(path: str | Path) -> str:
+    """SHA-256 of a dataset file's bytes (lower-case hex).
+
+    Snapshots (:mod:`repro.persist`) record dataset references by this
+    hash — a reload verifies the *content*, so copying a file or
+    touching its mtime never spoils a reference, while any edit does.
+    """
+    digest = hashlib.sha256()
+    try:
+        with open(path, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 16), b""):
+                digest.update(chunk)
+    except OSError as exc:
+        raise DatasetError(f"{path}: cannot hash dataset ({exc})") from None
+    return digest.hexdigest()
 
 
 def save_obstacles(path: str | Path, obstacles: Sequence[Obstacle]) -> None:

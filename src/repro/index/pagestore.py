@@ -11,7 +11,7 @@ goes through :class:`LRUBuffer`, and misses are tallied by the tree's
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.errors import SpatialIndexError
 
@@ -37,6 +37,17 @@ class LRUBuffer:
         self._fraction = fraction
         self._fixed_capacity = capacity
         self._pages: OrderedDict[int, None] = OrderedDict()
+
+    @property
+    def fraction(self) -> float:
+        """The fraction of the store's pages the buffer may hold (used
+        whenever no fixed capacity is pinned)."""
+        return self._fraction
+
+    @property
+    def fixed_capacity(self) -> int | None:
+        """The pinned page capacity, or ``None`` in fraction mode."""
+        return self._fixed_capacity
 
     def capacity_for(self, store_pages: int) -> int:
         """Effective capacity given the current store size."""
@@ -75,6 +86,24 @@ class LRUBuffer:
     def invalidate(self, page_id: int) -> None:
         """Drop a page from the buffer (on page deallocation)."""
         self._pages.pop(page_id, None)
+
+    def page_ids(self) -> list[int]:
+        """Resident page ids in LRU order (least recently used first).
+
+        Together with :meth:`load_pages` this makes the buffer state
+        serializable: a snapshot that restores the page-id order
+        reproduces the exact hit/miss sequence the live buffer would
+        have produced.
+        """
+        return list(self._pages)
+
+    def load_pages(self, page_ids: Iterable[int]) -> None:
+        """Snapshot-restore hook: set the resident set wholesale.
+
+        ``page_ids`` must be in LRU order (as returned by
+        :meth:`page_ids`); the previous buffer content is discarded.
+        """
+        self._pages = OrderedDict((pid, None) for pid in page_ids)
 
     def clear(self) -> None:
         """Empty the buffer (cold-start a workload)."""
@@ -123,6 +152,33 @@ class PageStore:
     def free(self, page_id: int) -> None:
         """Deallocate a page."""
         self._pages.pop(page_id, None)
+
+    @property
+    def next_id(self) -> int:
+        """The id the next :meth:`allocate` call will hand out."""
+        return self._next_id
+
+    def nodes(self) -> Iterator["Node"]:
+        """All stored nodes in ascending page-id order, bypassing any
+        buffer/counter accounting (serialization traffic is not
+        simulated I/O)."""
+        for page_id in sorted(self._pages):
+            yield self._pages[page_id]
+
+    def restore(self, nodes: Iterable["Node"], next_id: int) -> None:
+        """Snapshot-restore hook: replace the page file wholesale.
+
+        ``next_id`` must exceed every restored page id so later
+        allocations never collide with restored pages.
+        """
+        pages = {node.page_id: node for node in nodes}
+        if pages and next_id <= max(pages):
+            raise SpatialIndexError(
+                f"next page id {next_id} collides with restored page "
+                f"{max(pages)}"
+            )
+        self._pages = pages
+        self._next_id = next_id
 
     def __len__(self) -> int:
         return len(self._pages)

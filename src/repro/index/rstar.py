@@ -20,7 +20,7 @@ configuration (4 KB pages, 204 entries) is the default:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import QueryError, SpatialIndexError
 from repro.geometry.circle import Circle
@@ -113,6 +113,12 @@ class RStarTree:
         """Number of allocated pages."""
         return len(self._store)
 
+    @property
+    def next_page_id(self) -> int:
+        """The page id the next allocation will hand out (persisted by
+        snapshots so restored trees never reuse a retired id)."""
+        return self._store.next_id
+
     def read_node(self, page_id: int) -> Node:
         """Fetch a node through the buffer, counting the access."""
         hit = self.buffer.access(page_id, len(self._store))
@@ -124,6 +130,56 @@ class RStarTree:
         self.counter.reset()
         if clear_buffer:
             self.buffer.clear()
+
+    # ------------------------------------------------------------ persistence
+    @property
+    def reinsert_count(self) -> int:
+        """Entries evicted per forced reinsert (derived from
+        ``reinsert_fraction`` at construction; persisted by snapshots so
+        a restored tree keeps the exact R* insert behaviour)."""
+        return self._reinsert_count
+
+    def pages(self) -> Iterator[Node]:
+        """All allocated nodes in ascending page-id order, bypassing the
+        buffer and counters (snapshot traffic is not simulated I/O)."""
+        return self._store.nodes()
+
+    def install_pages(
+        self,
+        nodes: Iterable[Node],
+        *,
+        root_id: int,
+        next_id: int,
+        size: int,
+        reinsert_count: int | None = None,
+    ) -> None:
+        """Snapshot-restore hook: replace the tree's page file wholesale.
+
+        ``nodes`` must describe a complete tree whose root lives at
+        ``root_id``; ``size`` is the data-entry count and ``next_id``
+        the next page id to allocate.  The buffer and counters are left
+        untouched (restore them separately via
+        :meth:`~repro.index.pagestore.LRUBuffer.load_pages` and the
+        counter's public fields).  Page ids, levels and entry order are
+        taken verbatim, so the restored tree is observationally
+        identical to the one serialized — including the page-access
+        sequence of any later query.
+        """
+        nodes = list(nodes)
+        by_id = {node.page_id: node for node in nodes}
+        if root_id not in by_id:
+            raise SpatialIndexError(
+                f"restored root page {root_id} is not among the pages"
+            )
+        self._store.restore(nodes, next_id)
+        self._root_id = root_id
+        self._size = size
+        if reinsert_count is not None:
+            if reinsert_count < 1:
+                raise SpatialIndexError(
+                    f"reinsert count must be >= 1, got {reinsert_count}"
+                )
+            self._reinsert_count = reinsert_count
 
     # ------------------------------------------------------------- maintenance
     def insert(self, data: Any, rect: Rect) -> None:

@@ -1,0 +1,231 @@
+"""``repro-snapshot`` — build, inspect and verify snapshot files.
+
+Usage::
+
+    repro-snapshot save --obstacles obstacles.txt \\
+        [--entities cafes=cafes.txt ...] [--shards 16] [--snap 2.0] \\
+        [--warm 8] [--no-refs] --out scene.snap
+    repro-snapshot info scene.snap
+    repro-snapshot verify scene.snap
+
+``save`` builds an :class:`~repro.core.engine.ObstacleDatabase` from
+plain-text dataset files (:mod:`repro.datasets.io` formats), optionally
+pre-warms the visibility-graph cache (``--warm N`` runs N deterministic
+queries so the snapshot ships warm), records the dataset files by
+content hash (disable with ``--no-refs``), and writes the snapshot.
+``info`` prints the structural summary without assembling a database;
+``verify`` performs a full restore plus R*-tree invariant checks.
+
+Also runnable without installation as ``python -m repro.persist.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-snapshot",
+        description="Build, inspect and verify obstacle-database snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    save = sub.add_parser(
+        "save", help="build a database from dataset files and snapshot it"
+    )
+    save.add_argument(
+        "--obstacles",
+        required=True,
+        help="obstacle dataset file (one 'oid x1 y1 x2 y2 ...' per line)",
+    )
+    save.add_argument(
+        "--entities",
+        action="append",
+        default=[],
+        metavar="NAME=FILE",
+        help="entity dataset as NAME=FILE (one 'x y' per line); repeatable",
+    )
+    save.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="spatially shard the obstacle set over at least N cells",
+    )
+    save.add_argument(
+        "--snap",
+        type=float,
+        default=None,
+        help="graph-cache spatial-key quantum (default: REPRO_CACHE_SNAP)",
+    )
+    save.add_argument(
+        "--cache-size",
+        type=int,
+        default=64,
+        help="graph-cache capacity (default 64)",
+    )
+    save.add_argument(
+        "--warm",
+        type=int,
+        default=0,
+        metavar="N",
+        help="pre-warm the cache with N deterministic queries before saving",
+    )
+    save.add_argument(
+        "--no-refs",
+        action="store_true",
+        help="do not record the dataset files by content hash",
+    )
+    save.add_argument("--out", required=True, help="snapshot file to write")
+
+    info = sub.add_parser("info", help="print a snapshot's structure")
+    info.add_argument("snapshot", help="snapshot file")
+
+    verify = sub.add_parser(
+        "verify", help="fully restore a snapshot and check tree invariants"
+    )
+    verify.add_argument("snapshot", help="snapshot file")
+    return parser
+
+
+def _cmd_save(args: argparse.Namespace) -> int:
+    from repro.core.engine import ObstacleDatabase
+    from repro.datasets.io import load_obstacles, load_points
+
+    obstacles = load_obstacles(args.obstacles)
+    refs = {"obstacles": args.obstacles}
+    entity_sets: list[tuple[str, str]] = []
+    for spec in args.entities:
+        name, sep, file_path = spec.partition("=")
+        if not sep or not name or not file_path:
+            print(f"--entities needs NAME=FILE, got {spec!r}", file=sys.stderr)
+            return 2
+        entity_sets.append((name, file_path))
+        refs[f"entities:{name}"] = file_path
+    db = ObstacleDatabase(
+        obstacles,
+        shards=args.shards,
+        graph_cache_snap=args.snap,
+        graph_cache_size=args.cache_size,
+    )
+    for name, file_path in entity_sets:
+        db.add_entity_set(name, load_points(file_path))
+    if args.warm > 0:
+        _warm(db, entity_sets, args.warm)
+    db.save(args.out, dataset_refs=None if args.no_refs else refs)
+    stats = db.runtime_stats()
+    print(
+        f"wrote {args.out}: {len(obstacles)} obstacle(s), "
+        f"{len(entity_sets)} entity set(s), "
+        f"{stats['graph_builds']} cached graph build(s)"
+    )
+    return 0
+
+
+def _warm(db: object, entity_sets: list[tuple[str, str]], n: int) -> None:
+    """Prime the graph cache with ``n`` deterministic queries: nearest
+    lookups anchored at the first entity set's points when one exists,
+    otherwise obstructed distances along the universe diagonal."""
+    from repro.geometry.point import Point
+
+    if entity_sets:
+        name = entity_sets[0][0]
+        tree = db.entity_tree(name)  # type: ignore[attr-defined]
+        points = sorted(p for p, __ in tree.items())
+        for p in points[:n]:
+            db.nearest(name, p, 1)  # type: ignore[attr-defined]
+        return
+    universe = db.universe()  # type: ignore[attr-defined]
+    if universe is None:
+        return
+    for i in range(n):
+        t0 = (i + 1) / (n + 1)
+        t1 = (i + 2) / (n + 2)
+        a = Point(
+            universe.minx + t0 * universe.width,
+            universe.miny + t0 * universe.height,
+        )
+        b = Point(
+            universe.minx + t1 * universe.width,
+            universe.miny + t1 * universe.height,
+        )
+        db.obstructed_distance(a, b)  # type: ignore[attr-defined]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.persist.store import snapshot_info
+
+    info = snapshot_info(args.snapshot)
+    print(f"{info['path']}: snapshot format v{info['format_version']}")
+    shards = info["shards"]
+    print(
+        f"  config: shards={shards if shards is not None else 'monolithic'}, "
+        f"cache={info['graph_cache_size']}, snap={info['graph_cache_snap']:g}, "
+        f"next_oid={info['next_oid']}"
+    )
+    print(f"  distinct obstacles: {info['distinct_obstacles']}")
+    for entry in info["obstacle_sets"]:  # type: ignore[union-attr]
+        extra = (
+            f", {entry['shards']} shard(s), grid order {entry['grid_order']}"
+            if entry["kind"] == "sharded"
+            else ""
+        )
+        print(
+            f"  obstacle set {entry['name']!r}: {entry['kind']}, "
+            f"{entry['obstacles']} obstacle(s), {entry['pages']} page(s)"
+            f"{extra}"
+        )
+    for entry in info["entity_sets"]:  # type: ignore[union-attr]
+        print(
+            f"  entity set {entry['name']!r}: {entry['points']} point(s), "
+            f"{entry['pages']} page(s)"
+        )
+    print(f"  cached visibility graphs: {info['cached_graphs']}")
+    for ref in info["dataset_refs"]:  # type: ignore[union-attr]
+        print(
+            f"  dataset ref {ref['label']!r}: {ref['path']} "
+            f"(sha256 {ref['sha256'][:12]}...)"
+        )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.engine import ObstacleDatabase
+
+    db = ObstacleDatabase.load(args.snapshot)
+    trees = 0
+    for index in db._obstacle_indexes.values():
+        for tree in index.trees():
+            tree.check_invariants()
+            trees += 1
+    for tree in db._entity_trees.values():
+        tree.check_invariants()
+        trees += 1
+    cached = len(db.context.cache)
+    print(
+        f"{args.snapshot}: OK ({trees} tree(s) pass invariants, "
+        f"{cached} cached graph(s) restored)"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "save":
+            return _cmd_save(args)
+        if args.command == "info":
+            return _cmd_info(args)
+        return _cmd_verify(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,308 @@
+"""Binary framing of snapshot files.
+
+Every snapshot is one file::
+
+    offset 0   magic            8 bytes  (``b"RPROSNAP"``)
+    offset 8   format version   u32
+    offset 12  payload length   u64
+    offset 20  payload crc32    u32
+    offset 24  header crc32     u32      (over bytes [0, 24))
+    offset 28  payload          ``payload length`` bytes
+
+All integers and floats are **explicit little-endian** (``struct``
+``"<"`` formats), so a snapshot written on any host reads identically
+on any other — the framing never depends on native endianness or
+alignment.  The payload is a flat sequence of primitive records
+produced by :class:`BinaryWriter` and consumed by
+:class:`BinaryReader`; both checksums are CRC-32 (:func:`zlib.crc32`).
+
+Float arrays (coordinate lists) have a bulk path: when numpy is
+importable they are written/read through ``ndarray`` buffers
+(``dtype="<f8"``), otherwise through :mod:`struct` — the two produce
+byte-identical files, so the ``REPRO_SNAPSHOT_ARRAYS`` knob
+(``auto``/``numpy``/``struct``) only ever changes speed, never format.
+
+Corruption handling is fail-fast and located: a truncated file, a
+flipped byte, or a snapshot written by a newer format version each
+raise :class:`~repro.errors.DatasetError` naming the file path and the
+byte offset of the inconsistency, before any state is constructed.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import DatasetError
+from repro.geometry.point import Point
+
+#: First 8 bytes of every snapshot file.
+MAGIC = b"RPROSNAP"
+
+#: The snapshot format this build writes (and the newest it reads).
+FORMAT_VERSION = 1
+
+_HEAD = struct.Struct("<8sIQI")
+_HEAD_CRC = struct.Struct("<I")
+
+#: Total header size; the payload starts at this file offset.
+HEADER_SIZE = _HEAD.size + _HEAD_CRC.size
+
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+def _use_numpy() -> bool:
+    """Whether the float-array bulk path goes through numpy.
+
+    Governed by ``REPRO_SNAPSHOT_ARRAYS``: ``auto`` (default — numpy
+    when importable), ``numpy`` (require it), ``struct`` (pure-python).
+    Both paths produce byte-identical files.
+    """
+    mode = os.environ.get("REPRO_SNAPSHOT_ARRAYS", "auto").strip().lower()
+    if mode not in ("auto", "numpy", "struct"):
+        raise DatasetError(
+            f"REPRO_SNAPSHOT_ARRAYS must be auto, numpy or struct, "
+            f"got {mode!r}"
+        )
+    if mode == "struct":
+        return False
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        if mode == "numpy":
+            raise DatasetError(
+                "REPRO_SNAPSHOT_ARRAYS=numpy but numpy is not importable"
+            ) from None
+        return False
+    return True
+
+
+class BinaryWriter:
+    """Accumulates one snapshot payload as little-endian records."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._numpy = _use_numpy()
+
+    def u8(self, value: int) -> None:
+        """Append an unsigned byte."""
+        self._buf += _U8.pack(value)
+
+    def u32(self, value: int) -> None:
+        """Append an unsigned 32-bit integer."""
+        self._buf += _U32.pack(value)
+
+    def u64(self, value: int) -> None:
+        """Append an unsigned 64-bit integer."""
+        self._buf += _U64.pack(value)
+
+    def i64(self, value: int) -> None:
+        """Append a signed 64-bit integer (``-1`` encodes ``None``
+        throughout the snapshot format)."""
+        self._buf += _I64.pack(value)
+
+    def f64(self, value: float) -> None:
+        """Append a 64-bit float."""
+        self._buf += _F64.pack(value)
+
+    def str_(self, value: str) -> None:
+        """Append a length-prefixed UTF-8 string."""
+        raw = value.encode("utf-8")
+        self.u32(len(raw))
+        self._buf += raw
+
+    def _write_floats(self, flat: list[float]) -> None:
+        """The bulk float path: packed through numpy when present,
+        :mod:`struct` otherwise — same bytes either way."""
+        if not flat:
+            return
+        if self._numpy:
+            import numpy as np
+
+            self._buf += np.asarray(flat, dtype="<f8").tobytes()
+        else:
+            self._buf += struct.pack(f"<{len(flat)}d", *flat)
+
+    def points(self, pts: Iterable[Point]) -> None:
+        """Append a length-prefixed list of points as a flat
+        ``x0 y0 x1 y1 ...`` float array."""
+        flat: list[float] = []
+        for p in pts:
+            flat.append(p.x)
+            flat.append(p.y)
+        self.u32(len(flat) // 2)
+        self._write_floats(flat)
+
+    def getvalue(self) -> bytes:
+        """The accumulated payload."""
+        return bytes(self._buf)
+
+
+class BinaryReader:
+    """Decodes a snapshot payload, tracking absolute file offsets.
+
+    Every decode error raises :class:`~repro.errors.DatasetError`
+    naming the snapshot path and the file offset at which the payload
+    ran short — the reader never returns partial records.
+    """
+
+    def __init__(
+        self, data: bytes, *, path: str | Path, base_offset: int = HEADER_SIZE
+    ) -> None:
+        self._data = data
+        self._pos = 0
+        self._path = str(path)
+        self._base = base_offset
+        self._numpy = _use_numpy()
+
+    @property
+    def offset(self) -> int:
+        """The absolute file offset of the next byte to decode."""
+        return self._base + self._pos
+
+    def _take(self, n: int) -> bytes:
+        end = self._pos + n
+        if end > len(self._data):
+            raise DatasetError(
+                f"{self._path}: truncated snapshot payload at offset "
+                f"{self.offset} (needed {n} more byte(s))"
+            )
+        raw = self._data[self._pos : end]
+        self._pos = end
+        return raw
+
+    def u8(self) -> int:
+        """Decode an unsigned byte."""
+        return _U8.unpack(self._take(1))[0]
+
+    def u32(self) -> int:
+        """Decode an unsigned 32-bit integer."""
+        return _U32.unpack(self._take(4))[0]
+
+    def u64(self) -> int:
+        """Decode an unsigned 64-bit integer."""
+        return _U64.unpack(self._take(8))[0]
+
+    def i64(self) -> int:
+        """Decode a signed 64-bit integer."""
+        return _I64.unpack(self._take(8))[0]
+
+    def f64(self) -> float:
+        """Decode a 64-bit float."""
+        return _F64.unpack(self._take(8))[0]
+
+    def str_(self) -> str:
+        """Decode a length-prefixed UTF-8 string."""
+        n = self.u32()
+        return self._take(n).decode("utf-8")
+
+    def _read_floats(self, n: int) -> list[float]:
+        """The bulk float path (numpy when present, :mod:`struct`
+        otherwise); decodes ``n`` 64-bit floats."""
+        if n == 0:
+            return []
+        raw = self._take(8 * n)
+        if self._numpy:
+            import numpy as np
+
+            return np.frombuffer(raw, dtype="<f8").tolist()
+        return list(struct.unpack(f"<{n}d", raw))
+
+    def points(self) -> list[Point]:
+        """Decode a length-prefixed point list."""
+        n = self.u32()
+        flat = self._read_floats(2 * n)
+        return [Point(flat[i], flat[i + 1]) for i in range(0, 2 * n, 2)]
+
+    def expect_end(self) -> None:
+        """Raise unless the payload was consumed exactly."""
+        if self._pos != len(self._data):
+            raise DatasetError(
+                f"{self._path}: {len(self._data) - self._pos} trailing "
+                f"byte(s) at offset {self.offset}"
+            )
+
+
+def write_snapshot(path: str | Path, payload: bytes) -> None:
+    """Frame ``payload`` with the checksummed header and write it.
+
+    The file is written to a temporary sibling and atomically renamed
+    into place, so a crashed save never leaves a half-written snapshot
+    under the target name.
+    """
+    head = _HEAD.pack(MAGIC, FORMAT_VERSION, len(payload), zlib.crc32(payload))
+    blob = head + _HEAD_CRC.pack(zlib.crc32(head)) + payload
+    target = str(path)
+    tmp = f"{target}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, target)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - crash-path cleanup
+            os.unlink(tmp)
+
+
+def read_snapshot_versioned(path: str | Path) -> tuple[int, bytes]:
+    """Read and verify a snapshot file; returns ``(format_version,
+    payload)``.
+
+    Verification order: magic, header checksum, format version, payload
+    length, payload checksum.  Each failure raises
+    :class:`~repro.errors.DatasetError` naming ``path`` and the byte
+    offset of the inconsistency; nothing is decoded past a failure.
+    """
+    name = str(path)
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError as exc:
+        raise DatasetError(f"{name}: cannot read snapshot ({exc})") from None
+    if len(blob) < HEADER_SIZE:
+        raise DatasetError(
+            f"{name}: truncated snapshot header at offset {len(blob)} "
+            f"(need {HEADER_SIZE} bytes)"
+        )
+    magic, version, payload_len, payload_crc = _HEAD.unpack_from(blob, 0)
+    (head_crc,) = _HEAD_CRC.unpack_from(blob, _HEAD.size)
+    if magic != MAGIC:
+        raise DatasetError(
+            f"{name}: not a repro snapshot (bad magic at offset 0)"
+        )
+    if head_crc != zlib.crc32(blob[: _HEAD.size]):
+        raise DatasetError(
+            f"{name}: header checksum mismatch at offset {_HEAD.size}"
+        )
+    if version > FORMAT_VERSION:
+        raise DatasetError(
+            f"{name}: snapshot format version {version} at offset 8 is "
+            f"newer than the supported version {FORMAT_VERSION}"
+        )
+    payload = blob[HEADER_SIZE:]
+    if len(payload) != payload_len:
+        raise DatasetError(
+            f"{name}: truncated snapshot payload at offset "
+            f"{HEADER_SIZE + len(payload)} (expected {payload_len} "
+            f"byte(s), found {len(payload)})"
+        )
+    if zlib.crc32(payload) != payload_crc:
+        raise DatasetError(
+            f"{name}: payload checksum mismatch at offset {HEADER_SIZE}"
+        )
+    return version, payload
+
+
+def read_snapshot(path: str | Path) -> bytes:
+    """Read and verify a snapshot file; returns the payload bytes.
+
+    :func:`read_snapshot_versioned` with the format version dropped —
+    for callers that only decode the current format.
+    """
+    return read_snapshot_versioned(path)[1]

@@ -1,0 +1,463 @@
+"""The snapshot store: a whole :class:`ObstacleDatabase` on disk.
+
+One snapshot file captures everything the paper's cost model can
+observe about a database plus everything its runtime has learned:
+
+* **configuration** — tree layout, cache sizing, spatial-key quantum,
+  sharding, the obstacle-id sequence;
+* **obstacle table** — every distinct obstacle, stored once by id;
+  trees, shards and cached graphs all reference into it, so a restored
+  database shares one :class:`~repro.model.Obstacle` instance per id
+  exactly as the live one does;
+* **sources** — each obstacle set as its R*-tree page image
+  (:mod:`repro.index.pageio`) for monolithic storage, or the grid
+  geometry plus every per-shard tree (with per-shard mutation
+  counters, layout version and Hilbert keys) for sharded storage;
+* **entity trees** — page images with point payloads;
+* **graph cache** — every cached visibility graph with its coverage
+  radius, guest centres and version stamp
+  (:mod:`repro.persist.graphio`), in LRU order.
+
+Because page ids, buffer residency and access counters round-trip, a
+restored database is *observationally identical*: the same queries
+produce bit-identical answers and identical simulated page-miss
+counts.  Because the graph cache rides along, it is also *warm*: a
+query whose centre was covered before the save builds zero new
+visibility graphs after the load.
+
+``dataset_refs`` lets a snapshot pin the source dataset files it was
+built from by **content hash** (:func:`repro.datasets.io.content_hash`)
+— loads re-hash the files and fail on drift, never trusting mtimes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.source import ObstacleIndex, ShardedObstacleIndex
+from repro.datasets.io import content_hash
+from repro.errors import DatasetError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.index import pageio
+from repro.model import Obstacle
+from repro.persist.codec import (
+    BinaryReader,
+    BinaryWriter,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.persist.graphio import read_cache_entry, write_cache_entry
+from repro.runtime.sharding import ShardGrid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import ObstacleDatabase
+    from repro.visibility.kernel.backend import VisibilityBackend
+
+_KIND_MONO = 0
+_KIND_SHARDED = 1
+
+
+def _include_cache_default() -> bool:
+    """Whether snapshots include the graph cache (warm start).
+
+    Governed by ``REPRO_SNAPSHOT_CACHE``: ``1`` (default) serializes
+    every cached visibility graph; ``0`` writes a cold snapshot
+    (structure and counters only).
+    """
+    raw = os.environ.get("REPRO_SNAPSHOT_CACHE", "1").strip()
+    if raw not in ("0", "1"):
+        raise DatasetError(
+            f"REPRO_SNAPSHOT_CACHE must be 0 or 1, got {raw!r}"
+        )
+    return raw == "1"
+
+
+def _resolve_ref(ref_path: str, snapshot_path: str) -> str | None:
+    """Locate a referenced dataset file: the recorded path as-is
+    (absolute, or relative to the loader's cwd), falling back to the
+    snapshot file's own directory for relative refs — so a snapshot
+    saved next to its datasets keeps working when the pair is loaded
+    from anywhere."""
+    if os.path.exists(ref_path):
+        return ref_path
+    if not os.path.isabs(ref_path):
+        sibling = os.path.join(
+            os.path.dirname(os.path.abspath(snapshot_path)), ref_path
+        )
+        if os.path.exists(sibling):
+            return sibling
+    return None
+
+
+def _write_point_payload(w: BinaryWriter, data: object) -> None:
+    w.f64(data.x)  # type: ignore[attr-defined]
+    w.f64(data.y)  # type: ignore[attr-defined]
+
+
+def _read_point_payload(r: BinaryReader) -> Point:
+    return Point(r.f64(), r.f64())
+
+
+def _write_obstacle_payload(w: BinaryWriter, data: object) -> None:
+    w.i64(data.oid)  # type: ignore[attr-defined]
+
+
+def _obstacle_payload_reader(table: Mapping[int, Obstacle], path: str):
+    """A leaf-payload decoder resolving oid references through the
+    snapshot's global obstacle table."""
+
+    def read(r: BinaryReader) -> Obstacle:
+        oid = r.i64()
+        obs = table.get(oid)
+        if obs is None:
+            raise DatasetError(
+                f"{path}: tree references unknown obstacle id {oid} at "
+                f"offset {r.offset}"
+            )
+        return obs
+
+    return read
+
+
+def _collect_obstacles(
+    state: dict, *, include_cache: bool
+) -> dict[int, Obstacle]:
+    """Every distinct obstacle the snapshot will reference: tree
+    payloads, plus — when the cache is serialized too — obstacles held
+    only by cached graphs (e.g. kept by a stale entry after an
+    out-of-band tree edit)."""
+    table: dict[int, Obstacle] = {}
+    for index in state["obstacle_indexes"].values():
+        for tree in index.trees():
+            for data, __ in tree.items():
+                table.setdefault(data.oid, data)
+    context = state["context"]
+    if include_cache and context is not None:
+        for entry in context.cache.entries():
+            for obs in entry.graph.scene_obstacles():
+                table.setdefault(obs.oid, obs)
+    return table
+
+
+def save_database(
+    db: "ObstacleDatabase",
+    path: str | Path,
+    *,
+    dataset_refs: Mapping[str, str | Path] | None = None,
+    include_cache: bool | None = None,
+) -> None:
+    """Serialize ``db`` (structure, counters and warm cache) to ``path``.
+
+    ``dataset_refs`` optionally records source dataset files by content
+    hash — :func:`load_database` re-hashes and refuses drifted files.
+    ``include_cache=False`` (default from ``REPRO_SNAPSHOT_CACHE``)
+    drops the graph cache for a smaller, cold snapshot.
+    """
+    if include_cache is None:
+        include_cache = _include_cache_default()
+    state = db._snapshot_state()
+    w = BinaryWriter()
+    # -- configuration ----------------------------------------------------
+    tk = state["tree_kwargs"]
+    w.u8(1 if state["bulk"] else 0)
+    w.i64(-1 if state["shards"] is None else state["shards"])
+    w.u32(state["graph_cache_size"])
+    w.f64(state["graph_cache_snap"])
+    w.i64(state["next_oid"])
+    w.i64(tk.get("page_size") or -1)
+    w.f64(tk.get("buffer_fraction") or 0.1)
+    w.i64(-1 if tk.get("max_entries") is None else tk["max_entries"])
+    w.i64(-1 if tk.get("min_entries") is None else tk["min_entries"])
+    # -- dataset refs ------------------------------------------------------
+    refs = dict(dataset_refs or {})
+    w.u32(len(refs))
+    for label in sorted(refs):
+        ref_path = str(refs[label])
+        w.str_(label)
+        w.str_(ref_path)
+        w.str_(content_hash(ref_path))
+    # -- obstacle table ----------------------------------------------------
+    table = _collect_obstacles(state, include_cache=include_cache)
+    w.u32(len(table))
+    for oid in sorted(table):
+        w.i64(oid)
+        w.points(table[oid].polygon.vertices)
+    # -- obstacle sets -----------------------------------------------------
+    indexes = state["obstacle_indexes"]
+    w.u32(len(indexes))
+    for name, index in indexes.items():
+        w.str_(name)
+        if isinstance(index, ShardedObstacleIndex):
+            w.u8(_KIND_SHARDED)
+            grid = index.grid
+            w.f64(grid.universe.minx)
+            w.f64(grid.universe.miny)
+            w.f64(grid.universe.maxx)
+            w.f64(grid.universe.maxy)
+            w.u32(grid.order)
+            w.u64(index.layout_version)
+            w.u64(len(index))
+            keys = index.shard_keys()
+            w.u32(len(keys))
+            for key in keys:
+                shard = index.shard(key)
+                w.u64(key)
+                w.u64(shard.mutation_count)
+                pageio.write_tree(w, shard.tree, _write_obstacle_payload)
+        else:
+            w.u8(_KIND_MONO)
+            w.u64(index.mutation_count)
+            pageio.write_tree(w, index.tree, _write_obstacle_payload)
+    # -- entity trees ------------------------------------------------------
+    entity_trees = state["entity_trees"]
+    w.u32(len(entity_trees))
+    for name, tree in entity_trees.items():
+        w.str_(name)
+        pageio.write_tree(w, tree, _write_point_payload)
+    # -- graph cache -------------------------------------------------------
+    context = state["context"]
+    entries = (
+        context.cache.entries() if include_cache and context is not None else []
+    )
+    w.u32(len(entries))
+    for entry in entries:
+        write_cache_entry(w, entry)
+    write_snapshot(path, w.getvalue())
+
+
+def load_database(
+    path: str | Path,
+    *,
+    backend: "str | VisibilityBackend | None" = None,
+) -> "ObstacleDatabase":
+    """Restore a database saved by :func:`save_database`.
+
+    The snapshot is decoded and verified in full *before* any database
+    is assembled — a corrupt or drifted file raises
+    :class:`~repro.errors.DatasetError` (naming the path and offset)
+    and leaves no partial state behind.  ``backend`` picks the
+    visibility backend of the restored runtime (``None`` auto-picks,
+    exactly as the :class:`~repro.core.engine.ObstacleDatabase`
+    constructor does); restored cached graphs are reassembled without
+    sweeps either way.
+    """
+    from repro.core.engine import ObstacleDatabase
+
+    name = str(path)
+    payload = read_snapshot(path)
+    r = BinaryReader(payload, path=path)
+    # -- configuration ----------------------------------------------------
+    bulk = r.u8() == 1
+    shards = r.i64()
+    shards = None if shards < 0 else shards
+    graph_cache_size = r.u32()
+    graph_cache_snap = r.f64()
+    next_oid = r.i64()
+    page_size = r.i64()
+    buffer_fraction = r.f64()
+    max_entries = r.i64()
+    min_entries = r.i64()
+    tree_kwargs = dict(
+        page_size=4096 if page_size < 0 else page_size,
+        buffer_fraction=buffer_fraction,
+        max_entries=None if max_entries < 0 else max_entries,
+        min_entries=None if min_entries < 0 else min_entries,
+    )
+    # -- dataset refs ------------------------------------------------------
+    for __ in range(r.u32()):
+        label = r.str_()
+        ref_path = r.str_()
+        expected = r.str_()
+        resolved = _resolve_ref(ref_path, name)
+        if resolved is None:
+            raise DatasetError(
+                f"{name}: referenced dataset {label!r} is missing at "
+                f"{ref_path}"
+            )
+        actual = content_hash(resolved)
+        if actual != expected:
+            raise DatasetError(
+                f"{name}: referenced dataset {label!r} at {resolved} "
+                f"changed since the snapshot was taken (content hash "
+                f"{actual[:12]}... != recorded {expected[:12]}...)"
+            )
+    # -- obstacle table ----------------------------------------------------
+    table: dict[int, Obstacle] = {}
+    for __ in range(r.u32()):
+        oid = r.i64()
+        table[oid] = Obstacle(oid, Polygon(r.points()))
+    read_obstacle = _obstacle_payload_reader(table, name)
+    # -- obstacle sets -----------------------------------------------------
+    obstacle_indexes: dict[int | str, object] = {}
+    for __ in range(r.u32()):
+        set_name = r.str_()
+        kind = r.u8()
+        if kind == _KIND_SHARDED:
+            universe = Rect(r.f64(), r.f64(), r.f64(), r.f64())
+            order = r.u32()
+            layout_version = r.u64()
+            count = r.u64()
+            restored_shards: dict[int, ObstacleIndex] = {}
+            for __s in range(r.u32()):
+                key = r.u64()
+                mutations = r.u64()
+                tree = pageio.read_tree(r, read_obstacle)
+                restored_shards[key] = ObstacleIndex(
+                    tree, mutations=mutations
+                )
+            obstacle_indexes[set_name] = ShardedObstacleIndex.restore(
+                ShardGrid(universe, order),
+                name=f"obstacles:{set_name}",
+                shards=restored_shards,
+                layout_version=layout_version,
+                count=count,
+                **tree_kwargs,
+            )
+        elif kind == _KIND_MONO:
+            mutations = r.u64()
+            tree = pageio.read_tree(r, read_obstacle)
+            obstacle_indexes[set_name] = ObstacleIndex(
+                tree, mutations=mutations
+            )
+        else:
+            raise DatasetError(
+                f"{name}: unknown obstacle-set kind {kind} at offset "
+                f"{r.offset}"
+            )
+    if not obstacle_indexes:
+        raise DatasetError(f"{name}: snapshot contains no obstacle sets")
+    # -- entity trees ------------------------------------------------------
+    entity_trees = {}
+    for __ in range(r.u32()):
+        entity_name = r.str_()
+        entity_trees[entity_name] = pageio.read_tree(r, _read_point_payload)
+    # -- graph cache -------------------------------------------------------
+    n_entries = r.u32()
+    db = ObstacleDatabase._restore(
+        tree_kwargs=tree_kwargs,
+        bulk=bulk,
+        shards=shards,
+        graph_cache_size=graph_cache_size,
+        graph_cache_snap=graph_cache_snap,
+        next_oid=next_oid,
+        obstacle_indexes=obstacle_indexes,  # type: ignore[arg-type]
+        entity_trees=entity_trees,
+        backend=backend,
+    )
+    context = db.context
+    for __ in range(n_entries):
+        entry = read_cache_entry(
+            r, table, context.source, backend=context.backend
+        )
+        context.admit_restored(entry)
+    r.expect_end()
+    return db
+
+
+def snapshot_info(path: str | Path) -> dict[str, object]:
+    """A cheap structural summary of a snapshot (no database assembly).
+
+    Returns format version, configuration, per-set obstacle/page
+    counts, entity sets, cached-graph count and dataset refs — what the
+    ``repro-snapshot info`` command prints.
+    """
+    from repro.persist.codec import read_snapshot_versioned
+
+    name = str(path)
+    version, payload = read_snapshot_versioned(path)
+    r = BinaryReader(payload, path=path)
+    bulk = r.u8() == 1
+    shards = r.i64()
+    graph_cache_size = r.u32()
+    graph_cache_snap = r.f64()
+    next_oid = r.i64()
+    r.i64()  # page_size
+    r.f64()  # buffer_fraction
+    r.i64()  # max_entries
+    r.i64()  # min_entries
+    refs = []
+    for __ in range(r.u32()):
+        refs.append(
+            {"label": r.str_(), "path": r.str_(), "sha256": r.str_()}
+        )
+    n_obstacles = r.u32()
+    for __ in range(n_obstacles):
+        r.i64()
+        r.points()
+    sets = []
+    for __ in range(r.u32()):
+        set_name = r.str_()
+        kind = r.u8()
+        if kind == _KIND_SHARDED:
+            for __f in range(4):
+                r.f64()
+            order = r.u32()
+            r.u64()  # layout version
+            count = r.u64()
+            pages = 0
+            n_shards = r.u32()
+            for __s in range(n_shards):
+                r.u64()
+                r.u64()
+                pages += pageio.read_tree_meta(r, _skip_oid_payload)["pages"]
+            sets.append(
+                {
+                    "name": set_name,
+                    "kind": "sharded",
+                    "obstacles": count,
+                    "shards": n_shards,
+                    "grid_order": order,
+                    "pages": pages,
+                }
+            )
+        elif kind == _KIND_MONO:
+            r.u64()  # mutations
+            meta = pageio.read_tree_meta(r, _skip_oid_payload)
+            sets.append(
+                {
+                    "name": set_name,
+                    "kind": "monolithic",
+                    "obstacles": meta["size"],
+                    "pages": meta["pages"],
+                }
+            )
+        else:
+            raise DatasetError(
+                f"{name}: unknown obstacle-set kind {kind} at offset "
+                f"{r.offset}"
+            )
+    entities = []
+    for __ in range(r.u32()):
+        entity_name = r.str_()
+        meta = pageio.read_tree_meta(r, _read_point_payload)
+        entities.append(
+            {
+                "name": entity_name,
+                "points": meta["size"],
+                "pages": meta["pages"],
+            }
+        )
+    cached_graphs = r.u32()
+    return {
+        "path": name,
+        "format_version": version,
+        "bulk": bulk,
+        "shards": None if shards < 0 else shards,
+        "graph_cache_size": graph_cache_size,
+        "graph_cache_snap": graph_cache_snap,
+        "next_oid": next_oid,
+        "distinct_obstacles": n_obstacles,
+        "obstacle_sets": sets,
+        "entity_sets": entities,
+        "cached_graphs": cached_graphs,
+        "dataset_refs": refs,
+    }
+
+
+def _skip_oid_payload(r: BinaryReader) -> int:
+    """Obstacle-reference payload skipper for summary decoding."""
+    return r.i64()

@@ -259,6 +259,21 @@ class QueryContext:
         # when the disk actually grows).
         entry.version = stamp_for(self.source, entry.center, entry.covered)
 
+    def admit_restored(self, entry: CachedGraph) -> None:
+        """Re-admit a snapshot-restored cache entry (warm start).
+
+        The entry enters the cache under its spatial key and is
+        registered with the shard admission registry for the grid cells
+        its coverage disk touches — exactly as a freshly built entry
+        would be — so later queries reuse it and later mutations reach
+        it through the same repair-first fan-in.  Call in LRU order
+        (least recently used first) to reproduce the serialized
+        eviction order.
+        """
+        self.cache.put(
+            entry, shards=self._disk_shards(entry.center, entry.covered)
+        )
+
     # ------------------------------------------------------------ graph reuse
     def entry_for(self, center: Point, radius: float = 0.0) -> CachedGraph:
         """The cached graph serving ``center``, covering ``radius``.

@@ -215,6 +215,14 @@ class ShardVersionStamp:
             self.versions.setdefault(key, source.shard_version(key))
         self._layout = source.layout_version
 
+    def snapshot(self) -> tuple[Point, float, dict[int, int], int]:
+        """The stamp flattened for serialization: ``(center, radius,
+        versions, layout_version)``.  Feed these back through the
+        constructor (against the restored source) to reproduce the
+        stamp — including its staleness verdict, since shard versions
+        and layout round-trip with the source."""
+        return self.center, self.radius, dict(self.versions), self._layout
+
     def __repr__(self) -> str:
         return (
             f"ShardVersionStamp(center={self.center!r}, "

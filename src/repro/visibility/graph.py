@@ -110,6 +110,58 @@ class VisibilityGraph:
     def _visible_from(self, node: Point) -> list[Point]:
         return self._backend.visible_from(node, self)
 
+    # --------------------------------------------------------- serialization
+    def snapshot_parts(
+        self,
+    ) -> tuple[list[Obstacle], list[Point], list[tuple[Point, Point]]]:
+        """The graph flattened for serialization.
+
+        Returns ``(obstacles, free_points, edges)`` such that
+        :meth:`restore` reproduces this graph exactly without running a
+        single visibility sweep.  Promoted free points (entities
+        coinciding with obstacle vertices) are folded into the free
+        list — re-registering them against the restored obstacles
+        re-promotes them.
+        """
+        free = list(self._free) + sorted(self._promoted)
+        edges = [
+            (u, v) for u in self._adj for v in self._adj[u] if u < v
+        ]
+        return list(self._obstacles.values()), free, edges
+
+    @classmethod
+    def restore(
+        cls,
+        obstacles: Iterable[Obstacle],
+        free_points: Iterable[Point],
+        edges: Iterable[tuple[Point, Point]],
+        *,
+        method: "str | VisibilityBackend | None" = None,
+    ) -> "VisibilityGraph":
+        """Reassemble a graph from :meth:`snapshot_parts` output.
+
+        Obstacles and free points go through the normal registration
+        path (so incident-edge, boundary-membership and promotion
+        bookkeeping are rebuilt as at live construction), but the
+        visibility edges are installed verbatim instead of re-swept —
+        restoring a cached graph costs array writes, not sweeps.  Edge
+        endpoints must be nodes (obstacle vertices or free points);
+        unknown endpoints raise :class:`~repro.errors.QueryError`.
+        """
+        graph = cls(method=method)
+        for obs in obstacles:
+            graph._register_obstacle(obs)
+        for p in free_points:
+            graph._register_free_point(p)
+        for u, v in edges:
+            if u not in graph._adj or v not in graph._adj:
+                raise QueryError(
+                    f"restored edge ({u!r}, {v!r}) references a point "
+                    f"that is not a node"
+                )
+            graph._set_edge(u, v)
+        return graph
+
     def packed_scene(self) -> "PackedScene":
         """The scene flattened into numpy arrays (built lazily, then
         kept in sync by the dynamic-update hooks)."""

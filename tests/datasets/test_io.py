@@ -9,6 +9,7 @@ from repro.datasets import (
     save_points,
     street_grid_obstacles,
 )
+from repro.datasets.io import content_hash
 from repro.errors import DatasetError
 from repro.geometry import Point
 
@@ -65,3 +66,35 @@ class TestObstaclesIO:
         path.write_text("0 1.0 2.0 3.0 4.0 5.0 6.0 7.0\n")  # 7 coords
         with pytest.raises(DatasetError):
             load_obstacles(path)
+
+
+class TestContentHash:
+    def test_stable_across_save(self, tmp_path):
+        """Saving the same data twice yields the same content hash —
+        the property snapshot dataset refs rely on."""
+        obstacles = street_grid_obstacles(8, seed=5)
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        save_obstacles(a, obstacles)
+        save_obstacles(b, obstacles)
+        assert content_hash(a) == content_hash(b)
+
+    def test_snapshot_roundtrip_verifies_by_hash(self, tmp_path):
+        """A snapshot referencing a dataset file reloads by content
+        hash: mtime changes are ignored, content changes refused."""
+        import os
+
+        from repro import ObstacleDatabase
+
+        obstacles = street_grid_obstacles(8, seed=5)
+        data = tmp_path / "obstacles.txt"
+        save_obstacles(data, obstacles)
+        db = ObstacleDatabase(load_obstacles(data))
+        snap = tmp_path / "scene.snap"
+        db.save(snap, dataset_refs={"obstacles": data})
+        os.utime(data, (1, 1))
+        loaded = ObstacleDatabase.load(snap)
+        assert len(loaded.obstacle_index) == len(obstacles)
+        data.write_text(data.read_text().replace("0 ", "9 ", 1))
+        with pytest.raises(DatasetError):
+            ObstacleDatabase.load(snap)

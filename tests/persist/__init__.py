@@ -1,0 +1,1 @@
+"""Persistence (snapshot store) test suite."""

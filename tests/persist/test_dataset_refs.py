@@ -1,0 +1,100 @@
+"""Dataset references: snapshots pin source files by content hash.
+
+A reload verifies the referenced files' *content* — touching mtimes or
+copying files never spoils a reference, editing them always does.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.engine import ObstacleDatabase
+from repro.datasets.io import (
+    content_hash,
+    load_obstacles,
+    save_obstacles,
+)
+from repro.errors import DatasetError
+from repro.geometry.rect import Rect
+from repro.model import Obstacle
+from repro.geometry.polygon import Polygon
+
+
+@pytest.fixture
+def referenced_snapshot(tmp_path):
+    """A snapshot recording its obstacle file by content hash."""
+    obstacles = [
+        Obstacle(0, Polygon.from_rect(Rect(2.0, 2.0, 4.0, 8.0))),
+        Obstacle(1, Polygon.from_rect(Rect(10.0, 1.0, 12.0, 6.0))),
+    ]
+    data_path = tmp_path / "obstacles.txt"
+    save_obstacles(data_path, obstacles)
+    db = ObstacleDatabase(load_obstacles(data_path))
+    snap_path = tmp_path / "scene.snap"
+    db.save(snap_path, dataset_refs={"obstacles": data_path})
+    return snap_path, data_path
+
+
+def test_reload_by_content_hash_ignores_mtime(referenced_snapshot):
+    """An untouched-content file reloads even after its mtime changes."""
+    snap_path, data_path = referenced_snapshot
+    os.utime(data_path, (1, 1))  # simulate a copy/restore clobbering mtime
+    db = ObstacleDatabase.load(snap_path)
+    assert len(db.obstacle_index) == 2
+
+
+def test_reload_refuses_changed_content(referenced_snapshot):
+    """Editing the referenced file (same length, fresh mtime games
+    aside) fails the hash check by name."""
+    snap_path, data_path = referenced_snapshot
+    original = data_path.read_bytes()
+    data_path.write_bytes(original.replace(b"2", b"3", 1))
+    os.utime(data_path, (1, 1))
+    with pytest.raises(DatasetError, match="changed since the snapshot"):
+        ObstacleDatabase.load(snap_path)
+    # Restoring the exact content (different mtime again) heals it.
+    data_path.write_bytes(original)
+    assert ObstacleDatabase.load(snap_path) is not None
+
+
+def test_relative_refs_resolve_against_snapshot_dir(tmp_path, monkeypatch):
+    """A snapshot saved next to its datasets with *relative* refs loads
+    from any working directory (the ref falls back to the snapshot's
+    own directory)."""
+    obstacles = [Obstacle(0, Polygon.from_rect(Rect(2.0, 2.0, 4.0, 8.0)))]
+    data_path = tmp_path / "obstacles.txt"
+    save_obstacles(data_path, obstacles)
+    monkeypatch.chdir(tmp_path)
+    db = ObstacleDatabase(load_obstacles("obstacles.txt"))
+    db.save("scene.snap", dataset_refs={"obstacles": "obstacles.txt"})
+    monkeypatch.chdir("/")
+    loaded = ObstacleDatabase.load(tmp_path / "scene.snap")
+    assert len(loaded.obstacle_index) == 1
+
+
+def test_reload_refuses_missing_file(referenced_snapshot):
+    snap_path, data_path = referenced_snapshot
+    data_path.unlink()
+    with pytest.raises(DatasetError, match="missing"):
+        ObstacleDatabase.load(snap_path)
+
+
+def test_content_hash_is_content_only(tmp_path):
+    """content_hash depends on bytes alone, not on path or mtime."""
+    a = tmp_path / "a.txt"
+    b = tmp_path / "sub"
+    b.mkdir()
+    b = b / "b.txt"
+    a.write_bytes(b"0 1.0 1.0 2.0 1.0 2.0 2.0\n")
+    b.write_bytes(b"0 1.0 1.0 2.0 1.0 2.0 2.0\n")
+    os.utime(b, (1, 1))
+    assert content_hash(a) == content_hash(b)
+    b.write_bytes(b"0 1.0 1.0 2.0 1.0 2.0 3.0\n")
+    assert content_hash(a) != content_hash(b)
+
+
+def test_content_hash_missing_file(tmp_path):
+    with pytest.raises(DatasetError, match="cannot hash"):
+        content_hash(tmp_path / "nope.txt")

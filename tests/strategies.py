@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from hypothesis import assume
 from hypothesis import strategies as st
 
 from repro.geometry import Point, Polygon, Rect
@@ -65,7 +66,12 @@ def free_points(
     max_count: int = 8,
     universe: float = 100.0,
 ) -> list[Point]:
-    """Points guaranteed outside every obstacle (interior and boundary)."""
+    """Points guaranteed outside every obstacle (interior and boundary).
+
+    Draws that leave fewer than ``min_count`` survivors after the
+    obstacle filter are rejected (``assume``), so callers really do
+    receive at least ``min_count`` points.
+    """
     raw = draw(
         st.lists(
             st.tuples(
@@ -82,4 +88,5 @@ def free_points(
         p = Point(x, y)
         if not any(o.polygon.contains_or_boundary(p) for o in obstacles):
             pts.append(p)
+    assume(len(pts) >= min_count)
     return pts

@@ -39,6 +39,58 @@ class TestAllExports:
         ):
             assert name in repro.__all__, name
 
+    def test_persistence_exported(self):
+        for name in ("save_database", "load_database", "snapshot_info"):
+            assert name in repro.__all__, name
+
+
+class TestPersistenceSurface:
+    """Pins the snapshot-store API added with the persist subsystem."""
+
+    def test_database_save_load_methods(self):
+        from repro import ObstacleDatabase
+
+        assert callable(ObstacleDatabase.save)
+        assert callable(ObstacleDatabase.load)
+        assert ObstacleDatabase.save.__doc__
+        assert ObstacleDatabase.load.__doc__
+        assert isinstance(ObstacleDatabase.__dict__["load"], classmethod)
+
+    def test_persist_package_surface(self):
+        import repro.persist as persist
+
+        for name in persist.__all__:
+            assert hasattr(persist, name), name
+        assert persist.FORMAT_VERSION >= 1
+        assert len(persist.MAGIC) == 8
+
+    def test_cli_entry_point(self):
+        from repro.persist import cli
+
+        assert callable(cli.main)
+        # The console-script hook must stay wired in the project metadata.
+        pyproject = (SRC.parent.parent / "pyproject.toml").read_text()
+        assert 'repro-snapshot = "repro.persist.cli:main"' in pyproject
+
+    def test_restore_hooks_documented(self):
+        from repro.index.pagestore import LRUBuffer, PageStore
+        from repro.index.rstar import RStarTree
+        from repro.visibility.graph import VisibilityGraph
+
+        for hook in (
+            PageStore.restore,
+            LRUBuffer.load_pages,
+            RStarTree.install_pages,
+            VisibilityGraph.restore,
+            VisibilityGraph.snapshot_parts,
+        ):
+            assert hook.__doc__
+
+    def test_content_hash_exported_from_datasets(self):
+        from repro.datasets.io import content_hash
+
+        assert callable(content_hash)
+
 
 class TestDocumentation:
     def test_all_modules_have_docstrings(self):

@@ -1,0 +1,148 @@
+"""Benchmark-regression gate over the committed smoke baseline.
+
+Compares a fresh ``run_all.py --smoke --json`` document against the
+``BENCH_smoke.json`` baseline committed at the repo root, and fails
+(exit 1) when any *gated* metric regresses by more than the threshold
+(default 30 %).
+
+Only deterministic metrics are gated — page-access counters, graph
+build counts, result sizes, parity flags.  Wall-clock metrics
+(``cpu_ms``, ``qps``, ``p99_ms``...) vary with the runner and are
+recorded for the trajectory but never gated here; the wall-clock bars
+live in the dedicated pytest benches where core counts gate them.
+
+Usage::
+
+    python benchmarks/run_all.py --smoke --json BENCH_current.json
+    python benchmarks/check_regression.py BENCH_smoke.json BENCH_current.json
+
+Refreshing the baseline after an intentional change::
+
+    python benchmarks/run_all.py --smoke --json BENCH_smoke.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Relative regression tolerated on ``lower``/``higher`` gates.
+DEFAULT_THRESHOLD = 0.30
+
+#: Gated metrics: a path into the ``results`` document plus a
+#: direction.  ``lower`` fails when the current value exceeds baseline
+#: by more than the threshold (improvements always pass); ``higher``
+#: is the mirror image; ``exact`` fails on any change (parity flags).
+GATES: tuple[tuple[tuple[str, ...], str], ...] = (
+    (("smoke", "OR", "entity_pa"), "lower"),
+    (("smoke", "OR", "obstacle_pa"), "lower"),
+    (("smoke", "OR", "result_size"), "exact"),
+    (("smoke", "OR", "false_hit_ratio"), "lower"),
+    (("smoke", "ONN (k=4)", "entity_pa"), "lower"),
+    (("smoke", "ONN (k=4)", "obstacle_pa"), "lower"),
+    (("smoke", "ODJ", "obstacle_pa"), "lower"),
+    (("smoke", "ODJ", "result_size"), "exact"),
+    (("smoke", "OCP (k=4)", "entity_pa"), "lower"),
+    (("smoke", "OCP (k=4)", "result_size"), "exact"),
+    (("smoke repeated d_O", "fresh", "graph_builds"), "lower"),
+    (("smoke repeated d_O", "cached", "graph_builds"), "lower"),
+    (("smoke moving-query cache", "exact", "graph_builds"), "lower"),
+    (("smoke moving-query cache", "snapped", "graph_builds"), "lower"),
+    (("smoke snapshot warm-start", "builds_cold"), "lower"),
+    (("smoke snapshot warm-start", "builds_warm"), "lower"),
+    (("smoke snapshot warm-start", "build_reduction"), "higher"),
+    (("smoke kernel", "edges_match"), "exact"),
+    (("smoke serve", "parity"), "exact"),
+    (("smoke serve", "warm_builds"), "lower"),
+    (("smoke serve", "persistent", "graph_builds"), "lower"),
+    (("smoke serve", "persistent", "pool_batches"), "exact"),
+)
+
+
+def _lookup(results: dict, path: tuple[str, ...]):
+    node = results
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[str]:
+    """Violation messages for every gated metric that regressed.
+
+    ``baseline`` and ``current`` are full ``--json`` documents (or bare
+    ``results`` mappings).  A gate whose metric is missing from the
+    baseline is skipped (new benchmark, no history yet); one missing
+    from the current run is itself a violation — a benchmark silently
+    disappearing must not read as a pass.
+    """
+    base_results = baseline.get("results", baseline)
+    cur_results = current.get("results", current)
+    violations = []
+    for path, direction in GATES:
+        label = " / ".join(path)
+        base = _lookup(base_results, path)
+        if base is None:
+            continue
+        cur = _lookup(cur_results, path)
+        if cur is None:
+            violations.append(f"{label}: missing from the current run")
+            continue
+        if direction == "exact":
+            if abs(cur - base) > 1e-9:
+                violations.append(f"{label}: expected {base!r}, got {cur!r}")
+        elif direction == "lower":
+            if cur > base * (1.0 + threshold) + 1e-9:
+                violations.append(
+                    f"{label}: {cur!r} exceeds baseline {base!r} "
+                    f"by more than {threshold:.0%}"
+                )
+        else:  # higher
+            if cur < base * (1.0 - threshold) - 1e-9:
+                violations.append(
+                    f"{label}: {cur!r} fell below baseline {base!r} "
+                    f"by more than {threshold:.0%}"
+                )
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point: ``check_regression.py BASELINE CURRENT``."""
+    argv = list(argv)
+    threshold = DEFAULT_THRESHOLD
+    if "--threshold" in argv:
+        flag = argv.index("--threshold")
+        try:
+            threshold = float(argv[flag + 1])
+        except (IndexError, ValueError):
+            print("--threshold needs a float argument", file=sys.stderr)
+            return 2
+        del argv[flag : flag + 2]
+    if len(argv) != 2:
+        print(
+            "usage: check_regression.py [--threshold F] BASELINE CURRENT",
+            file=sys.stderr,
+        )
+        return 2
+    with open(argv[0]) as fh:
+        baseline = json.load(fh)
+    with open(argv[1]) as fh:
+        current = json.load(fh)
+    violations = compare(baseline, current, threshold=threshold)
+    if violations:
+        print(f"{len(violations)} benchmark regression(s):")
+        for message in violations:
+            print(f"  - {message}")
+        return 1
+    print(f"benchmark gates clean ({len(GATES)} metrics, {threshold:.0%} threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -529,6 +529,188 @@ def snapshot_warm_comparison(
     }
 
 
+# ------------------------------------------------- sustained serving workload
+#: Steps (batches) of the sustained-serving benchmark.
+BENCH_SERVE_STEPS = int(os.environ.get("REPRO_BENCH_SERVE_STEPS", "12"))
+
+#: Moving clients served per step (one query per client per batch).
+BENCH_SERVE_CLIENTS = 4
+
+
+def serve_bench_db(
+    n_obstacles: int, *, snap: float | None = None
+) -> tuple[ObstacleDatabase, Workload]:
+    """A *fresh* (never cached) database over the standard workload.
+
+    The sustained-serving benches mutate their databases mid-run, so
+    sharing the ``lru_cache``-backed :func:`bench_db` instances would
+    poison every later bench on the same workload.  The workload object
+    itself is still shared — only the indexes are rebuilt.
+    """
+    workload = bench_workload(n_obstacles, (("P1", n_obstacles),), 8)
+    db = ObstacleDatabase(
+        workload.obstacles,
+        max_entries=BENCH_PAGE_ENTRIES,
+        min_entries=max(2, int(BENCH_PAGE_ENTRIES * 0.4)),
+        graph_cache_snap=moving_snap() if snap is None else snap,
+    )
+    for name, points in workload.entity_sets.items():
+        db.add_entity_set(name, points)
+    return db, workload
+
+
+def serve_client_paths(
+    workload: Workload, n_clients: int, n_steps: int
+) -> list[list[Point]]:
+    """Free-space trajectories for ``n_clients`` moving clients.
+
+    Each client advances ``MOVING_STEP_FRACTION`` of the universe side
+    per step from its own anchor query point — the near-duplicate-
+    centre regime where a warm worker's snapped graph cache keeps
+    serving without new builds, while a fork-per-batch child (whose
+    cache updates die with it) rebuilds every step.  Clients with no
+    obstacle-free straight line degrade to a stationary client.
+    """
+    step = DEFAULT_UNIVERSE.width * MOVING_STEP_FRACTION
+    obstacles = workload.obstacles
+    paths: list[list[Point]] = []
+    for q0 in workload.queries:
+        if len(paths) == n_clients:
+            break
+        for dx, dy in ((1.0, 0.0), (0.0, 1.0), (-1.0, 0.0), (0.0, -1.0)):
+            path = [
+                Point(q0.x + i * step * dx, q0.y + i * step * dy)
+                for i in range(n_steps)
+            ]
+            if all(
+                not (
+                    obs.mbr.contains_point(p)
+                    and obs.polygon.contains_or_boundary(p)
+                )
+                for p in path
+                for obs in obstacles
+            ):
+                paths.append(path)
+                break
+        else:
+            paths.append([q0] * n_steps)
+    while len(paths) < n_clients:
+        paths.append(list(paths[len(paths) % max(1, len(paths))]))
+    return paths
+
+
+def serve_mutation_schedule(
+    workload: Workload, n_steps: int, *, period: int = 4
+):
+    """Per-step mutation actions for the mixed serving load.
+
+    Every ``period`` steps a small free-space rectangle is inserted;
+    two steps later it is deleted again, so the scene ends where it
+    started and every (insert, delete) pair exercises the pool's
+    replayable delta feed plus the cache's repair-first path.  Entries
+    are ``("insert", tag, Rect)`` / ``("delete", tag)`` / ``None``.
+    """
+    from repro.geometry.rect import Rect
+
+    side = DEFAULT_UNIVERSE.width * 0.002
+    free_rects = []
+    for q in workload.queries:
+        r = Rect(q.x - 3 * side, q.y - 3 * side, q.x - 2 * side, q.y - 2 * side)
+        if all(not r.intersects(obs.mbr) for obs in workload.obstacles):
+            free_rects.append(r)
+    schedule: list[tuple | None] = [None] * n_steps
+    tag = 0
+    for step in range(1, n_steps - 2, period):
+        if tag >= len(free_rects):
+            break
+        schedule[step] = ("insert", tag, free_rects[tag])
+        schedule[step + 2] = ("delete", tag)
+        tag += 1
+    return schedule
+
+
+def run_sustained_serve(
+    db: ObstacleDatabase,
+    paths: list[list[Point]],
+    schedule,
+    *,
+    set_name: str = "P1",
+    k: int = 2,
+    workers: int = 0,
+    pool: str | None = None,
+) -> tuple[list, dict[str, float]]:
+    """Drive a mixed mutate/query/moving-client load; returns
+    ``(answers, metrics)``.
+
+    Each step applies that step's mutation (if any) and then serves one
+    ``batch_nearest`` holding every client's current position, through
+    the engine selected by ``workers``/``pool`` (sequential,
+    fork-per-batch, or the persistent pool).  Metrics report sustained
+    throughput (``qps``), per-batch latency percentiles from a
+    :class:`~repro.serve.stats.LatencyHistogram` (``p50_ms`` /
+    ``p99_ms``), and the deterministic ``graph_builds`` /
+    ``pool_batches`` counters that explain *why* the engines differ.
+    """
+    from repro.serve.stats import LatencyHistogram
+
+    db.reset_stats(clear_buffers=True)
+    hist = LatencyHistogram()
+    records: dict[int, object] = {}
+    answers = []
+    total = Timer()
+    n_steps = len(paths[0])
+    for step in range(n_steps):
+        action = schedule[step] if step < len(schedule) else None
+        if action is not None:
+            if action[0] == "insert":
+                __, tag, rect = action
+                records[tag] = db.insert_obstacle(rect)
+            else:
+                db.delete_obstacle(records.pop(action[1]))
+        batch = [path[step] for path in paths]
+        step_timer = Timer()
+        with step_timer, total:
+            answers.append(
+                db.batch_nearest(set_name, batch, k, workers=workers, pool=pool)
+            )
+        hist.record(step_timer.elapsed)
+    runtime = db.runtime_stats()
+    n_queries = n_steps * len(paths)
+    return answers, {
+        "qps": n_queries / total.elapsed if total.elapsed else float("inf"),
+        "elapsed_s": total.elapsed,
+        "p50_ms": hist.percentile(50) * 1000.0,
+        "p99_ms": hist.percentile(99) * 1000.0,
+        "graph_builds": float(runtime["graph_builds"]),
+        "pool_batches": float(runtime["pool_batches"]),
+        "parallel_batches": float(runtime["parallel_batches"]),
+    }
+
+
+def serve_warm_start_builds(
+    db: ObstacleDatabase,
+    centres: list[Point],
+    *,
+    set_name: str = "P1",
+    k: int = 2,
+    workers: int = 4,
+) -> float:
+    """Graph builds observed while warm workers serve covered centres.
+
+    The parent first answers the batch sequentially (warming its
+    snapped graph cache at every centre), counters are zeroed, and the
+    persistent pool — whose workers boot from a snapshot *including*
+    that warm cache — serves the identical batch.  Workers ship their
+    runtime counters back on every reply, so the parent's
+    ``graph_builds`` counts worker builds too; the acceptance bar is
+    exactly ``0.0``.
+    """
+    db.batch_nearest(set_name, centres, k)
+    db.reset_stats()
+    db.batch_nearest(set_name, centres, k, workers=workers, pool="persistent")
+    return float(db.runtime_stats()["graph_builds"])
+
+
 def timed_graph_build(
     n_rects: int, method: str, seed: int = 7
 ) -> tuple[float, int]:

@@ -307,7 +307,10 @@ def smoke() -> int:
     code = smoke_snapshot()
     if code:
         return code
-    return smoke_shard_parallel()
+    code = smoke_shard_parallel()
+    if code:
+        return code
+    return smoke_serve()
 
 
 def smoke_kernel() -> int:
@@ -465,6 +468,74 @@ def smoke_shard_parallel() -> int:
         "sequential": seq_metrics,
         "parallel": par_metrics,
     }
+    return 0
+
+
+def smoke_serve() -> int:
+    """Serving-tier smoke: the mixed mutate/query/moving-client load on
+    a fixed small scene, sequential vs the persistent pool.  Gated on
+    the *deterministic* half of the serving claims — bit-identical
+    answers under mutations, one pool batch per step, and zero graph
+    builds when warm workers serve covered centres — while throughput
+    and p99 are reported for the JSON trajectory (the wall-clock >= 2x
+    bar vs fork-per-batch lives in
+    ``benchmarks/test_serve_sustained.py``, where core counts gate
+    it).  Runs everywhere including single-core boxes."""
+    from benchmarks.common import (
+        run_sustained_serve,
+        serve_bench_db,
+        serve_client_paths,
+        serve_mutation_schedule,
+        serve_warm_start_builds,
+    )
+
+    n = 200
+    steps = 8
+    clients = 4
+    workload = serve_bench_db(n)[1]
+    paths = serve_client_paths(workload, clients, steps)
+    schedule = serve_mutation_schedule(workload, steps)
+    seq_db, __ = serve_bench_db(n)
+    pool_db, __ = serve_bench_db(n)
+    try:
+        sequential, seq_metrics = run_sustained_serve(seq_db, paths, schedule)
+        pooled, pool_metrics = run_sustained_serve(
+            pool_db, paths, schedule, workers=2, pool="persistent"
+        )
+    finally:
+        pool_db.close()
+    warm_db, __ = serve_bench_db(n)
+    try:
+        warm_builds = serve_warm_start_builds(
+            warm_db, [p[0] for p in paths], workers=2
+        )
+    finally:
+        warm_db.close()
+    parity = pooled == sequential
+    RESULTS["smoke serve"] = {
+        "sequential": seq_metrics,
+        "persistent": pool_metrics,
+        "parity": float(parity),
+        "warm_builds": warm_builds,
+    }
+    print(
+        f"\nserve smoke ({steps} steps x {clients} clients, |O|={n}, "
+        f"mutations on): sequential {seq_metrics['qps']:.0f} qps, "
+        f"persistent pool {pool_metrics['qps']:.0f} qps "
+        f"(p99 {pool_metrics['p99_ms']:.0f} ms), graph builds "
+        f"{seq_metrics['graph_builds']:.0f} -> "
+        f"{pool_metrics['graph_builds']:.0f}, warm-start builds "
+        f"{warm_builds:.0f}"
+    )
+    if not parity:
+        print("FAIL: persistent pool diverged from sequential answers")
+        return 1
+    if pool_metrics["pool_batches"] != float(steps):
+        print("FAIL: not every step was served by the persistent pool")
+        return 1
+    if warm_builds != 0.0:
+        print("FAIL: warm workers built graphs for covered centres")
+        return 1
     return 0
 
 

@@ -26,7 +26,10 @@ lazy version-based invalidation
 batch entry points
 (:meth:`~repro.core.engine.ObstacleDatabase.batch_nearest`,
 :meth:`~repro.core.engine.ObstacleDatabase.batch_range`) that amortize
-one context across whole workloads.
+one context across whole workloads.  The serving tier
+(:mod:`repro.serve`) layers a persistent snapshot-warm-started worker
+pool, an asyncio microbatching front-end, and continuous query
+subscriptions for moving clients on top of the same runtime.
 """
 
 from repro.errors import (
@@ -73,6 +76,15 @@ from repro.core import (
     obstacle_nearest,
     obstacle_range,
     obstacle_semijoin,
+)
+from repro.serve import (
+    ContinuousQueryHub,
+    LatencyHistogram,
+    PersistentWorkerPool,
+    QueryServer,
+    ResultDelta,
+    ServeStats,
+    Subscription,
 )
 
 __version__ = "1.2.0"
@@ -134,4 +146,12 @@ __all__ = [
     "obstacle_closest_pairs",
     "iter_obstacle_closest_pairs",
     "obstacle_semijoin",
+    # serving tier
+    "PersistentWorkerPool",
+    "QueryServer",
+    "ContinuousQueryHub",
+    "Subscription",
+    "ResultDelta",
+    "ServeStats",
+    "LatencyHistogram",
 ]

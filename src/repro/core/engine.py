@@ -21,9 +21,13 @@ visibility graphs survive in a versioned LRU cache across queries, and
 the dynamic obstacle API (:meth:`insert_obstacle` /
 :meth:`delete_obstacle`) bumps the obstacle-set version so stale
 graphs are discarded lazily at their next lookup.  Batch entry points
-(:meth:`batch_nearest`, :meth:`batch_range`) amortize the context
-across whole workloads, and fan out over a worker pool when asked
-(``workers=`` / ``REPRO_BATCH_WORKERS``).  Obstacle storage is either
+(:meth:`batch_nearest`, :meth:`batch_range`, :meth:`batch_distance`)
+amortize the context across whole workloads, and fan out over a worker
+pool when asked (``workers=`` / ``REPRO_BATCH_WORKERS``) — either a
+per-batch fork pool or, with ``pool="persistent"`` /
+``REPRO_BATCH_POOL=persistent``, the long-lived snapshot-warm-started
+:meth:`serving_pool` (shut down via :meth:`close` or the context
+manager).  Obstacle storage is either
 one monolithic R*-tree per set or, with ``shards=N``, a spatially
 sharded store whose mutations invalidate cached graphs per shard.
 """
@@ -31,6 +35,7 @@ sharded store whose mutations invalidate cached graphs per shard.
 from __future__ import annotations
 
 import os
+import weakref
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.closest import iter_obstacle_closest_pairs, obstacle_closest_pairs
@@ -51,8 +56,9 @@ from repro.geometry.rect import Rect
 from repro.index.bulk import str_pack
 from repro.index.rstar import RStarTree
 from repro.model import Obstacle
-from repro.runtime.batch import batch_nearest, batch_range
+from repro.runtime.batch import batch_distance, batch_nearest, batch_range
 from repro.runtime.context import QueryContext
+from repro.runtime.executor import resolve_pool_kind, resolve_workers
 from repro.runtime.metric import ObstructedMetric
 from repro.runtime.stats import RuntimeStats
 from repro.visibility.kernel.backend import VisibilityBackend, resolve_backend
@@ -147,6 +153,8 @@ class ObstacleDatabase:
             str, ObstacleIndex | ShardedObstacleIndex
         ] = {}
         self._context: QueryContext | None = None
+        self._serving_pool = None
+        self._pool_finalizer = None
         self.add_obstacle_set("obstacles", obstacles)
 
     # ------------------------------------------------------------ datasets
@@ -179,6 +187,7 @@ class ObstacleDatabase:
                     tree.insert(obs, rect)
             self._obstacle_indexes[name] = ObstacleIndex(tree)
         self._rebuild_context()
+        self._invalidate_pool()
 
     def add_entity_set(self, name: str, points: Iterable[PointLike]) -> None:
         """Register a named entity dataset (points of interest)."""
@@ -193,16 +202,22 @@ class ObstacleDatabase:
             for p, rect in items:
                 tree.insert(p, rect)
         self._entity_trees[name] = tree
+        self._invalidate_pool()
 
     def insert_entity(self, name: str, point: PointLike) -> None:
         """Insert one entity into an existing dataset."""
         p = self._coerce_point(point)
         self.entity_tree(name).insert(p, Rect.from_point(p))
+        if self._serving_pool is not None:
+            self._serving_pool.note_entity("insert", name, p)
 
     def delete_entity(self, name: str, point: PointLike) -> bool:
         """Delete one entity; returns ``True`` when found."""
         p = self._coerce_point(point)
-        return self.entity_tree(name).delete(p, Rect.from_point(p))
+        found = self.entity_tree(name).delete(p, Rect.from_point(p))
+        if found and self._serving_pool is not None:
+            self._serving_pool.note_entity("delete", name, p)
+        return found
 
     # ------------------------------------------------- dynamic obstacles
     def insert_obstacle(
@@ -303,6 +318,76 @@ class ObstacleDatabase:
             backend=self._backend,
         )
 
+    # --------------------------------------------------------- serving pool
+    def serving_pool(self, workers: int | None = None):
+        """The persistent warm-started worker pool serving this database.
+
+        Created lazily (snapshotting the current state so workers warm
+        start); reused across batches until :meth:`close` or a worker
+        count change.  The batch methods engage it via
+        ``pool="persistent"`` or ``REPRO_BATCH_POOL=persistent``;
+        callers wanting direct pool batches can use the returned
+        :class:`~repro.serve.pool.PersistentWorkerPool` themselves.
+        """
+        from repro.serve.pool import PersistentWorkerPool
+
+        count = resolve_workers(workers)
+        if count < 2:
+            raise QueryError(
+                f"a serving pool needs >= 2 workers, got {count} "
+                f"(pass workers= or set REPRO_BATCH_WORKERS)"
+            )
+        pool = self._serving_pool
+        if pool is not None and not pool._shut and pool.workers == count:
+            return pool
+        if pool is not None:
+            pool.shutdown()
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+        pool = PersistentWorkerPool(self, count)
+        self._serving_pool = pool
+        # The pool holds this database weakly, so the finalizer fires
+        # when the database is collected and reaps the worker processes.
+        self._pool_finalizer = weakref.finalize(
+            self, PersistentWorkerPool.shutdown, pool
+        )
+        return pool
+
+    def _invalidate_pool(self) -> None:
+        pool = getattr(self, "_serving_pool", None)
+        if pool is not None:
+            pool.invalidate()
+
+    def _pool_for(self, pool: str | None, workers: int | None):
+        """The (pool, effective_workers) pair the batch methods route
+        through: the persistent pool when selected and parallel, else
+        ``None`` (per-batch fork/thread pool or sequential)."""
+        count = resolve_workers(workers)
+        if count >= 2 and resolve_pool_kind(pool) == "persistent":
+            return self.serving_pool(count), count
+        return None, count
+
+    def close(self) -> None:
+        """Release serving resources (the persistent worker pool).
+
+        Idempotent; the database remains fully usable for library
+        calls afterwards — a later ``pool="persistent"`` batch simply
+        respawns the pool from a fresh snapshot.
+        """
+        pool = getattr(self, "_serving_pool", None)
+        if pool is not None:
+            pool.shutdown()
+            self._serving_pool = None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+
+    def __enter__(self) -> "ObstacleDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # --------------------------------------------------------- persistence
     def save(
         self,
@@ -400,6 +485,8 @@ class ObstacleDatabase:
         db._entity_trees = dict(entity_trees)
         db._obstacle_indexes = dict(obstacle_indexes)
         db._context = None
+        db._serving_pool = None
+        db._pool_finalizer = None
         db._rebuild_context()
         return db
 
@@ -509,6 +596,7 @@ class ObstacleDatabase:
         *,
         workers: int | None = None,
         mode: str | None = None,
+        pool: str | None = None,
     ) -> list[list[tuple[Point, float]]]:
         """ONN for many query points through the batch engine.
 
@@ -516,20 +604,26 @@ class ObstacleDatabase:
         duplicate query points are computed once.  ``workers`` (default
         from ``REPRO_BATCH_WORKERS``, 0 = sequential through the shared
         context) fans distinct points over a worker pool of private
-        contexts; ``mode`` picks the pool kind (``REPRO_BATCH_MODE``:
-        ``fork``/``thread``/``auto``).  A mid-batch obstacle mutation
-        raises :class:`DatasetError` instead of returning mixed-version
+        contexts; ``mode`` picks the per-batch pool flavour
+        (``REPRO_BATCH_MODE``: ``fork``/``thread``/``auto``) and
+        ``pool`` the pool kind (``REPRO_BATCH_POOL``: ``fork`` forks
+        per batch, ``persistent`` reuses the warm
+        :meth:`serving_pool`).  A mid-batch obstacle mutation raises
+        :class:`DatasetError` instead of returning mixed-version
         answers.
         """
         metric = ObstructedMetric(self.context)
         queries = [self._coerce_point(q) for q in qs]
+        pool_obj, count = self._pool_for(pool, workers)
         return batch_nearest(
             self.entity_tree(name),
             metric,
             queries,
             k,
-            workers=workers,
+            workers=count,
             mode=mode,
+            pool=pool_obj,
+            pool_command=("nearest", name, k, True),
         )
 
     def batch_range(
@@ -540,22 +634,74 @@ class ObstacleDatabase:
         *,
         workers: int | None = None,
         mode: str | None = None,
+        pool: str | None = None,
     ) -> list[list[tuple[Point, float]]]:
         """OR for many query points through the batch engine.
 
         Returns one result list per query point, in input order;
-        duplicate query points are computed once.  ``workers`` and
-        ``mode`` parallelize exactly as for :meth:`batch_nearest`.
+        duplicate query points are computed once.  ``workers``,
+        ``mode`` and ``pool`` parallelize exactly as for
+        :meth:`batch_nearest`.
         """
         metric = ObstructedMetric(self.context)
         queries = [self._coerce_point(q) for q in qs]
+        pool_obj, count = self._pool_for(pool, workers)
         return batch_range(
             self.entity_tree(name),
             metric,
             queries,
             e,
-            workers=workers,
+            workers=count,
             mode=mode,
+            pool=pool_obj,
+            pool_command=("range", name, e),
+        )
+
+    def batch_distance(
+        self,
+        pairs: Sequence[tuple[PointLike, PointLike]],
+        *,
+        workers: int | None = None,
+        pool: str | None = None,
+    ) -> list[float]:
+        """Obstructed distances for many point pairs.
+
+        Sequential by default (pairs sharing a target reuse its cached
+        graph); ``pool="persistent"`` (or ``REPRO_BATCH_POOL``) with
+        ``workers >= 2`` fans the pairs over the warm
+        :meth:`serving_pool`.
+        """
+        metric = ObstructedMetric(self.context)
+        coerced = [
+            (self._coerce_point(a), self._coerce_point(b)) for a, b in pairs
+        ]
+        pool_obj, __ = self._pool_for(pool, workers)
+        return batch_distance(metric, coerced, pool=pool_obj)
+
+    def path_nearest(
+        self,
+        name: str,
+        waypoints: Sequence[PointLike],
+        *,
+        tolerance: float = 1e-3,
+    ):
+        """Constant-NN partition of a polyline route (moving client).
+
+        Runs :func:`repro.core.continuous.path_nearest` over the
+        database's *shared* runtime context, so the route's expansion
+        graphs land in the same spatial cache regular queries use —
+        repeated profiles and post-mutation re-profiles are answered
+        by cache hits and repair-first patches, not cold rebuilds.
+        Returns the :class:`~repro.core.continuous.NNInterval` list.
+        """
+        from repro.core.continuous import path_nearest
+
+        return path_nearest(
+            self.entity_tree(name),
+            self.obstacle_index,
+            [self._coerce_point(p) for p in waypoints],
+            tolerance=tolerance,
+            context=self._context,
         )
 
     def shortest_path(

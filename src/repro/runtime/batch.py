@@ -84,13 +84,20 @@ def _run_batch(
     *,
     workers: int | None,
     mode: str | None,
+    tree: RStarTree | None = None,
+    pool=None,
+    pool_command: tuple | None = None,
 ) -> list[R]:
     """Shared batch skeleton: dedupe, guard, dispatch, reassemble.
 
     Duplicate query points are evaluated once and fanned back out to
     every occurrence (booked as ``batch_memo_hits``); distinct points
-    run either through the caller's shared metric (sequential) or a
-    worker pool of spawned metrics (parallel).
+    run either through the caller's shared metric (sequential), a
+    per-batch worker pool of spawned metrics, or — when the caller
+    hands in a :class:`~repro.serve.pool.PersistentWorkerPool` with
+    the matching ``pool_command`` — the long-lived warm worker pool.
+    ``tree`` names the entity tree whose fork-worker page counters
+    must be merged back.
     """
     queries = list(queries)
     guard = _VersionGuard(metric)
@@ -104,12 +111,20 @@ def _run_batch(
         stats.batch_memo_hits += len(queries) - len(distinct)
 
     executor = BatchExecutor(workers, mode)
-    if (
+    if executor.parallel and len(distinct) > 1 and pool is not None:
+        evaluated = pool.run_batch(pool_command, distinct)
+        if stats is not None:
+            stats.parallel_batches += 1
+            stats.pool_batches += 1
+    elif (
         executor.parallel
         and len(distinct) > 1
         and hasattr(metric, "spawn")
     ):
-        evaluated = executor.run(metric, distinct, evaluate, stats=stats)
+        trees = [tree] if tree is not None else None
+        evaluated = executor.run(
+            metric, distinct, evaluate, stats=stats, trees=trees
+        )
         if stats is not None:
             stats.parallel_batches += 1
     else:
@@ -127,6 +142,8 @@ def batch_nearest(
     prune_bound: bool = True,
     workers: int | None = None,
     mode: str | None = None,
+    pool=None,
+    pool_command: tuple | None = None,
 ) -> list[list[tuple[Point, float]]]:
     """One k-NN result list per query point, in input order.
 
@@ -135,13 +152,23 @@ def batch_nearest(
     shared metric; duplicate query points are computed once, and
     ``workers >= 2`` fans the distinct points over a worker pool (the
     obstacle set must not be mutated mid-batch — a moved version
-    raises :class:`DatasetError`).
+    raises :class:`DatasetError`).  ``pool``/``pool_command`` (set by
+    the database facade) reroute the fan-out to a persistent pool.
     """
 
     def evaluate(m: DistanceOracle, q: Point) -> list[tuple[Point, float]]:
         return metric_nearest(tree, m, q, k, prune_bound=prune_bound)
 
-    shared = _run_batch(metric, queries, evaluate, workers=workers, mode=mode)
+    shared = _run_batch(
+        metric,
+        queries,
+        evaluate,
+        workers=workers,
+        mode=mode,
+        tree=tree,
+        pool=pool,
+        pool_command=pool_command,
+    )
     return [list(result) for result in shared]
 
 
@@ -153,6 +180,8 @@ def batch_range(
     *,
     workers: int | None = None,
     mode: str | None = None,
+    pool=None,
+    pool_command: tuple | None = None,
 ) -> list[list[tuple[Point, float]]]:
     """One range result list per query point, in input order.
 
@@ -165,22 +194,42 @@ def batch_range(
     def evaluate(m: DistanceOracle, q: Point) -> list[tuple[Point, float]]:
         return metric_range(tree, m, q, e)
 
-    shared = _run_batch(metric, queries, evaluate, workers=workers, mode=mode)
+    shared = _run_batch(
+        metric,
+        queries,
+        evaluate,
+        workers=workers,
+        mode=mode,
+        tree=tree,
+        pool=pool,
+        pool_command=pool_command,
+    )
     return [list(result) for result in shared]
 
 
 def batch_distance(
     metric: DistanceOracle,
     pairs: Sequence[tuple[Point, Point]],
+    *,
+    pool=None,
 ) -> list[float]:
     """Metric distances for many point pairs through one context.
 
     Pairs sharing their second element reuse the cached graph keyed at
     that expansion centre (the ODJ seed observation applied to ad-hoc
     distance workloads).  Like the other batch entry points, a
-    mid-batch obstacle mutation raises :class:`DatasetError`.
+    mid-batch obstacle mutation raises :class:`DatasetError`.  A
+    caller-supplied persistent ``pool`` fans the pairs over its warm
+    workers instead.
     """
     guard = _VersionGuard(metric)
-    results = [metric.distance(p, q) for p, q in pairs]
+    if pool is not None and len(pairs) > 1:
+        results = pool.run_batch(("distance",), list(pairs))
+        stats = _memo_stats(metric)
+        if stats is not None:
+            stats.parallel_batches += 1
+            stats.pool_batches += 1
+    else:
+        results = [metric.distance(p, q) for p, q in pairs]
     guard.check()
     return results

@@ -25,16 +25,28 @@ Execution mode
         needs processes.  The pool is forked per batch, so children
         see the parent's current trees copy-on-write and nothing needs
         pickling except the results and the per-worker stats
-        snapshots.  Page-access counters ticked inside workers stay in
-        the children (runtime stats are merged back; simulated I/O
-        counts are not), so benchmarks measuring page accesses should
-        run sequentially.
+        snapshots.  Per-tree simulated page counters ticked inside the
+        children are shipped back as name-keyed deltas alongside the
+        runtime stats and added onto the parent's trees on join, so
+        page-access benchmarks account fork-mode work exactly like
+        sequential work.
     ``thread``
         A ``ThreadPoolExecutor``.  Shares all counters and buffers and
         has no fork cost, but only overlaps work while the GIL is
         released — useful mainly where fork is unavailable.
     ``auto``
         ``fork`` where the platform supports it, else ``thread``.
+
+Pool kind
+    Orthogonal to the mode: ``REPRO_BATCH_POOL`` (or the ``pool=``
+    argument of the :class:`~repro.core.engine.ObstacleDatabase` batch
+    methods) selects between ``fork`` — this module's fork/thread
+    per-batch pool — and ``persistent``, the long-lived
+    snapshot-warm-started worker pool of :mod:`repro.serve.pool` that
+    amortizes fork and cold-graph-build cost across batches.  The
+    free-standing batch functions always use the per-batch pool; the
+    persistent kind is engaged by the database facade, which owns the
+    pool's lifecycle.
 """
 
 from __future__ import annotations
@@ -53,7 +65,12 @@ WORKERS_ENV = "REPRO_BATCH_WORKERS"
 #: Environment variable supplying the default execution mode.
 MODE_ENV = "REPRO_BATCH_MODE"
 
+#: Environment variable supplying the default batch pool kind.
+POOL_ENV = "REPRO_BATCH_POOL"
+
 _MODES = ("auto", "thread", "fork")
+
+_POOL_KINDS = ("fork", "persistent")
 
 Q = TypeVar("Q")
 R = TypeVar("R")
@@ -96,6 +113,23 @@ def resolve_mode(mode: str | None = None) -> str:
     return mode
 
 
+def resolve_pool_kind(pool: str | None = None) -> str:
+    """The effective batch pool kind: argument, env, or ``fork``.
+
+    ``fork`` is the per-batch :class:`BatchExecutor` pool (the
+    historical behaviour); ``persistent`` routes database batches with
+    ``workers >= 2`` through the long-lived snapshot-warm-started
+    :class:`~repro.serve.pool.PersistentWorkerPool`.
+    """
+    if pool is None:
+        pool = os.environ.get(POOL_ENV, "").strip() or "fork"
+    if pool not in _POOL_KINDS:
+        raise QueryError(
+            f"unknown batch pool kind {pool!r} (expected one of {_POOL_KINDS})"
+        )
+    return pool
+
+
 def _chunk_ranges(n: int, parts: int) -> list[tuple[int, int]]:
     """``parts`` contiguous, balanced ``(start, stop)`` ranges over ``n``."""
     size, extra = divmod(n, parts)
@@ -112,12 +146,13 @@ def _chunk_ranges(n: int, parts: int) -> list[tuple[int, int]]:
 class _ForkTask:
     """The per-batch state fork children inherit (never pickled)."""
 
-    __slots__ = ("metric", "queries", "evaluate")
+    __slots__ = ("metric", "queries", "evaluate", "trees")
 
-    def __init__(self, metric, queries, evaluate) -> None:
+    def __init__(self, metric, queries, evaluate, trees) -> None:
         self.metric = metric
         self.queries = queries
         self.evaluate = evaluate
+        self.trees = trees
 
 
 _FORK_TASK: _ForkTask | None = None
@@ -134,18 +169,59 @@ def _run_chunk_fork(chunk: tuple[int, int]):
     private context spawned from the inherited task state."""
     task = _FORK_TASK
     assert task is not None, "fork worker started without task state"
-    return _evaluate_chunk(task.metric, task.queries, task.evaluate, chunk)
+    return _evaluate_chunk(
+        task.metric, task.queries, task.evaluate, chunk, trees=task.trees
+    )
+
+
+def _task_trees(metric, trees) -> list:
+    """The trees whose page counters a fork batch must account: the
+    caller-supplied ones (entity trees) plus every tree of the
+    metric's obstacle source, deduplicated by name."""
+    seen: dict[str, object] = {}
+    for tree in trees or ():
+        seen.setdefault(tree.name, tree)
+    context = getattr(metric, "context", None)
+    source = getattr(context, "source", None)
+    if source is not None:
+        for tree in source.trees():
+            seen.setdefault(tree.name, tree)
+    return list(seen.values())
 
 
 def _evaluate_chunk(
-    metric, queries: Sequence[Q], evaluate, chunk: tuple[int, int]
+    metric,
+    queries: Sequence[Q],
+    evaluate,
+    chunk: tuple[int, int],
+    *,
+    trees: "Sequence | None" = None,
 ):
+    # In fork mode the children tick copy-on-write copies of the
+    # parent's page counters; snapshot a baseline so the reply can
+    # carry exact per-tree deltas for the parent to add back.  Thread
+    # mode passes trees=None: counters are shared, nothing is lost.
+    baselines = None
+    if trees:
+        baselines = {
+            tree.name: (tree.counter.reads, tree.counter.misses, tree.counter.writes)
+            for tree in trees
+        }
     worker_metric = metric.spawn()
     start, stop = chunk
     results = [evaluate(worker_metric, queries[i]) for i in range(start, stop)]
     context = getattr(worker_metric, "context", None)
     stats = context.stats.snapshot() if context is not None else None
-    return start, results, stats
+    pages = None
+    if trees and baselines is not None:
+        pages = {}
+        for tree in trees:
+            r0, m0, w0 = baselines[tree.name]
+            c = tree.counter
+            delta = (c.reads - r0, c.misses - m0, c.writes - w0)
+            if any(delta):
+                pages[tree.name] = delta
+    return start, results, stats, pages
 
 
 class BatchExecutor:
@@ -176,26 +252,38 @@ class BatchExecutor:
         evaluate: Callable[[object, Q], R],
         *,
         stats: RuntimeStats | None = None,
+        trees: "Sequence | None" = None,
     ) -> list[R]:
         """``[evaluate(worker_metric, q) for q in queries]``, in order.
 
         ``metric`` must support ``spawn()`` (an independent equivalent
         metric); each worker evaluates its chunk against its own spawn.
         Worker runtime stats are merged into ``stats`` when given.
+        ``trees`` lists extra trees (beyond the metric's obstacle
+        source) whose simulated page counters fork workers must ship
+        back — in fork mode their deltas are added onto the parent's
+        counters on join.
         """
         if not self.parallel:
             raise QueryError("BatchExecutor.run needs >= 2 workers")
         n = len(queries)
         chunks = _chunk_ranges(n, min(self.workers, n))
+        tracked = _task_trees(metric, trees) if self.mode == "fork" else []
         if self.mode == "fork":
-            parts = self._run_fork(metric, queries, evaluate, chunks)
+            parts = self._run_fork(metric, queries, evaluate, chunks, tracked)
         else:
             parts = self._run_thread(metric, queries, evaluate, chunks)
+        by_name = {tree.name: tree for tree in tracked}
         results: list[R] = [None] * n  # type: ignore[list-item]
-        for start, chunk_results, worker_stats in parts:
+        for start, chunk_results, worker_stats, worker_pages in parts:
             results[start : start + len(chunk_results)] = chunk_results
             if stats is not None and worker_stats is not None:
                 stats.merge(worker_stats)
+            for name, (reads, misses, writes) in (worker_pages or {}).items():
+                counter = by_name[name].counter
+                counter.reads += reads
+                counter.misses += misses
+                counter.writes += writes
         return results
 
     def _run_thread(self, metric, queries, evaluate, chunks):
@@ -206,7 +294,7 @@ class BatchExecutor:
             ]
             return [f.result() for f in futures]
 
-    def _run_fork(self, metric, queries, evaluate, chunks):
+    def _run_fork(self, metric, queries, evaluate, chunks, trees):
         import multiprocessing
 
         global _FORK_TASK
@@ -216,7 +304,7 @@ class BatchExecutor:
             # with _FORK_TASK set, and never touch the lock).
             return self._run_thread(metric, queries, evaluate, chunks)
         with _FORK_LOCK:
-            _FORK_TASK = _ForkTask(metric, queries, evaluate)
+            _FORK_TASK = _ForkTask(metric, queries, evaluate, trees)
             try:
                 ctx = multiprocessing.get_context("fork")
                 with ctx.Pool(processes=len(chunks)) as pool:

@@ -37,6 +37,7 @@ class RuntimeStats:
         "field_builds",
         "batch_memo_hits",
         "parallel_batches",
+        "pool_batches",
         "sweeps_run",
         "sweep_events",
         "sweep_seconds",
@@ -63,6 +64,7 @@ class RuntimeStats:
         self.field_builds = 0
         self.batch_memo_hits = 0
         self.parallel_batches = 0
+        self.pool_batches = 0
         self.sweeps_run = 0
         self.sweep_events = 0
         self.sweep_seconds = 0.0

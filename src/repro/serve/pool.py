@@ -1,0 +1,516 @@
+"""The persistent, snapshot-warm-started worker pool.
+
+:class:`~repro.runtime.executor.BatchExecutor` forks a fresh process
+pool *per batch*: every worker pays the fork plus cold visibility-graph
+builds for every centre in its chunk, then dies — throwing away exactly
+the warm state the spatial cache and the snapshot store work to create.
+:class:`PersistentWorkerPool` inverts that lifecycle:
+
+* **spawned once** — workers are long-lived processes serving many
+  requests over a pipe protocol, surviving across batches with their
+  private graph caches intact;
+* **warm-started** — each worker boots by *loading a snapshot*
+  (:meth:`~repro.core.engine.ObstacleDatabase.load`) written by the
+  parent at pool creation, not by inheriting pickled parent state.
+  Because snapshots carry the graph cache, a worker performs **zero**
+  cold graph builds for centres the parent had already covered;
+* **delta-fed** — the pool subscribes to the parent's mutation feeds
+  (obstacle inserts/deletes and entity updates) and records them in an
+  append-only replayable log; each worker replays its outstanding
+  suffix before serving a request, and replay routes through the
+  worker's own repair-first runtime, so answers stay bit-identical to
+  a monolithic sequential context at every point in time.
+
+Out-of-band edits (mutations applied behind the feeds' backs, e.g.
+direct tree writes) are caught by a version/size signature check
+before every dispatch: on drift the pool discards its workers and
+respawns from a fresh snapshot rather than serving stale answers.
+
+Worker runtime counters and per-tree simulated page counters travel
+back with every reply and are merged into the parent database, so
+``db.runtime_stats()`` / ``db.stats()`` account pool work exactly as
+they account sequential work.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import weakref
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.model import Obstacle
+from repro.runtime.executor import _chunk_ranges
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
+    from repro.core.engine import ObstacleDatabase
+
+
+def _tree_counters(db: "ObstacleDatabase") -> dict[str, tuple[int, int, int]]:
+    """Per-tree page counters keyed by (unique) tree name."""
+    counters: dict[str, tuple[int, int, int]] = {}
+    for idx in db._obstacle_indexes.values():
+        for tree in idx.trees():
+            c = tree.counter
+            counters[tree.name] = (c.reads, c.misses, c.writes)
+    for tree in db._entity_trees.values():
+        c = tree.counter
+        counters[tree.name] = (c.reads, c.misses, c.writes)
+    return counters
+
+
+def _merge_tree_counters(
+    db: "ObstacleDatabase", deltas: dict[str, tuple[int, int, int]]
+) -> None:
+    """Add worker page-counter deltas onto the parent's same-named trees.
+
+    A tree name the parent no longer knows (possible only across an
+    invalidation race) is dropped — counters are reporting, never
+    correctness.
+    """
+    trees = {}
+    for idx in db._obstacle_indexes.values():
+        for tree in idx.trees():
+            trees[tree.name] = tree
+    for tree in db._entity_trees.values():
+        trees[tree.name] = tree
+    for name, (reads, misses, writes) in deltas.items():
+        tree = trees.get(name)
+        if tree is None:
+            continue
+        tree.counter.reads += reads
+        tree.counter.misses += misses
+        tree.counter.writes += writes
+
+
+def _apply_delta(db: "ObstacleDatabase", delta: tuple) -> None:
+    """Replay one parent-side mutation inside a worker.
+
+    Obstacle deltas go through the worker index's own mutation feed
+    (so the worker's cached graphs are repaired in place, exactly as
+    the parent's were) and preserve the parent-assigned obstacle id;
+    entity deltas go through the tree mutation entry points.
+    """
+    scope, set_name, op, payload = delta
+    if scope == "obstacle":
+        index = db._obstacle_index_named(set_name)
+        if op == "insert":
+            index.insert(payload)
+            if payload.oid >= db._next_oid:
+                db._next_oid = payload.oid + 1
+        else:
+            index.delete(payload)
+    else:
+        if op == "insert":
+            db.insert_entity(set_name, payload)
+        else:
+            db.delete_entity(set_name, payload)
+
+
+def _evaluate(db: "ObstacleDatabase", command: tuple, items: Sequence) -> list:
+    """Serve one chunk inside a worker, through the worker's shared
+    context and the *same* per-point evaluators the batch engine uses
+    sequentially — which is what makes pool answers bit-identical to a
+    monolithic context."""
+    from repro.runtime.metric import ObstructedMetric
+    from repro.runtime.queries import metric_nearest, metric_range
+
+    kind = command[0]
+    if kind == "distance":
+        metric = ObstructedMetric(db.context)
+        return [metric.distance(a, b) for a, b in items]
+    if kind == "nearest":
+        __, set_name, k, prune_bound = command
+        tree = db.entity_tree(set_name)
+        metric = ObstructedMetric(db.context)
+        return [
+            list(metric_nearest(tree, metric, q, k, prune_bound=prune_bound))
+            for q in items
+        ]
+    if kind == "range":
+        __, set_name, e = command
+        tree = db.entity_tree(set_name)
+        metric = ObstructedMetric(db.context)
+        return [list(metric_range(tree, metric, q, e)) for q in items]
+    raise QueryError(f"unknown pool command {kind!r}")
+
+
+def _worker_main(
+    conn: "Connection", snapshot_path: str, backend: str | None
+) -> None:
+    """The worker process body: load the snapshot (warm start), then
+    serve ``(deltas, command, items)`` requests until shutdown.
+
+    Every reply carries the runtime-stats and page-counter deltas of
+    the work it performed (counters are zeroed between requests, so
+    deltas are exact); failures are reported as ``("error", repr)``
+    instead of killing the worker, keeping the pipe protocol in sync.
+    """
+    from repro.core.engine import ObstacleDatabase
+
+    try:
+        db = ObstacleDatabase.load(snapshot_path, backend=backend)
+    except BaseException as exc:  # startup must never hang the parent
+        try:
+            conn.send(("boot-error", repr(exc)))
+        finally:
+            conn.close()
+        return
+    db.reset_stats()  # page/runtime counters to zero; caches stay warm
+    conn.send(("ready",))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "shutdown":
+            conn.send(("bye",))
+            break
+        __, deltas, command, items = message
+        try:
+            for delta in deltas:
+                _apply_delta(db, delta)
+            results = _evaluate(db, command, items)
+        except BaseException as exc:
+            conn.send(("error", repr(exc)))
+            db.reset_stats()
+            continue
+        conn.send(
+            ("ok", results, db.runtime_stats(), _tree_counters(db))
+        )
+        db.reset_stats()
+    conn.close()
+
+
+class _Worker:
+    """One pool member: its process, pipe end, and delta cursor."""
+
+    __slots__ = ("process", "conn", "cursor", "index")
+
+    def __init__(self, process, conn, index: int) -> None:
+        self.process = process
+        self.conn = conn
+        self.index = index
+        #: Offset into the pool's delta log of the first delta this
+        #: worker has not yet replayed.
+        self.cursor = 0
+
+
+class PersistentWorkerPool:
+    """A long-lived pool of snapshot-warm-started query workers.
+
+    Parameters
+    ----------
+    db:
+        The parent database.  The pool snapshots it at (lazy) startup,
+        subscribes to its obstacle mutation feeds, and merges worker
+        stats back into it.
+    workers:
+        Worker process count (>= 1; batch routing only engages a pool
+        from ``workers >= 2``).
+    snapshot_path:
+        Where to write the warm-start snapshot.  Default: a temporary
+        file, deleted as soon as every worker has loaded it.  An
+        explicit path is left on disk (callers may want to inspect or
+        reuse it).
+
+    The pool is a context manager; :meth:`shutdown` is idempotent and
+    safe to call from ``finally`` blocks and finalizers.
+    """
+
+    def __init__(
+        self,
+        db: "ObstacleDatabase",
+        workers: int,
+        *,
+        snapshot_path: "str | os.PathLike[str] | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise QueryError(f"pool needs >= 1 worker, got {workers}")
+        # Held weakly: the pool must not keep its database alive (the
+        # database registers a finalizer shutting the pool down when
+        # it is collected; a strong reference here would defeat it).
+        self._dbref = weakref.ref(db)
+        self.workers = workers
+        self._snapshot_path = (
+            os.fspath(snapshot_path) if snapshot_path is not None else None
+        )
+        self._members: list[_Worker] = []
+        self._log: list[tuple] = []
+        self._expected: dict[tuple[str, str], int] = {}
+        self._subscribed = False
+        self._shut = False
+        #: Requests served and workers (re)spawned, for observability.
+        self.batches_served = 0
+        self.spawns = 0
+
+    @property
+    def _db(self) -> "ObstacleDatabase":
+        db = self._dbref()
+        if db is None:  # pragma: no cover - use-after-collect guard
+            raise QueryError("the database owning this pool was collected")
+        return db
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def alive(self) -> bool:
+        """True when worker processes are currently running."""
+        return bool(self._members)
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _signature(self) -> dict[tuple[str, str], int]:
+        """Version/size signature of the parent state the workers
+        mirror: obstacle-set versions plus entity-tree sizes.  Drift
+        against the expectation means an out-of-band edit."""
+        db = self._db
+        sig: dict[tuple[str, str], int] = {}
+        for name, idx in db._obstacle_indexes.items():
+            sig[("obstacles", name)] = idx.version
+        for name, tree in db._entity_trees.items():
+            sig[("entities", name)] = len(tree)
+        return sig
+
+    def _subscribe_feeds(self) -> None:
+        """Attach the delta recorders to every obstacle set's feed.
+
+        Subscriptions are per obstacle *set* (the feed callback does
+        not carry the set name) and installed once — they survive
+        worker invalidation, so no mutation can slip between a respawn
+        and a re-subscribe.
+        """
+        if self._subscribed:
+            return
+        for name, idx in self._db._obstacle_indexes.items():
+            idx.subscribe(self._recorder_for(name))
+        self._subscribed = True
+
+    def _recorder_for(self, set_name: str):
+        def record(kind: str, obstacle: Obstacle) -> None:
+            if kind.startswith("pre-"):
+                return
+            self._log.append(("obstacle", set_name, kind, obstacle))
+            self._expected[("obstacles", set_name)] = self._db._obstacle_indexes[
+                set_name
+            ].version
+
+        return record
+
+    def note_entity(self, op: str, set_name: str, point: Point) -> None:
+        """Record one entity mutation (called by the parent database
+        *after* applying it) for replay in the workers."""
+        self._log.append(("entity", set_name, op, point))
+        self._expected[("entities", set_name)] = len(
+            self._db._entity_trees[set_name]
+        )
+
+    def _spawn(self) -> None:
+        """Snapshot the parent and boot the workers from it."""
+        import multiprocessing
+
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        ctx = multiprocessing.get_context(method)
+        path = self._snapshot_path
+        ephemeral = path is None
+        if ephemeral:
+            fd, path = tempfile.mkstemp(suffix=".snap", prefix="repro-pool-")
+            os.close(fd)
+        self._db.save(path, include_cache=True)
+        backend = self._db.context.backend.name
+        from repro.visibility.kernel.backend import available_backends
+
+        if backend not in available_backends():
+            backend = None
+        members: list[_Worker] = []
+        try:
+            for i in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, path, backend),
+                    daemon=True,
+                    name=f"repro-pool-{i}",
+                )
+                process.start()
+                child_conn.close()  # keep exactly one handle per end
+                members.append(_Worker(process, parent_conn, i))
+            for member in members:
+                try:
+                    reply = member.conn.recv()
+                except (EOFError, OSError):
+                    raise QueryError(
+                        f"pool worker {member.index} died during warm start"
+                    ) from None
+                if reply[0] != "ready":
+                    raise QueryError(
+                        f"pool worker {member.index} failed to load the "
+                        f"warm-start snapshot: {reply[1]}"
+                    )
+        except BaseException:
+            for member in members:
+                member.conn.close()
+                member.process.terminate()
+                member.process.join(timeout=5)
+            raise
+        finally:
+            if ephemeral:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+        # Workers mirror the parent as of this snapshot: outstanding
+        # log entries predate it and must never be replayed into them.
+        for member in members:
+            member.cursor = len(self._log)
+        self._members = members
+        self._expected = self._signature()
+        self.spawns += 1
+
+    def _ensure_workers(self) -> None:
+        if self._shut:
+            raise QueryError("persistent pool is shut down")
+        self._subscribe_feeds()
+        if self._members and self._expected != self._signature():
+            # Out-of-band edit: the feeds missed a mutation, so delta
+            # replay can no longer reproduce the parent.  Respawn from
+            # a fresh snapshot instead of serving stale answers.
+            self._stop_workers()
+        if not self._members:
+            self._spawn()
+
+    def invalidate(self) -> None:
+        """Discard the workers; the next dispatch respawns them from a
+        fresh snapshot.  Used by the parent when it changes shape in
+        ways the delta feed cannot express (new datasets)."""
+        self._stop_workers()
+        self._log.clear()
+
+    def _stop_workers(self) -> None:
+        members, self._members = self._members, []
+        for member in members:
+            try:
+                member.conn.send(("shutdown",))
+            except (OSError, ValueError):
+                pass
+        for member in members:
+            try:
+                if member.conn.poll(1.0):
+                    member.conn.recv()
+            except (EOFError, OSError):
+                pass
+            member.conn.close()
+            member.process.join(timeout=5)
+            if member.process.is_alive():  # pragma: no cover - stuck worker
+                member.process.terminate()
+                member.process.join(timeout=5)
+
+    def shutdown(self) -> None:
+        """Stop every worker.  Idempotent; safe after partial failures
+        (and called automatically when the owning database is
+        garbage-collected)."""
+        if self._shut:
+            return
+        self._shut = True
+        self._stop_workers()
+
+    # -------------------------------------------------------------- serving
+    def run_batch(self, command: tuple, items: Sequence) -> list:
+        """Fan ``items`` over the workers under ``command``; returns
+        per-item results in order.
+
+        Outstanding mutation deltas ride along with each worker's
+        request, so every answer reflects the parent's current state.
+        Worker stats are merged into the parent database on join.  A
+        worker dying mid-chunk raises :class:`QueryError` naming the
+        chunk; the pool is torn down so the next dispatch respawns
+        cleanly.
+        """
+        if not items:
+            return []
+        self._ensure_workers()
+        chunks = _chunk_ranges(len(items), min(self.workers, len(items)))
+        dispatched: list[tuple[_Worker, tuple[int, int]]] = []
+        failure: QueryError | None = None
+        for member, chunk in zip(self._members, chunks):
+            deltas = self._log[member.cursor :]
+            try:
+                member.conn.send(
+                    ("serve", deltas, command, items[chunk[0] : chunk[1]])
+                )
+            except (OSError, ValueError):
+                failure = QueryError(
+                    f"pool worker {member.index} died before serving chunk "
+                    f"[{chunk[0]}:{chunk[1]}) of a {command[0]!r} batch"
+                )
+                break
+            member.cursor = len(self._log)
+            dispatched.append((member, chunk))
+        results: list = [None] * len(items)
+        for member, (start, stop) in dispatched:
+            try:
+                reply = member.conn.recv()
+            except (EOFError, OSError):
+                failure = failure or QueryError(
+                    f"pool worker {member.index} died serving chunk "
+                    f"[{start}:{stop}) of a {command[0]!r} batch"
+                )
+                continue
+            if reply[0] != "ok":
+                failure = failure or QueryError(
+                    f"pool worker {member.index} failed on chunk "
+                    f"[{start}:{stop}) of a {command[0]!r} batch: {reply[1]}"
+                )
+                continue
+            __, chunk_results, runtime_snapshot, page_deltas = reply
+            results[start:stop] = chunk_results
+            self._db.context.stats.merge(runtime_snapshot)
+            _merge_tree_counters(self._db, page_deltas)
+        if failure is not None:
+            # The pipe protocol may be out of sync with the dead or
+            # failed worker's peers mid-batch; restart from scratch.
+            self._stop_workers()
+            raise failure
+        self.batches_served += 1
+        return results
+
+    def batch_nearest(
+        self,
+        set_name: str,
+        points: Sequence[Point],
+        k: int,
+        *,
+        prune_bound: bool = True,
+    ) -> list:
+        """k-NN per point, fanned over the warm workers."""
+        return self.run_batch(("nearest", set_name, k, prune_bound), points)
+
+    def batch_range(
+        self, set_name: str, points: Sequence[Point], e: float
+    ) -> list:
+        """Range result per point, fanned over the warm workers."""
+        return self.run_batch(("range", set_name, e), points)
+
+    def batch_distance(
+        self, pairs: Sequence[tuple[Point, Point]]
+    ) -> list[float]:
+        """Obstructed distance per pair, fanned over the warm workers."""
+        return self.run_batch(("distance",), pairs)
+
+    def __repr__(self) -> str:
+        state = "shut" if self._shut else ("warm" if self.alive else "idle")
+        return (
+            f"PersistentWorkerPool(workers={self.workers}, {state}, "
+            f"batches_served={self.batches_served}, spawns={self.spawns})"
+        )

@@ -1,0 +1,239 @@
+"""The asyncio serving front-end: microbatch coalescing over the runtime.
+
+:class:`QueryServer` turns the library's batch entry points into a
+request/response service shape: concurrent clients ``await`` single
+nearest/range/distance requests, the server coalesces compatible
+requests into microbatches (closed by a time window or a size cap,
+whichever first), dispatches each batch through the database — and
+therefore through the persistent warm worker pool when one is selected
+— and resolves every awaiting client with its own answer.  Coalescing
+is what converts high concurrency into the batch shapes the runtime
+amortizes best: duplicate points collapse into the batch memo, distinct
+points share one guarded dispatch, and per-request overhead (pipe
+round-trips under the persistent pool, forks under the per-batch pool)
+is paid once per microbatch instead of once per request.
+
+Latency is tracked per *request*, admission to settlement, in the
+:class:`~repro.serve.stats.ServeStats` histograms — so the p99 a
+benchmark gates on includes the coalescing delay, not just compute.
+
+The server is single-loop asyncio: request handlers run on the event
+loop, microbatch dispatches run on a default-executor thread serialized
+by one lock (the shared :class:`~repro.runtime.context.QueryContext`
+is not concurrency-safe), which keeps the loop free to keep admitting
+and coalescing requests while a batch computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.serve.stats import ServeStats
+
+
+class _MicroBatch:
+    """One open coalescing window for a single batch key."""
+
+    __slots__ = ("key", "items", "futures", "admitted", "timer")
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+        self.items: list = []
+        self.futures: list[asyncio.Future] = []
+        #: Admission timestamps (perf_counter), for per-request latency.
+        self.admitted: list[float] = []
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class QueryServer:
+    """An asyncio front-end serving one :class:`ObstacleDatabase`.
+
+    Parameters
+    ----------
+    db:
+        The database to serve.
+    workers, mode, pool:
+        Forwarded to the database batch methods per microbatch —
+        ``pool="persistent"`` (or ``REPRO_BATCH_POOL=persistent``)
+        with ``workers >= 2`` serves batches from the warm persistent
+        pool.  ``workers=None`` defers to ``REPRO_BATCH_WORKERS``.
+    coalesce_window:
+        Seconds an open microbatch waits for company before dispatch
+        (default 2 ms).  ``0`` dispatches every request immediately —
+        no added latency, no coalescing wins.
+    max_batch:
+        Requests that close a microbatch early (default 64).
+
+    Use as an async context manager, or call :meth:`close` — pending
+    microbatches are flushed, then the database's serving pool is left
+    to the database's own lifecycle (:meth:`ObstacleDatabase.close`).
+    """
+
+    def __init__(
+        self,
+        db,
+        *,
+        workers: int | None = None,
+        mode: str | None = None,
+        pool: str | None = None,
+        coalesce_window: float = 0.002,
+        max_batch: int = 64,
+    ) -> None:
+        if coalesce_window < 0:
+            raise QueryError(
+                f"coalesce_window must be >= 0, got {coalesce_window}"
+            )
+        if max_batch < 1:
+            raise QueryError(f"max_batch must be >= 1, got {max_batch}")
+        self._db = db
+        self._workers = workers
+        self._mode = mode
+        self._pool = pool
+        self.coalesce_window = coalesce_window
+        self.max_batch = max_batch
+        self.stats = ServeStats(db.context.stats)
+        self._open: dict[tuple, _MicroBatch] = {}
+        self._dispatch_lock = asyncio.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------- requests
+    async def nearest(
+        self, set_name: str, point: Point, k: int = 1
+    ) -> list[tuple[Point, float]]:
+        """The ``k`` obstructed NNs of ``point`` (one awaited request)."""
+        return await self._submit(("nearest", set_name, k), point)
+
+    async def range(
+        self, set_name: str, point: Point, e: float
+    ) -> list[tuple[Point, float]]:
+        """Entities within obstructed distance ``e`` (one awaited request)."""
+        return await self._submit(("range", set_name, e), point)
+
+    async def distance(self, a: Point, b: Point) -> float:
+        """The obstructed distance between two points (one awaited
+        request; pairs coalesce into ``batch_distance`` microbatches)."""
+        return await self._submit(("distance",), (a, b))
+
+    # ------------------------------------------------------------ lifecycle
+    async def drain(self) -> None:
+        """Flush every open microbatch now and await its completion."""
+        pending = [b for b in self._open.values()]
+        for batch in pending:
+            self._close_batch(batch)
+        tasks = [
+            asyncio.gather(*batch.futures, return_exceptions=True)
+            for batch in pending
+            if batch.futures
+        ]
+        for coro in tasks:
+            await coro
+
+    async def close(self) -> None:
+        """Refuse new requests, flush open microbatches, detach."""
+        if self._closed:
+            return
+        await self.drain()
+        self._closed = True
+
+    async def __aenter__(self) -> "QueryServer":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------ internals
+    async def _submit(self, key: tuple, item):
+        if self._closed:
+            raise QueryError("QueryServer is closed")
+        loop = asyncio.get_running_loop()
+        batch = self._open.get(key)
+        joined = batch is not None
+        if batch is None:
+            batch = self._open[key] = _MicroBatch(key)
+            if self.coalesce_window > 0:
+                batch.timer = loop.call_later(
+                    self.coalesce_window, self._close_batch, batch
+                )
+        future: asyncio.Future = loop.create_future()
+        batch.items.append(item)
+        batch.futures.append(future)
+        batch.admitted.append(time.perf_counter())
+        self.stats.admit(joined_open_batch=joined)
+        if len(batch.items) >= self.max_batch or self.coalesce_window == 0:
+            self._close_batch(batch)
+        return await future
+
+    def _close_batch(self, batch: _MicroBatch) -> None:
+        """Seal one microbatch and schedule its dispatch."""
+        if self._open.get(batch.key) is batch:
+            del self._open[batch.key]
+        if batch.timer is not None:
+            batch.timer.cancel()
+            batch.timer = None
+        if batch.futures:
+            asyncio.ensure_future(self._dispatch(batch))
+
+    async def _dispatch(self, batch: _MicroBatch) -> None:
+        loop = asyncio.get_running_loop()
+        async with self._dispatch_lock:
+            try:
+                results = await loop.run_in_executor(
+                    None, self._run_batch, batch.key, batch.items
+                )
+            except BaseException as exc:
+                self.stats.batches += 1
+                now = time.perf_counter()
+                for future, t0 in zip(batch.futures, batch.admitted):
+                    self.stats.settle(batch.key[0], now - t0, failed=True)
+                    if not future.done():
+                        future.set_exception(
+                            exc
+                            if isinstance(exc, Exception)
+                            else QueryError(repr(exc))
+                        )
+                return
+        self.stats.batches += 1
+        now = time.perf_counter()
+        for future, result, t0 in zip(batch.futures, results, batch.admitted):
+            self.stats.settle(batch.key[0], now - t0)
+            if not future.done():
+                future.set_result(result)
+
+    def _run_batch(self, key: tuple, items: Sequence) -> list:
+        """Executed on the executor thread: one database batch call."""
+        kind = key[0]
+        if kind == "nearest":
+            __, set_name, k = key
+            return self._db.batch_nearest(
+                set_name,
+                items,
+                k,
+                workers=self._workers,
+                mode=self._mode,
+                pool=self._pool,
+            )
+        if kind == "range":
+            __, set_name, e = key
+            return self._db.batch_range(
+                set_name,
+                items,
+                e,
+                workers=self._workers,
+                mode=self._mode,
+                pool=self._pool,
+            )
+        if kind == "distance":
+            return self._db.batch_distance(
+                items, workers=self._workers, pool=self._pool
+            )
+        raise QueryError(f"unknown request kind {kind!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryServer(window={self.coalesce_window}, "
+            f"max_batch={self.max_batch}, requests={self.stats.requests})"
+        )

@@ -131,3 +131,78 @@ class TestProfile:
             d_best = oracle_distance(q, best, obstacles)
             d_winner = oracle_distance(q, iv.neighbor, obstacles)
             assert d_winner == pytest.approx(d_best)
+
+
+class TestRuntimeWiring:
+    """`path_nearest` over the database's shared runtime (PR 6)."""
+
+    def _db(self, seed=600, *, shards=None, n_obstacles=8, n_points=8):
+        rng = random.Random(seed)
+        obstacles = random_disjoint_rects(rng, n_obstacles)
+        points = random_free_points(rng, n_points, obstacles)
+        from repro import ObstacleDatabase
+
+        db = ObstacleDatabase(
+            [o.polygon for o in obstacles],
+            max_entries=8,
+            min_entries=3,
+            shards=shards,
+            graph_cache_size=256,
+        )
+        db.add_entity_set("pois", points[3:])
+        route = random_free_points(random.Random(seed + 1), 3, obstacles)
+        return db, route, obstacles
+
+    def test_database_profile_matches_private_context(self):
+        db, route, __ = self._db(601)
+        via_db = db.path_nearest("pois", route)
+        direct = path_nearest(
+            db.entity_tree("pois"), db.obstacle_index, route
+        )
+        assert via_db == direct
+
+    def test_profile_uses_shared_cache(self):
+        db, route, __ = self._db(602)
+        db.path_nearest("pois", route)
+        db.reset_stats()
+        db.path_nearest("pois", route)
+        # Every expansion centre of the second profile was cached by
+        # the first: re-profiling an unchanged route builds nothing.
+        assert db.runtime_stats()["graph_builds"] == 0
+
+    def test_profile_after_mutation_matches_cold_database(self):
+        db, route, obstacles = self._db(603)
+        db.path_nearest("pois", route)  # populate the cache
+        record = db.insert_obstacle(Rect(40, 40, 46, 46))
+        repaired = db.path_nearest("pois", route)
+
+        from repro import ObstacleDatabase
+
+        cold = ObstacleDatabase(
+            [o.polygon for o in obstacles] + [Rect(40, 40, 46, 46)],
+            max_entries=8,
+            min_entries=3,
+            graph_cache_size=256,
+        )
+        cold.add_entity_set(
+            "pois", [p for p, __r in db.entity_tree("pois").items()]
+        )
+        assert repaired == cold.path_nearest("pois", route)
+
+        assert db.delete_obstacle(record)
+        assert db.path_nearest("pois", route) == path_nearest(
+            db.entity_tree("pois"), db.obstacle_index, route
+        )
+
+    def test_sharded_profile_matches_monolithic(self):
+        db, route, obstacles = self._db(604, shards=4)
+        mono, __route, __obs = self._db(604)
+        assert db.path_nearest("pois", route) == mono.path_nearest(
+            "pois", route
+        )
+
+    def test_tolerance_forwarded(self):
+        db, route, __ = self._db(605)
+        coarse = db.path_nearest("pois", route, tolerance=0.2)
+        fine = db.path_nearest("pois", route, tolerance=1e-3)
+        assert len(fine) >= len(coarse)

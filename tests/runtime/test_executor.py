@@ -264,3 +264,53 @@ class TestMutationGuard:
 
         with pytest.raises(DatasetError, match="mutated during batch"):
             batch_distance(Mutating(), pairs)
+
+
+class TestForkPageCounters:
+    """Satellite of PR 6: fork-worker page counters merge on join."""
+
+    def _db(self, seed=250):
+        obstacles, points = _scene(seed, n_points=24)
+        db = ObstacleDatabase(
+            [o.polygon for o in obstacles], max_entries=8, min_entries=3
+        )
+        db.add_entity_set("pois", points[8:])
+        return db, points[:8]
+
+    @pytest.mark.skipif(not fork_available(), reason="fork unavailable")
+    def test_fork_reads_match_sequential(self):
+        db, queries = self._db()
+        db.reset_stats()
+        db.batch_nearest("pois", queries, 2)
+        sequential = {k: dict(v) for k, v in db.stats().items()}
+
+        db.reset_stats(clear_buffers=True)
+        db.batch_nearest("pois", queries, 2, workers=4, mode="fork", pool="fork")
+        forked = {k: dict(v) for k, v in db.stats().items()}
+
+        # Logical page reads are buffer-independent and must be fully
+        # accounted: the children shipped their deltas home.
+        for name, counters in sequential.items():
+            assert forked[name]["reads"] == counters["reads"], name
+            assert forked[name]["reads"] > 0
+
+    @pytest.mark.skipif(not fork_available(), reason="fork unavailable")
+    def test_fork_counters_accumulate_across_batches(self):
+        db, queries = self._db(251)
+        db.reset_stats()
+        db.batch_nearest("pois", queries, 2, workers=2, mode="fork", pool="fork")
+        once = db.stats()["entities:pois"]["reads"]
+        assert once > 0
+        db.batch_nearest("pois", queries, 2, workers=2, mode="fork", pool="fork")
+        assert db.stats()["entities:pois"]["reads"] == 2 * once
+
+    def test_thread_mode_counters_shared_not_doubled(self):
+        db, queries = self._db(252)
+        db.reset_stats()
+        db.batch_nearest("pois", queries, 2)
+        sequential = db.stats()["entities:pois"]["reads"]
+        db.reset_stats(clear_buffers=True)
+        db.batch_nearest("pois", queries, 2, workers=3, mode="thread", pool="fork")
+        # Thread workers tick the parent's counters directly; the
+        # fork-only delta path must not double-book them.
+        assert db.stats()["entities:pois"]["reads"] == sequential

@@ -1,0 +1,1 @@
+"""Tests for the serving tier (pool, front-end, continuous queries)."""

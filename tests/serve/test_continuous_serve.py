@@ -1,0 +1,175 @@
+"""Continuous subscriptions: deltas on movement and obstacle mutation."""
+
+import random
+
+import pytest
+
+from repro import ContinuousQueryHub, ObstacleDatabase, Point, Rect
+from repro.errors import QueryError
+from tests.conftest import random_disjoint_rects, random_free_points
+
+
+def _line_db(**kwargs):
+    """No obstacles initially; entities on the x-axis at known spots."""
+    db = ObstacleDatabase([], **kwargs)
+    db.add_entity_set(
+        "pois", [Point(1, 0), Point(2, 0), Point(50, 0), Point(80, 0)]
+    )
+    return db
+
+
+class TestSubscriptionLifecycle:
+    def test_initial_result_is_published_as_added(self):
+        db = _line_db()
+        hub = ContinuousQueryHub(db)
+        sub = hub.nearest("pois", Point(0, 0), 2)
+        delta = hub.poll(sub)
+        assert [p for p, __ in delta.added] == [Point(1, 0), Point(2, 0)]
+        assert not delta.removed and not delta.changed
+        assert not hub.poll(sub)  # quiescent: empty delta
+
+    def test_current_matches_fresh_query(self):
+        rng = random.Random(430)
+        obstacles = random_disjoint_rects(rng, 8)
+        points = random_free_points(rng, 12, obstacles)
+        db = ObstacleDatabase(
+            [o.polygon for o in obstacles], max_entries=8, min_entries=3
+        )
+        db.add_entity_set("pois", points[4:])
+        hub = ContinuousQueryHub(db)
+        sub = hub.nearest("pois", points[0], 3)
+        assert sub.current == db.nearest("pois", points[0], 3)
+        rsub = hub.range("pois", points[1], 30.0)
+        assert rsub.current == db.range("pois", points[1], 30.0)
+
+    def test_unsubscribe_is_idempotent_and_final(self):
+        db = _line_db()
+        hub = ContinuousQueryHub(db)
+        sub = hub.nearest("pois", Point(0, 0), 1)
+        assert len(hub) == 1
+        hub.unsubscribe(sub)
+        hub.unsubscribe(sub)
+        assert len(hub) == 0
+        with pytest.raises(QueryError, match="not active"):
+            hub.poll(sub)
+
+    def test_validation(self):
+        db = _line_db()
+        hub = ContinuousQueryHub(db)
+        with pytest.raises(QueryError):
+            hub.nearest("pois", Point(0, 0), 0)
+        with pytest.raises(QueryError):
+            hub.range("pois", Point(0, 0), -1.0)
+
+
+class TestMovement:
+    def test_move_publishes_delta(self):
+        db = _line_db()
+        hub = ContinuousQueryHub(db)
+        sub = hub.nearest("pois", Point(0, 0), 1)
+        hub.poll(sub)
+        delta = hub.move(sub, Point(49, 0))
+        assert [p for p, __ in delta.added] == [Point(50, 0)]
+        assert [p for p, __ in delta.removed] == [Point(1, 0)]
+        assert not hub.poll(sub)
+
+    def test_small_move_changes_distances_only(self):
+        db = _line_db()
+        hub = ContinuousQueryHub(db)
+        sub = hub.nearest("pois", Point(0, 0), 2)
+        hub.poll(sub)
+        delta = hub.move(sub, Point(0.5, 0))
+        assert not delta.added and not delta.removed
+        assert {p for p, __ in delta.changed} == {Point(1, 0), Point(2, 0)}
+
+
+class TestObstacleMutations:
+    def test_nearby_insert_reevaluates_and_deltas(self):
+        db = _line_db()
+        hub = ContinuousQueryHub(db)
+        sub = hub.nearest("pois", Point(0, 0), 2)
+        hub.poll(sub)
+        before = sub.reevaluations
+        # A wall between the client and (2, 0): inside the result disk
+        # (kth distance 2), so the subscription must refresh; the NN
+        # set is unchanged but (2, 0) now needs a detour.
+        db.insert_obstacle(Rect(1.4, -0.5, 1.6, 0.5))
+        assert sub.reevaluations == before + 1
+        delta = hub.poll(sub)
+        changed = dict(delta.changed)
+        assert Point(2, 0) in changed
+        assert changed[Point(2, 0)] > 2.0
+        assert sub.current == db.nearest("pois", Point(0, 0), 2)
+
+    def test_far_insert_is_filtered_out(self):
+        db = _line_db()
+        hub = ContinuousQueryHub(db)
+        sub = hub.nearest("pois", Point(0, 0), 2)  # result disk radius 2
+        hub.poll(sub)
+        before = sub.reevaluations
+        db.insert_obstacle(Rect(30, 30, 32, 32))
+        assert sub.reevaluations == before  # untouched
+        assert not hub.poll(sub)
+
+    def test_delete_reevaluates_repair_first(self):
+        db = _line_db()
+        record = db.insert_obstacle(Rect(1.4, -0.5, 1.6, 0.5))
+        hub = ContinuousQueryHub(db)
+        sub = hub.nearest("pois", Point(0, 0), 2)
+        hub.poll(sub)
+        blocked = dict(sub.current)[Point(2, 0)]
+        assert blocked > 2.0
+        db.delete_obstacle(record)
+        delta = hub.poll(sub)
+        assert dict(delta.changed)[Point(2, 0)] == pytest.approx(2.0)
+        assert sub.current == db.nearest("pois", Point(0, 0), 2)
+
+    def test_range_subscription_uses_e_as_radius(self):
+        db = _line_db()
+        hub = ContinuousQueryHub(db)
+        sub = hub.range("pois", Point(0, 0), 3.0)
+        hub.poll(sub)
+        before = sub.reevaluations
+        db.insert_obstacle(Rect(10, -1, 11, 1))  # outside e=3
+        assert sub.reevaluations == before
+        db.insert_obstacle(Rect(1.4, -0.5, 1.6, 0.5))  # inside
+        assert sub.reevaluations == before + 1
+        assert sub.current == db.range("pois", Point(0, 0), 3.0)
+
+    def test_underfilled_nearest_always_refreshes(self):
+        db = ObstacleDatabase([])
+        db.add_entity_set("pois", [Point(1, 0)])
+        hub = ContinuousQueryHub(db)
+        sub = hub.nearest("pois", Point(0, 0), 5)  # only 1 entity: unbounded
+        before = sub.reevaluations
+        db.insert_obstacle(Rect(90, 90, 91, 91))
+        assert sub.reevaluations == before + 1
+
+    def test_sharded_source_mutations_drive_subscriptions(self):
+        rng = random.Random(431)
+        obstacles = random_disjoint_rects(rng, 10)
+        points = random_free_points(rng, 10, obstacles)
+        db = ObstacleDatabase(
+            [o.polygon for o in obstacles],
+            max_entries=8,
+            min_entries=3,
+            shards=4,
+        )
+        db.add_entity_set("pois", points[2:])
+        hub = ContinuousQueryHub(db)
+        sub = hub.nearest("pois", points[0], 3)
+        hub.poll(sub)
+        q = points[0]
+        db.insert_obstacle(Rect(q.x + 0.5, q.y + 0.5, q.x + 1.5, q.y + 1.5))
+        assert sub.current == db.nearest("pois", points[0], 3)
+
+    def test_entity_refresh_hook(self):
+        db = _line_db()
+        hub = ContinuousQueryHub(db)
+        sub = hub.nearest("pois", Point(0, 0), 1)
+        hub.poll(sub)
+        db.insert_entity("pois", Point(0.5, 0))
+        hub.refresh(sub)
+        delta = hub.poll(sub)
+        assert [p for p, __ in delta.added] == [Point(0.5, 0)]
+        assert [p for p, __ in delta.removed] == [Point(1, 0)]

@@ -1,0 +1,328 @@
+"""The persistent warm-started worker pool: parity, deltas, lifecycle."""
+
+import random
+
+import pytest
+
+from repro import ObstacleDatabase, Point, Rect
+from repro.errors import QueryError
+from repro.runtime.executor import POOL_ENV, resolve_pool_kind
+from repro.serve.pool import PersistentWorkerPool
+from tests.conftest import random_disjoint_rects, random_free_points
+
+
+def _db(seed, *, shards=None, snap=0.0, n_obstacles=12, n_points=30):
+    rng = random.Random(seed)
+    obstacles = random_disjoint_rects(rng, n_obstacles)
+    points = random_free_points(rng, n_points, obstacles)
+    db = ObstacleDatabase(
+        [o.polygon for o in obstacles],
+        max_entries=8,
+        min_entries=3,
+        shards=shards,
+        graph_cache_snap=snap,
+    )
+    db.add_entity_set("pois", points[8:])
+    return db, points[:8]
+
+
+class TestPoolKindResolution:
+    def test_argument_wins(self):
+        assert resolve_pool_kind("persistent") == "persistent"
+
+    def test_default_is_fork(self, monkeypatch):
+        monkeypatch.delenv(POOL_ENV, raising=False)
+        assert resolve_pool_kind(None) == "fork"
+
+    def test_env(self, monkeypatch):
+        monkeypatch.setenv(POOL_ENV, "persistent")
+        assert resolve_pool_kind(None) == "persistent"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            resolve_pool_kind("ephemeral")
+
+
+class TestPoolParity:
+    def test_nearest_matches_sequential(self):
+        db, queries = _db(301)
+        try:
+            sequential = db.batch_nearest("pois", queries, 2, workers=0)
+            pooled = db.batch_nearest(
+                "pois", queries, 2, workers=4, pool="persistent"
+            )
+            assert pooled == sequential
+            assert db.runtime_stats()["pool_batches"] == 1
+            assert db.runtime_stats()["parallel_batches"] == 1
+        finally:
+            db.close()
+
+    def test_range_matches_sequential(self):
+        db, queries = _db(302)
+        try:
+            sequential = db.batch_range("pois", queries, 30.0, workers=0)
+            pooled = db.batch_range(
+                "pois", queries, 30.0, workers=3, pool="persistent"
+            )
+            assert pooled == sequential
+        finally:
+            db.close()
+
+    def test_distance_matches_sequential(self):
+        db, queries = _db(303)
+        try:
+            pairs = [(queries[i], queries[i + 1]) for i in range(6)]
+            sequential = db.batch_distance(pairs, workers=0)
+            pooled = db.batch_distance(pairs, workers=4, pool="persistent")
+            assert pooled == sequential
+        finally:
+            db.close()
+
+    def test_sharded_database_parity(self):
+        db, queries = _db(304, shards=4)
+        try:
+            sequential = db.batch_nearest("pois", queries, 2, workers=0)
+            pooled = db.batch_nearest(
+                "pois", queries, 2, workers=2, pool="persistent"
+            )
+            assert pooled == sequential
+        finally:
+            db.close()
+
+    def test_env_routes_through_pool(self, monkeypatch):
+        monkeypatch.setenv(POOL_ENV, "persistent")
+        db, queries = _db(305)
+        try:
+            sequential = db.batch_nearest("pois", queries, 1, workers=0)
+            pooled = db.batch_nearest("pois", queries, 1, workers=2)
+            assert pooled == sequential
+            assert db.runtime_stats()["pool_batches"] == 1
+        finally:
+            db.close()
+
+    def test_sequential_workers_never_build_pool(self, monkeypatch):
+        monkeypatch.setenv(POOL_ENV, "persistent")
+        db, queries = _db(306)
+        db.batch_nearest("pois", queries, 1, workers=0)  # explicitly sequential
+        assert db._serving_pool is None
+
+    def test_pool_reused_across_batches(self):
+        db, queries = _db(307)
+        try:
+            db.batch_nearest("pois", queries, 1, workers=2, pool="persistent")
+            db.batch_range("pois", queries, 20.0, workers=2, pool="persistent")
+            pool = db._serving_pool
+            assert pool.spawns == 1
+            assert pool.batches_served == 2
+        finally:
+            db.close()
+
+
+class TestWarmStart:
+    def test_zero_graph_builds_for_covered_centres(self):
+        db, queries = _db(310, snap=5.0)
+        try:
+            # Warm the parent's cache at the query centres, then spawn
+            # the pool: the snapshot ships the warm cache, so serving
+            # the same centres must build zero graphs anywhere.
+            db.batch_nearest("pois", queries, 2, workers=0)
+            db._runtime_stats.reset()
+            pooled = db.batch_nearest(
+                "pois", queries, 2, workers=4, pool="persistent"
+            )
+            assert len(pooled) == len(queries)
+            assert db.runtime_stats()["graph_builds"] == 0
+        finally:
+            db.close()
+
+
+class TestMutationDeltas:
+    def test_obstacle_insert_delete_replayed(self):
+        db, queries = _db(320)
+        try:
+            db.batch_nearest("pois", queries, 2, workers=2, pool="persistent")
+            record = db.insert_obstacle(Rect(45, 45, 55, 55))
+            after_insert = db.batch_nearest(
+                "pois", queries, 2, workers=2, pool="persistent"
+            )
+            assert after_insert == db.batch_nearest("pois", queries, 2, workers=0)
+            assert db.delete_obstacle(record)
+            after_delete = db.batch_nearest(
+                "pois", queries, 2, workers=2, pool="persistent"
+            )
+            assert after_delete == db.batch_nearest("pois", queries, 2, workers=0)
+            # Deltas replayed in place: never respawned.
+            assert db._serving_pool.spawns == 1
+        finally:
+            db.close()
+
+    def test_entity_insert_delete_replayed(self):
+        db, queries = _db(321)
+        try:
+            db.batch_nearest("pois", queries, 1, workers=2, pool="persistent")
+            p = Point(50.0, 50.0)
+            db.insert_entity("pois", p)
+            with_entity = db.batch_nearest(
+                "pois", queries, 1, workers=2, pool="persistent"
+            )
+            assert with_entity == db.batch_nearest("pois", queries, 1, workers=0)
+            assert db.delete_entity("pois", p)
+            without = db.batch_nearest(
+                "pois", queries, 1, workers=2, pool="persistent"
+            )
+            assert without == db.batch_nearest("pois", queries, 1, workers=0)
+            assert db._serving_pool.spawns == 1
+        finally:
+            db.close()
+
+    def test_out_of_band_edit_forces_respawn(self):
+        db, queries = _db(322)
+        try:
+            db.batch_nearest("pois", queries, 1, workers=2, pool="persistent")
+            pool = db._serving_pool
+            assert pool.spawns == 1
+            # Mutate the obstacle tree behind the mutation feed's back:
+            # the version signature drifts, replay cannot express it.
+            obstacle = db._coerce_obstacle(Rect(48, 48, 52, 52))
+            db.obstacle_tree.insert(obstacle, obstacle.mbr)
+            fixed = db.batch_nearest(
+                "pois", queries, 1, workers=2, pool="persistent"
+            )
+            assert pool.spawns == 2
+            assert fixed == db.batch_nearest("pois", queries, 1, workers=0)
+        finally:
+            db.close()
+
+    def test_add_entity_set_invalidates_pool(self):
+        db, queries = _db(323)
+        try:
+            db.batch_nearest("pois", queries, 1, workers=2, pool="persistent")
+            pool = db._serving_pool
+            assert pool.alive
+            db.add_entity_set("extra", [Point(10, 10), Point(90, 90)])
+            assert not pool.alive
+            result = db.batch_nearest(
+                "extra", queries, 1, workers=2, pool="persistent"
+            )
+            assert result == db.batch_nearest("extra", queries, 1, workers=0)
+            assert pool.spawns == 2
+        finally:
+            db.close()
+
+
+class TestPoolLifecycle:
+    def test_worker_crash_raises_query_error_naming_chunk(self):
+        db, queries = _db(330)
+        try:
+            pool = db.serving_pool(2)
+            pool.run_batch(("nearest", "pois", 1, True), queries)
+            pool._members[0].process.terminate()
+            pool._members[0].process.join(timeout=5)
+            with pytest.raises(QueryError, match=r"chunk \[0:\d+\)"):
+                pool.run_batch(("nearest", "pois", 1, True), queries)
+            assert not pool.alive  # torn down, not wedged
+            # The next batch respawns cleanly.
+            again = pool.run_batch(("nearest", "pois", 1, True), queries)
+            assert again == db.batch_nearest("pois", queries, 1, workers=0)
+        finally:
+            db.close()
+
+    def test_shutdown_idempotent(self):
+        db, queries = _db(331)
+        pool = db.serving_pool(2)
+        pool.run_batch(("distance",), [(queries[0], queries[1])] * 2)
+        pool.shutdown()
+        pool.shutdown()
+        assert not pool.alive
+        with pytest.raises(QueryError, match="shut down"):
+            pool.run_batch(("distance",), [(queries[0], queries[1])] * 2)
+        db.close()
+
+    def test_context_manager_tears_down(self):
+        db, queries = _db(332)
+        with db.serving_pool(2) as pool:
+            pool.run_batch(("nearest", "pois", 1, True), queries[:2])
+            assert pool.alive
+        assert not pool.alive
+        db.close()
+
+    def test_database_close_idempotent(self):
+        db, queries = _db(333)
+        db.batch_nearest("pois", queries, 1, workers=2, pool="persistent")
+        db.close()
+        db.close()
+        assert db._serving_pool is None
+        # Still serves library calls, and can rebuild a pool.
+        assert db.batch_nearest(
+            "pois", queries, 1, workers=2, pool="persistent"
+        ) == db.batch_nearest("pois", queries, 1, workers=0)
+        db.close()
+
+    def test_database_context_manager(self):
+        db, queries = _db(334)
+        with db:
+            db.batch_nearest("pois", queries, 1, workers=2, pool="persistent")
+            assert db._serving_pool is not None
+        assert db._serving_pool is None
+
+    def test_pool_workers_validated(self):
+        db, __ = _db(335)
+        with pytest.raises(QueryError):
+            PersistentWorkerPool(db, 0)
+        with pytest.raises(QueryError, match=">= 2 workers"):
+            db.serving_pool(1)
+
+    def test_unknown_command_rejected_without_killing_worker(self):
+        db, queries = _db(336)
+        try:
+            pool = db.serving_pool(2)
+            with pytest.raises(QueryError, match="bogus"):
+                pool.run_batch(("bogus",), queries)
+            # The worker reported the failure over the protocol; a
+            # fresh batch works (after the defensive respawn).
+            result = pool.run_batch(("nearest", "pois", 1, True), queries)
+            assert result == db.batch_nearest("pois", queries, 1, workers=0)
+        finally:
+            db.close()
+
+    def test_explicit_snapshot_path_left_on_disk(self, tmp_path):
+        db, queries = _db(337)
+        snap = tmp_path / "pool.snap"
+        pool = PersistentWorkerPool(db, 2, snapshot_path=snap)
+        try:
+            result = pool.run_batch(("nearest", "pois", 1, True), queries)
+            assert result == db.batch_nearest("pois", queries, 1, workers=0)
+            assert snap.exists()
+            restored = ObstacleDatabase.load(snap)
+            assert restored.nearest("pois", queries[0], 1) == db.nearest(
+                "pois", queries[0], 1
+            )
+        finally:
+            pool.shutdown()
+            db.close()
+
+
+class TestPoolStats:
+    def test_worker_page_counters_merged(self):
+        db, queries = _db(340)
+        try:
+            db.reset_stats()
+            db.batch_nearest("pois", queries, 2, workers=2, pool="persistent")
+            stats = db.stats()
+            # The parent evaluated nothing itself: every page access
+            # reported must have been shipped back from the workers.
+            assert stats["entities:pois"]["reads"] > 0
+            assert stats["obstacles:obstacles"]["reads"] > 0
+        finally:
+            db.close()
+
+    def test_worker_runtime_stats_merged(self):
+        db, queries = _db(341)
+        try:
+            db.reset_stats()
+            db.batch_nearest("pois", queries, 2, workers=2, pool="persistent")
+            runtime = db.runtime_stats()
+            assert runtime["graph_builds"] > 0
+            assert runtime["field_builds"] >= len(queries)
+        finally:
+            db.close()

@@ -1,0 +1,195 @@
+"""The asyncio front-end: coalescing, parity, latency accounting."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro import ObstacleDatabase, Point, QueryServer
+from repro.errors import DatasetError, QueryError
+from tests.conftest import random_disjoint_rects, random_free_points
+
+
+def _db(seed, *, n_obstacles=10, n_points=26):
+    rng = random.Random(seed)
+    obstacles = random_disjoint_rects(rng, n_obstacles)
+    points = random_free_points(rng, n_points, obstacles)
+    db = ObstacleDatabase(
+        [o.polygon for o in obstacles], max_entries=8, min_entries=3
+    )
+    db.add_entity_set("pois", points[8:])
+    return db, points[:8]
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestServing:
+    def test_concurrent_nearest_parity(self):
+        db, queries = _db(401)
+
+        async def main():
+            async with QueryServer(db, coalesce_window=0.01) as server:
+                results = await asyncio.gather(
+                    *[server.nearest("pois", q, 2) for q in queries]
+                )
+            return [list(r) for r in results]
+
+        served = _run(main())
+        assert served == db.batch_nearest("pois", queries, 2)
+
+    def test_concurrent_range_parity(self):
+        db, queries = _db(402)
+
+        async def main():
+            async with QueryServer(db, coalesce_window=0.01) as server:
+                return await asyncio.gather(
+                    *[server.range("pois", q, 25.0) for q in queries]
+                )
+
+        served = [list(r) for r in _run(main())]
+        assert served == db.batch_range("pois", queries, 25.0)
+
+    def test_distance_requests(self):
+        db, queries = _db(403)
+        pairs = [(queries[0], queries[1]), (queries[2], queries[3])]
+
+        async def main():
+            async with QueryServer(db, coalesce_window=0.01) as server:
+                return await asyncio.gather(
+                    *[server.distance(a, b) for a, b in pairs]
+                )
+
+        assert _run(main()) == db.batch_distance(pairs)
+
+    def test_requests_coalesce_into_one_batch(self):
+        db, queries = _db(404)
+
+        async def main():
+            server = QueryServer(db, coalesce_window=0.05)
+            results = await asyncio.gather(
+                *[server.nearest("pois", q, 1) for q in queries]
+            )
+            await server.close()
+            return server, results
+
+        server, results = _run(main())
+        snap = server.stats.snapshot()
+        assert snap["requests"] == len(queries)
+        assert snap["batches"] == 1
+        assert snap["coalesced"] == len(queries) - 1
+        assert snap["completed"] == len(queries)
+        assert snap["in_flight"] == 0
+        assert snap["in_flight_peak"] == len(queries)
+        assert snap["latency"]["nearest"]["count"] == len(queries)
+        assert snap["latency"]["nearest"]["p99_s"] > 0
+
+    def test_max_batch_closes_window_early(self):
+        db, queries = _db(405)
+
+        async def main():
+            # A window far longer than the test: only the size cap can
+            # flush, so completion proves max_batch dispatches early.
+            server = QueryServer(
+                db, coalesce_window=30.0, max_batch=len(queries)
+            )
+            results = await asyncio.wait_for(
+                asyncio.gather(*[server.nearest("pois", q, 1) for q in queries]),
+                timeout=20.0,
+            )
+            await server.close()
+            return server, results
+
+        server, results = _run(main())
+        assert server.stats.batches == 1
+        assert len(results) == len(queries)
+
+    def test_zero_window_dispatches_immediately(self):
+        db, queries = _db(406)
+
+        async def main():
+            async with QueryServer(db, coalesce_window=0.0) as server:
+                first = await server.nearest("pois", queries[0], 1)
+                second = await server.nearest("pois", queries[1], 1)
+                return server, [first, second]
+
+        server, results = _run(main())
+        assert server.stats.batches == 2
+        assert server.stats.coalesced == 0
+        assert [list(r) for r in results] == db.batch_nearest(
+            "pois", queries[:2], 1
+        )
+
+    def test_distinct_keys_never_share_a_batch(self):
+        db, queries = _db(407)
+
+        async def main():
+            async with QueryServer(db, coalesce_window=0.05) as server:
+                await asyncio.gather(
+                    server.nearest("pois", queries[0], 1),
+                    server.nearest("pois", queries[1], 2),
+                    server.range("pois", queries[2], 10.0),
+                )
+                return server
+
+        server = _run(main())
+        assert server.stats.batches == 3
+
+
+class TestFailures:
+    def test_error_propagates_to_each_request(self):
+        db, queries = _db(410)
+
+        async def main():
+            async with QueryServer(db, coalesce_window=0.05) as server:
+                results = await asyncio.gather(
+                    server.nearest("no-such-set", queries[0], 1),
+                    server.nearest("no-such-set", queries[1], 1),
+                    return_exceptions=True,
+                )
+                return server, results
+
+        server, results = _run(main())
+        assert all(isinstance(r, DatasetError) for r in results)
+        assert server.stats.failed == 2
+        assert server.stats.in_flight == 0
+
+    def test_closed_server_refuses_requests(self):
+        db, queries = _db(411)
+
+        async def main():
+            server = QueryServer(db)
+            await server.close()
+            with pytest.raises(QueryError, match="closed"):
+                await server.nearest("pois", queries[0], 1)
+            await server.close()  # idempotent
+
+        _run(main())
+
+    def test_constructor_validation(self):
+        db, __ = _db(412)
+        with pytest.raises(QueryError):
+            QueryServer(db, coalesce_window=-0.001)
+        with pytest.raises(QueryError):
+            QueryServer(db, max_batch=0)
+
+
+class TestPooledServing:
+    def test_server_over_persistent_pool(self):
+        db, queries = _db(420)
+
+        async def main():
+            async with QueryServer(
+                db, workers=2, pool="persistent", coalesce_window=0.02
+            ) as server:
+                return await asyncio.gather(
+                    *[server.nearest("pois", q, 2) for q in queries]
+                )
+
+        try:
+            served = [list(r) for r in _run(main())]
+            assert served == db.batch_nearest("pois", queries, 2)
+            assert db.runtime_stats()["pool_batches"] >= 1
+        finally:
+            db.close()

@@ -92,6 +92,46 @@ class TestPersistenceSurface:
         assert callable(content_hash)
 
 
+class TestServingSurface:
+    """Pins the serving-tier API added with the persistent pool."""
+
+    def test_serve_exports(self):
+        for name in (
+            "PersistentWorkerPool",
+            "QueryServer",
+            "ContinuousQueryHub",
+            "Subscription",
+            "ResultDelta",
+            "ServeStats",
+            "LatencyHistogram",
+        ):
+            assert name in repro.__all__, name
+
+    def test_serve_package_surface(self):
+        import repro.serve as serve
+
+        for name in serve.__all__:
+            assert hasattr(serve, name), name
+
+    def test_database_serving_methods(self):
+        from repro import ObstacleDatabase
+
+        for method in (
+            ObstacleDatabase.serving_pool,
+            ObstacleDatabase.batch_distance,
+            ObstacleDatabase.path_nearest,
+            ObstacleDatabase.close,
+        ):
+            assert callable(method)
+            assert method.__doc__
+
+    def test_pool_env_knob_documented(self):
+        from repro.runtime import executor
+
+        assert executor.POOL_ENV == "REPRO_BATCH_POOL"
+        assert "REPRO_BATCH_POOL" in (executor.__doc__ or "")
+
+
 class TestDocumentation:
     def test_all_modules_have_docstrings(self):
         for path in SRC.rglob("*.py"):

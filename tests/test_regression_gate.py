@@ -1,0 +1,166 @@
+"""The benchmark-regression gate: compare() semantics and the committed
+baseline's integrity."""
+
+import json
+import pathlib
+
+from benchmarks.check_regression import GATES, _lookup, compare, main
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _doc(**overrides):
+    """A minimal passing document, with dotted-path overrides."""
+    results = {
+        "smoke": {
+            "OR": {
+                "entity_pa": 2.5,
+                "obstacle_pa": 3.0,
+                "result_size": 1.0,
+                "false_hit_ratio": 0.0,
+            },
+            "ONN (k=4)": {"entity_pa": 3.5, "obstacle_pa": 6.5},
+            "ODJ": {"obstacle_pa": 22.0, "result_size": 5.0},
+            "OCP (k=4)": {"entity_pa": 11.0, "result_size": 4.0},
+        },
+        "smoke repeated d_O": {
+            "fresh": {"graph_builds": 16.0},
+            "cached": {"graph_builds": 2.0},
+        },
+        "smoke moving-query cache": {
+            "exact": {"graph_builds": 24.0},
+            "snapped": {"graph_builds": 3.0},
+        },
+        "smoke snapshot warm-start": {
+            "builds_cold": 24.0,
+            "builds_warm": 0.0,
+            "build_reduction": float("inf"),
+        },
+        "smoke kernel": {"edges_match": 1.0},
+        "smoke serve": {
+            "parity": 1.0,
+            "warm_builds": 0.0,
+            "persistent": {"graph_builds": 8.0, "pool_batches": 8.0},
+        },
+    }
+    for dotted, value in overrides.items():
+        node = results
+        *parents, leaf = dotted.split("/")
+        for key in parents:
+            node = node[key]
+        if value is None:
+            del node[leaf]
+        else:
+            node[leaf] = value
+    return {"results": results}
+
+
+class TestCompare:
+    def test_identical_documents_pass(self):
+        assert compare(_doc(), _doc()) == []
+
+    def test_every_gate_path_resolves_in_the_fixture(self):
+        doc = _doc()["results"]
+        for path, __ in GATES:
+            assert _lookup(doc, path) is not None, path
+
+    def test_lower_gate_catches_regression(self):
+        worse = _doc(**{"smoke/OR/entity_pa": 2.5 * 1.4})
+        violations = compare(_doc(), worse)
+        assert len(violations) == 1
+        assert "entity_pa" in violations[0]
+
+    def test_lower_gate_tolerates_within_threshold(self):
+        slightly = _doc(**{"smoke/OR/entity_pa": 2.5 * 1.2})
+        assert compare(_doc(), slightly) == []
+
+    def test_improvement_always_passes(self):
+        better = _doc(**{"smoke moving-query cache/snapped/graph_builds": 1.0})
+        assert compare(_doc(), better) == []
+
+    def test_higher_gate_catches_drop(self):
+        base = _doc(**{"smoke snapshot warm-start/build_reduction": 8.0})
+        worse = _doc(**{"smoke snapshot warm-start/build_reduction": 4.0})
+        violations = compare(base, worse)
+        assert len(violations) == 1
+        assert "build_reduction" in violations[0]
+
+    def test_infinite_reduction_is_stable(self):
+        # inf baseline vs inf current (builds_warm == 0 on both sides).
+        assert compare(_doc(), _doc()) == []
+        worse = _doc(**{"smoke snapshot warm-start/build_reduction": 4.0})
+        assert compare(_doc(), worse)  # falling from inf is a regression
+
+    def test_exact_gate_catches_any_change(self):
+        flipped = _doc(**{"smoke serve/parity": 0.0})
+        violations = compare(_doc(), flipped)
+        assert len(violations) == 1
+        assert "parity" in violations[0]
+
+    def test_missing_in_current_is_a_violation(self):
+        gone = _doc(**{"smoke kernel": None})
+        violations = compare(_doc(), gone)
+        assert any("missing from the current run" in v for v in violations)
+
+    def test_missing_in_baseline_is_skipped(self):
+        old = _doc(**{"smoke serve": None})
+        assert compare(old, _doc()) == []
+
+    def test_threshold_override(self):
+        worse = _doc(**{"smoke/OR/entity_pa": 2.5 * 1.2})
+        assert compare(_doc(), worse, threshold=0.1)
+
+    def test_bare_results_mapping_accepted(self):
+        assert compare(_doc()["results"], _doc()["results"]) == []
+
+
+class TestCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _doc())
+        cur = self._write(tmp_path, "cur.json", _doc())
+        assert main([base, cur]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _doc())
+        cur = self._write(
+            tmp_path, "cur.json", _doc(**{"smoke/OR/entity_pa": 99.0})
+        )
+        assert main([base, cur]) == 1
+        assert "entity_pa" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        base = self._write(tmp_path, "base.json", _doc())
+        cur = self._write(
+            tmp_path, "cur.json", _doc(**{"smoke/OR/entity_pa": 2.5 * 1.2})
+        )
+        assert main([base, cur]) == 0
+        assert main(["--threshold", "0.1", base, cur]) == 1
+
+    def test_bad_usage_exits_two(self, tmp_path):
+        assert main([]) == 2
+        assert main(["--threshold", "x", "a", "b"]) == 2
+
+
+class TestCommittedBaseline:
+    """The baseline the CI diff step runs against must stay healthy."""
+
+    def test_baseline_exists_and_parses(self):
+        doc = json.loads((ROOT / "BENCH_smoke.json").read_text())
+        assert "results" in doc and "config" in doc
+
+    def test_baseline_covers_every_gate(self):
+        doc = json.loads((ROOT / "BENCH_smoke.json").read_text())
+        for path, __ in GATES:
+            assert _lookup(doc["results"], path) is not None, path
+
+    def test_baseline_parity_flags_hold(self):
+        results = json.loads((ROOT / "BENCH_smoke.json").read_text())["results"]
+        assert results["smoke serve"]["parity"] == 1.0
+        assert results["smoke serve"]["warm_builds"] == 0.0
+        assert results["smoke kernel"]["edges_match"] == 1.0

@@ -38,7 +38,7 @@ from repro.datasets.synthetic import (
     street_grid_obstacles,
 )
 from repro.geometry.point import Point
-from repro.stats.timing import Timer
+from repro.obs.timing import Timer
 
 #: The paper's obstacle cardinality (LA streets).
 PAPER_OBSTACLES = 131_461
@@ -724,6 +724,88 @@ def timed_graph_build(
     with timer:
         graph = VisibilityGraph.build([], obstacles, method=method)
     return timer.elapsed, graph.edge_count
+
+
+# --------------------------------------------------------- tracing overhead
+def trace_overhead_comparison(
+    n_obstacles: int,
+    *,
+    rounds: int = 5,
+    passes: int = 3,
+    sample: float = 0.25,
+) -> dict[str, float]:
+    """Wall-clock cost of the tracing instrumentation on a warm
+    nearest-query workload.
+
+    Three timed configurations, best-of-``rounds`` each (minimum, not
+    mean — scheduler noise only ever adds time):
+
+    - ``stub``: the tracer's entry points replaced with bare lambdas,
+      the cheapest the call sites can possibly be (the baseline a
+      build without instrumentation would approach);
+    - ``disabled``: the real tracer at sample rate 0 — the shipped
+      default no-op fast path;
+    - ``sampled``: sample rate ``sample``, slow log parked far above
+      any real latency so the sink never fires.
+
+    Each round replays the moving-query path ``passes`` times against
+    the warmed cache, so the tracer call sites dominate proportionally
+    to their true per-query density.  Returns the three timings plus
+    the derived overhead ratios against the stub baseline.
+    """
+    import time
+
+    from repro.obs.slowlog import SLOW_LOG
+    from repro.obs.trace import NULL_SPAN, TRACER
+
+    db, workload = moving_query_db(n_obstacles, moving_snap())
+    probes = moving_query_path(workload, 12)
+
+    def run() -> None:
+        for __ in range(passes):
+            for q in probes:
+                db.nearest("P1", q, 4)
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for __ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    run()  # warm-up: graphs built, buffers resident
+    prev_rate = TRACER.sample_rate
+    prev_threshold = SLOW_LOG.threshold_ms
+    try:
+        # Stub baseline: shadow the instance methods with bare no-ops.
+        TRACER.span = lambda name, **attrs: NULL_SPAN  # type: ignore[method-assign]
+        TRACER.count = lambda name, n=1: None  # type: ignore[method-assign]
+        TRACER.tracing = lambda: False  # type: ignore[method-assign]
+        TRACER.graft = lambda payload: None  # type: ignore[method-assign]
+        try:
+            t_stub = best_of(run)
+        finally:
+            del TRACER.span, TRACER.count, TRACER.tracing, TRACER.graft
+        TRACER.configure(0.0)
+        t_disabled = best_of(run)
+        SLOW_LOG.threshold_ms = 1e9
+        TRACER.configure(sample)
+        t_sampled = best_of(run)
+    finally:
+        TRACER.configure(prev_rate)
+        TRACER.last_root = None
+        SLOW_LOG.threshold_ms = prev_threshold
+        SLOW_LOG.clear()
+    return {
+        "stub_s": t_stub,
+        "disabled_s": t_disabled,
+        "sampled_s": t_sampled,
+        "sample_rate": sample,
+        "queries_per_round": float(passes * len(probes)),
+        "disabled_overhead": t_disabled / t_stub - 1.0,
+        "sampled_overhead": t_sampled / t_stub - 1.0,
+    }
 
 
 def kernel_comparison(n_rects: int) -> dict[str, float]:

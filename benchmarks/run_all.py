@@ -51,7 +51,7 @@ from benchmarks.common import (  # noqa: E402
     scaled_join_range,
     scaled_range,
 )
-from repro.stats.experiment import ExperimentSeries, format_table
+from repro.obs.experiment import ExperimentSeries, format_table
 
 
 #: Per-benchmark metric rows of the current run, keyed by benchmark
@@ -310,7 +310,10 @@ def smoke() -> int:
     code = smoke_shard_parallel()
     if code:
         return code
-    return smoke_serve()
+    code = smoke_serve()
+    if code:
+        return code
+    return smoke_obs()
 
 
 def smoke_kernel() -> int:
@@ -535,6 +538,109 @@ def smoke_serve() -> int:
         return 1
     if warm_builds != 0.0:
         print("FAIL: warm workers built graphs for covered centres")
+        return 1
+    return 0
+
+
+def smoke_obs() -> int:
+    """Observability smoke: the tracing-overhead bars (disabled <= 5%,
+    sampled <= 15%, both over a stubbed-out tracer, best-of-rounds), a
+    traced persistent-pool batch whose merged tree must carry the
+    workers' span subtrees with answers identical to the untraced run,
+    and a metrics-registry snapshot that must cover every runtime
+    counter and export as parseable Prometheus text.  The boolean
+    verdicts land in the JSON trajectory (gated exactly by
+    ``check_regression.py``); the raw wall-clock ratios ride along
+    ungated.  The benchmark-scale overhead bars live in
+    ``benchmarks/test_trace_overhead.py``."""
+    import re
+
+    from benchmarks.common import batch_bench_db, trace_overhead_comparison
+    from repro.obs.trace import TRACER
+    from repro.runtime.stats import RuntimeStats
+
+    overhead = trace_overhead_comparison(200, rounds=3)
+    disabled_ok = overhead["disabled_overhead"] <= 0.05
+    sampled_ok = overhead["sampled_overhead"] <= 0.15
+    print(
+        f"\nobs smoke: tracing overhead vs stub baseline "
+        f"({overhead['stub_s'] * 1000:.0f} ms/round): disabled "
+        f"{overhead['disabled_overhead']:+.1%} (bar 5%), sampled@"
+        f"{overhead['sample_rate']:g} {overhead['sampled_overhead']:+.1%} "
+        f"(bar 15%)"
+    )
+
+    n = 200
+    db, wl = batch_bench_db(n, (("P1", n),), 8)
+    queries = wl.queries[:8]
+    prev = TRACER.sample_rate
+    try:
+        TRACER.configure(0.0)
+        baseline = db.batch_nearest(
+            "P1", queries, 4, workers=2, pool="persistent"
+        )
+        TRACER.configure(1.0)
+        traced = db.batch_nearest(
+            "P1", queries, 4, workers=2, pool="persistent"
+        )
+        root = TRACER.last_root
+        registry = db.metrics()
+        doc = registry.snapshot()
+        prom = registry.to_prometheus()
+    finally:
+        TRACER.configure(prev)
+        TRACER.last_root = None
+        db.close()
+
+    workers = (
+        [s for s in root.walk() if s.name == "pool.worker"] if root else []
+    )
+    parity = traced == baseline
+    merged = bool(workers)
+    runtime_keys = set(doc.get("runtime", {}))
+    registry_complete = set(RuntimeStats.__slots__) <= runtime_keys
+    sample_line = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+        r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*='
+        r'"[^"\\]*")*\})? -?[0-9].*$'
+    )
+    body = [ln for ln in prom.splitlines() if ln and not ln.startswith("#")]
+    prometheus_parses = bool(body) and all(
+        sample_line.match(ln) for ln in body
+    )
+    print(
+        f"traced pool batch: parity={parity}, worker span trees "
+        f"grafted={len(workers)}; registry groups "
+        f"{sorted(doc)} ({len(body)} prometheus samples)"
+    )
+    RESULTS["smoke obs"] = {
+        "trace_overhead": overhead,
+        "disabled_overhead_ok": float(disabled_ok),
+        "sampled_overhead_ok": float(sampled_ok),
+        "trace_parity": float(parity),
+        "pool_trace_merged": float(merged),
+        "worker_spans": float(len(workers)),
+        "registry_complete": float(registry_complete),
+        "prometheus_parses": float(prometheus_parses),
+    }
+    if not disabled_ok:
+        print("FAIL: disabled tracing costs more than 5% over the stub")
+        return 1
+    if not sampled_ok:
+        print("FAIL: sampled tracing costs more than 15% over the stub")
+        return 1
+    if not parity:
+        print("FAIL: tracing changed persistent-pool batch answers")
+        return 1
+    if not merged:
+        print("FAIL: worker span trees were not grafted into the root")
+        return 1
+    if not registry_complete:
+        missing = sorted(set(RuntimeStats.__slots__) - runtime_keys)
+        print(f"FAIL: metrics registry misses runtime counters: {missing}")
+        return 1
+    if not prometheus_parses:
+        print("FAIL: prometheus exposition did not parse")
         return 1
     return 0
 

@@ -1,0 +1,60 @@
+"""Tracing-overhead benchmark: instrumentation must be near-free.
+
+Not a paper figure — this measures the cost of the ``repro.obs``
+tracing call sites on a warm nearest-query workload, against a
+baseline where the tracer's entry points are stubbed out entirely
+(the cheapest the instrumented code paths can possibly be).
+
+Acceptance bars (CI-enforced):
+
+- **disabled** tracing (the shipped default, sample rate 0) costs at
+  most **5 %** over the stub baseline;
+- **sampled** tracing (rate 0.25, the flight-recorder setting) costs
+  at most **15 %**.
+
+Timings are best-of-rounds minima, so the bars hold on noisy shared
+runners; the same comparison at smoke scale feeds the boolean gates
+in ``BENCH_smoke.json``.
+
+Scale knobs: ``REPRO_BENCH_O`` (obstacles), ``REPRO_BENCH_PAGE_ENTRIES``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import BENCH_O, trace_overhead_comparison
+
+#: Maximum tolerated slowdown with tracing disabled (the default).
+DISABLED_BAR = 0.05
+
+#: Maximum tolerated slowdown at the 0.25 sampling rate.
+SAMPLED_BAR = 0.15
+
+#: Obstacle cardinality: enough per-query work for honest ratios,
+#: small enough that five timed rounds stay fast.
+TRACE_O = min(BENCH_O, 400)
+
+
+@pytest.fixture(scope="module")
+def overhead() -> dict[str, float]:
+    return trace_overhead_comparison(TRACE_O)
+
+
+class TestTraceOverhead:
+    def test_disabled_tracing_within_5_percent(self, overhead):
+        assert overhead["disabled_overhead"] <= DISABLED_BAR, (
+            f"disabled tracing costs {overhead['disabled_overhead']:.1%} "
+            f"over the stub baseline ({overhead['stub_s'] * 1000:.1f} ms "
+            f"-> {overhead['disabled_s'] * 1000:.1f} ms); bar is "
+            f"{DISABLED_BAR:.0%}"
+        )
+
+    def test_sampled_tracing_within_15_percent(self, overhead):
+        assert overhead["sampled_overhead"] <= SAMPLED_BAR, (
+            f"sampled tracing (rate {overhead['sample_rate']:g}) costs "
+            f"{overhead['sampled_overhead']:.1%} over the stub baseline "
+            f"({overhead['stub_s'] * 1000:.1f} ms -> "
+            f"{overhead['sampled_s'] * 1000:.1f} ms); bar is "
+            f"{SAMPLED_BAR:.0%}"
+        )

@@ -56,6 +56,7 @@ from repro.geometry.rect import Rect
 from repro.index.bulk import str_pack
 from repro.index.rstar import RStarTree
 from repro.model import Obstacle
+from repro.obs import MetricsRegistry, TRACER
 from repro.runtime.batch import batch_distance, batch_nearest, batch_range
 from repro.runtime.context import QueryContext
 from repro.runtime.executor import resolve_pool_kind, resolve_workers
@@ -155,6 +156,7 @@ class ObstacleDatabase:
         self._context: QueryContext | None = None
         self._serving_pool = None
         self._pool_finalizer = None
+        self._metrics: MetricsRegistry | None = None
         self.add_obstacle_set("obstacles", obstacles)
 
     # ------------------------------------------------------------ datasets
@@ -487,29 +489,32 @@ class ObstacleDatabase:
         db._context = None
         db._serving_pool = None
         db._pool_finalizer = None
+        db._metrics = None
         db._rebuild_context()
         return db
 
     # -------------------------------------------------------------- queries
     def range(self, name: str, q: PointLike, e: float) -> list[tuple[Point, float]]:
         """OR: entities of ``name`` within obstructed distance ``e`` of ``q``."""
-        return obstacle_range(
-            self.entity_tree(name),
-            self.obstacle_index,
-            self._coerce_point(q),
-            e,
-            context=self._context,
-        )
+        with TRACER.span("query.range", set=name, e=e):
+            return obstacle_range(
+                self.entity_tree(name),
+                self.obstacle_index,
+                self._coerce_point(q),
+                e,
+                context=self._context,
+            )
 
     def nearest(self, name: str, q: PointLike, k: int = 1) -> list[tuple[Point, float]]:
         """ONN: the ``k`` obstructed nearest neighbours of ``q``."""
-        return obstacle_nearest(
-            self.entity_tree(name),
-            self.obstacle_index,
-            self._coerce_point(q),
-            k,
-            context=self._context,
-        )
+        with TRACER.span("query.nearest", set=name, k=k):
+            return obstacle_nearest(
+                self.entity_tree(name),
+                self.obstacle_index,
+                self._coerce_point(q),
+                k,
+                context=self._context,
+            )
 
     def inearest(self, name: str, q: PointLike) -> Iterator[tuple[Point, float]]:
         """Incremental ONN: neighbours in ascending obstructed distance."""
@@ -529,27 +534,29 @@ class ObstacleDatabase:
         hilbert_order_seeds: bool = True,
     ) -> list[tuple[Point, Point, float]]:
         """ODJ: pairs within obstructed distance ``e``."""
-        return obstacle_distance_join(
-            self.entity_tree(s_name),
-            self.entity_tree(t_name),
-            self.obstacle_index,
-            e,
-            hilbert_order_seeds=hilbert_order_seeds,
-            universe=self.universe(),
-            context=self._context,
-        )
+        with TRACER.span("query.distance_join", s=s_name, t=t_name, e=e):
+            return obstacle_distance_join(
+                self.entity_tree(s_name),
+                self.entity_tree(t_name),
+                self.obstacle_index,
+                e,
+                hilbert_order_seeds=hilbert_order_seeds,
+                universe=self.universe(),
+                context=self._context,
+            )
 
     def closest_pairs(
         self, s_name: str, t_name: str, k: int = 1
     ) -> list[tuple[Point, Point, float]]:
         """OCP: the ``k`` obstructed closest pairs."""
-        return obstacle_closest_pairs(
-            self.entity_tree(s_name),
-            self.entity_tree(t_name),
-            self.obstacle_index,
-            k,
-            context=self._context,
-        )
+        with TRACER.span("query.closest_pairs", s=s_name, t=t_name, k=k):
+            return obstacle_closest_pairs(
+                self.entity_tree(s_name),
+                self.entity_tree(t_name),
+                self.obstacle_index,
+                k,
+                context=self._context,
+            )
 
     def iclosest_pairs(
         self, s_name: str, t_name: str
@@ -567,13 +574,14 @@ class ObstacleDatabase:
     ) -> dict[Point, tuple[Point, float]]:
         """Distance semi-join: each entity of ``s_name`` mapped to its
         obstructed nearest neighbour in ``t_name``."""
-        return obstacle_semijoin(
-            self.entity_tree(s_name),
-            self.entity_tree(t_name),
-            self.obstacle_index,
-            strategy=strategy,
-            context=self._context,
-        )
+        with TRACER.span("query.semijoin", s=s_name, t=t_name):
+            return obstacle_semijoin(
+                self.entity_tree(s_name),
+                self.entity_tree(t_name),
+                self.obstacle_index,
+                strategy=strategy,
+                context=self._context,
+            )
 
     def obstructed_distance(self, a: PointLike, b: PointLike) -> float:
         """The obstructed distance between two arbitrary points.
@@ -583,9 +591,10 @@ class ObstacleDatabase:
         same target skip both the obstacle retrieval and the graph
         construction.
         """
-        return self.context.distance(
-            self._coerce_point(a), self._coerce_point(b)
-        )
+        with TRACER.span("query.distance"):
+            return self.context.distance(
+                self._coerce_point(a), self._coerce_point(b)
+            )
 
     # ---------------------------------------------------------------- batch
     def batch_nearest(
@@ -615,16 +624,19 @@ class ObstacleDatabase:
         metric = ObstructedMetric(self.context)
         queries = [self._coerce_point(q) for q in qs]
         pool_obj, count = self._pool_for(pool, workers)
-        return batch_nearest(
-            self.entity_tree(name),
-            metric,
-            queries,
-            k,
-            workers=count,
-            mode=mode,
-            pool=pool_obj,
-            pool_command=("nearest", name, k, True),
-        )
+        with TRACER.span(
+            "query.batch_nearest", set=name, n=len(queries), workers=count
+        ):
+            return batch_nearest(
+                self.entity_tree(name),
+                metric,
+                queries,
+                k,
+                workers=count,
+                mode=mode,
+                pool=pool_obj,
+                pool_command=("nearest", name, k, True),
+            )
 
     def batch_range(
         self,
@@ -646,16 +658,19 @@ class ObstacleDatabase:
         metric = ObstructedMetric(self.context)
         queries = [self._coerce_point(q) for q in qs]
         pool_obj, count = self._pool_for(pool, workers)
-        return batch_range(
-            self.entity_tree(name),
-            metric,
-            queries,
-            e,
-            workers=count,
-            mode=mode,
-            pool=pool_obj,
-            pool_command=("range", name, e),
-        )
+        with TRACER.span(
+            "query.batch_range", set=name, n=len(queries), workers=count
+        ):
+            return batch_range(
+                self.entity_tree(name),
+                metric,
+                queries,
+                e,
+                workers=count,
+                mode=mode,
+                pool=pool_obj,
+                pool_command=("range", name, e),
+            )
 
     def batch_distance(
         self,
@@ -676,7 +691,8 @@ class ObstacleDatabase:
             (self._coerce_point(a), self._coerce_point(b)) for a, b in pairs
         ]
         pool_obj, __ = self._pool_for(pool, workers)
-        return batch_distance(metric, coerced, pool=pool_obj)
+        with TRACER.span("query.batch_distance", n=len(coerced)):
+            return batch_distance(metric, coerced, pool=pool_obj)
 
     def path_nearest(
         self,
@@ -696,13 +712,14 @@ class ObstacleDatabase:
         """
         from repro.core.continuous import path_nearest
 
-        return path_nearest(
-            self.entity_tree(name),
-            self.obstacle_index,
-            [self._coerce_point(p) for p in waypoints],
-            tolerance=tolerance,
-            context=self._context,
-        )
+        with TRACER.span("query.path_nearest", set=name):
+            return path_nearest(
+                self.entity_tree(name),
+                self.obstacle_index,
+                [self._coerce_point(p) for p in waypoints],
+                tolerance=tolerance,
+                context=self._context,
+            )
 
     def shortest_path(
         self, a: PointLike, b: PointLike
@@ -739,6 +756,20 @@ class ObstacleDatabase:
                 graph.delete_entity(start)
 
     # ---------------------------------------------------------------- stats
+    def metrics(self) -> MetricsRegistry:
+        """The unified metrics registry over this database.
+
+        One :class:`~repro.obs.metrics.MetricsRegistry` per database
+        (created lazily, always live): the ``runtime`` group mirrors
+        :meth:`runtime_stats`, ``pages`` mirrors :meth:`stats` with a
+        ``tree`` label, and ``pool`` reports the persistent serving
+        pool while one is up.  Export via ``snapshot()`` / ``to_json()``
+        / ``to_prometheus()``.
+        """
+        if self._metrics is None:
+            self._metrics = MetricsRegistry.for_database(self)
+        return self._metrics
+
     def stats(self) -> Mapping[str, Mapping[str, int]]:
         """Per-tree page-access counters (reads / misses / writes).
 

@@ -165,9 +165,17 @@ def read_tree_meta(
     """Decode one tree record for its summary only (no tree built).
 
     ``read_payload`` may be a cheap skipper — the payloads are decoded
-    and discarded.  Returns ``{"size", "pages"}``; used by
-    ``repro-snapshot info`` to walk a snapshot without assembling
-    databases.
+    and discarded.  Returns ``{"name", "size", "pages", "reads",
+    "misses", "writes"}`` (the persisted page-access counters ride
+    along); used by ``repro-snapshot info`` to walk a snapshot without
+    assembling databases.
     """
     parts = _parse_tree(r, read_payload)
-    return {"size": parts["size"], "pages": len(parts["nodes"])}
+    return {
+        "name": parts["name"],
+        "size": parts["size"],
+        "pages": len(parts["nodes"]),
+        "reads": parts["reads"],
+        "misses": parts["misses"],
+        "writes": parts["writes"],
+    }

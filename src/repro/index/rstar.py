@@ -27,6 +27,7 @@ from repro.geometry.circle import Circle
 from repro.geometry.rect import Rect
 from repro.index.node import Entry, Node
 from repro.index.pagestore import LRUBuffer, PageStore
+from repro.obs.trace import TRACER
 from repro.stats.counters import PageAccessCounter
 
 #: Cap on candidates examined by the minimum-overlap ChooseSubtree rule,
@@ -123,6 +124,9 @@ class RStarTree:
         """Fetch a node through the buffer, counting the access."""
         hit = self.buffer.access(page_id, len(self._store))
         self.counter.record_read(hit)
+        TRACER.count("rtree.page_fetch")
+        if not hit:
+            TRACER.count("rtree.page_miss")
         return self._store.read(page_id)
 
     def reset_stats(self, *, clear_buffer: bool = False) -> None:

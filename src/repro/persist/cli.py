@@ -179,12 +179,43 @@ def _cmd_info(args: argparse.Namespace) -> int:
             f"{entry['obstacles']} obstacle(s), {entry['pages']} page(s)"
             f"{extra}"
         )
+        print(
+            f"    pages: {entry['reads']} read(s), {entry['misses']} "
+            f"miss(es), {entry['writes']} write(s)"
+        )
     for entry in info["entity_sets"]:  # type: ignore[union-attr]
         print(
             f"  entity set {entry['name']!r}: {entry['points']} point(s), "
             f"{entry['pages']} page(s)"
         )
+        print(
+            f"    pages: {entry['reads']} read(s), {entry['misses']} "
+            f"miss(es), {entry['writes']} write(s)"
+        )
     print(f"  cached visibility graphs: {info['cached_graphs']}")
+    for i, entry in enumerate(info["cache_entries"]):  # type: ignore[union-attr]
+        cx, cy = entry["center"]
+        print(
+            f"    graph {i}: center=({cx:g}, {cy:g}), "
+            f"covered={entry['covered']:g}, {entry['guests']} guest(s), "
+            f"{entry['obstacles']} obstacle(s), {entry['nodes']} node(s), "
+            f"{entry['edges']} edge(s), {entry['stamp']} stamp"
+        )
+    stats = info["runtime_stats"]
+    if stats:  # type: ignore[truthy-bool]
+        ticked = {
+            k: v for k, v in stats.items() if v and k != "backend"  # type: ignore[union-attr]
+        }
+        backend = stats.get("backend", "")  # type: ignore[union-attr]
+        label = f" (backend {backend})" if backend else ""
+        if ticked:
+            inner = ", ".join(
+                f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in sorted(ticked.items())
+            )
+            print(f"  runtime counters{label}: {inner}")
+        else:
+            print(f"  runtime counters{label}: all zero")
     for ref in info["dataset_refs"]:  # type: ignore[union-attr]
         print(
             f"  dataset ref {ref['label']!r}: {ref['path']} "

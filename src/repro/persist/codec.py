@@ -43,7 +43,13 @@ from repro.geometry.point import Point
 MAGIC = b"RPROSNAP"
 
 #: The snapshot format this build writes (and the newest it reads).
-FORMAT_VERSION = 1
+#: Version history:
+#:
+#: 1. page-backed trees, obstacle table, graph cache.
+#: 2. appends the runtime-stats section (the warm counters of the
+#:    metrics registry) after the graph cache; version-1 files load
+#:    with zeroed runtime counters.
+FORMAT_VERSION = 2
 
 _HEAD = struct.Struct("<8sIQI")
 _HEAD_CRC = struct.Struct("<I")

@@ -47,7 +47,7 @@ from repro.model import Obstacle
 from repro.persist.codec import (
     BinaryReader,
     BinaryWriter,
-    read_snapshot,
+    read_snapshot_versioned,
     write_snapshot,
 )
 from repro.persist.graphio import read_cache_entry, write_cache_entry
@@ -59,6 +59,52 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 _KIND_MONO = 0
 _KIND_SHARDED = 1
+
+_STAT_INT = 0
+_STAT_FLOAT = 1
+_STAT_STR = 2
+
+
+def _write_runtime_stats(w: BinaryWriter, stats) -> None:
+    """The format-2 runtime-stats section: a tagged name/value list.
+
+    Name-keyed (not positional) so counters added to
+    :class:`~repro.runtime.stats.RuntimeStats` later neither shift the
+    layout nor invalidate older format-2 files."""
+    snapshot = stats.snapshot() if stats is not None else {}
+    w.u32(len(snapshot))
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        w.str_(name)
+        if isinstance(value, bool) or isinstance(value, int):
+            w.u8(_STAT_INT)
+            w.i64(int(value))
+        elif isinstance(value, float):
+            w.u8(_STAT_FLOAT)
+            w.f64(value)
+        else:
+            w.u8(_STAT_STR)
+            w.str_(str(value))
+
+
+def _read_runtime_stats(r: BinaryReader, path: str) -> dict[str, object]:
+    """Decode the runtime-stats section into a plain dict."""
+    out: dict[str, object] = {}
+    for __ in range(r.u32()):
+        name = r.str_()
+        tag = r.u8()
+        if tag == _STAT_INT:
+            out[name] = r.i64()
+        elif tag == _STAT_FLOAT:
+            out[name] = r.f64()
+        elif tag == _STAT_STR:
+            out[name] = r.str_()
+        else:
+            raise DatasetError(
+                f"{path}: unknown runtime-stat tag {tag} at offset "
+                f"{r.offset}"
+            )
+    return out
 
 
 def _include_cache_default() -> bool:
@@ -226,6 +272,8 @@ def save_database(
     w.u32(len(entries))
     for entry in entries:
         write_cache_entry(w, entry)
+    # -- runtime stats (format 2) ------------------------------------------
+    _write_runtime_stats(w, context.stats if context is not None else None)
     write_snapshot(path, w.getvalue())
 
 
@@ -248,7 +296,7 @@ def load_database(
     from repro.core.engine import ObstacleDatabase
 
     name = str(path)
-    payload = read_snapshot(path)
+    version, payload = read_snapshot_versioned(path)
     r = BinaryReader(payload, path=path)
     # -- configuration ----------------------------------------------------
     bulk = r.u8() == 1
@@ -354,6 +402,21 @@ def load_database(
             r, table, context.source, backend=context.backend
         )
         context.admit_restored(entry)
+    # -- runtime stats (format 2) ------------------------------------------
+    # Version-1 snapshots predate the section: their counters restore
+    # zeroed (the v1 behaviour), everything else identically.
+    if version >= 2:
+        restored = _read_runtime_stats(r, name)
+        stats = context.stats
+        for stat_name, value in restored.items():
+            # ``backend`` is configuration, not work: the restored
+            # context has already selected its own (possibly different)
+            # backend.  Unknown names are counters from another build
+            # of this library — ignored, exactly like merge ignores
+            # nothing it knows about.
+            if stat_name == "backend" or stat_name not in stats.__slots__:
+                continue
+            setattr(stats, stat_name, value)
     r.expect_end()
     return db
 
@@ -362,11 +425,11 @@ def snapshot_info(path: str | Path) -> dict[str, object]:
     """A cheap structural summary of a snapshot (no database assembly).
 
     Returns format version, configuration, per-set obstacle/page
-    counts, entity sets, cached-graph count and dataset refs — what the
+    counts and page-access counters, entity sets, cached-graph
+    summaries (centre, coverage radius, guest/node/edge counts),
+    runtime counters (format 2) and dataset refs — what the
     ``repro-snapshot info`` command prints.
     """
-    from repro.persist.codec import read_snapshot_versioned
-
     name = str(path)
     version, payload = read_snapshot_versioned(path)
     r = BinaryReader(payload, path=path)
@@ -398,12 +461,16 @@ def snapshot_info(path: str | Path) -> dict[str, object]:
             order = r.u32()
             r.u64()  # layout version
             count = r.u64()
-            pages = 0
+            pages = reads = misses = writes = 0
             n_shards = r.u32()
             for __s in range(n_shards):
                 r.u64()
                 r.u64()
-                pages += pageio.read_tree_meta(r, _skip_oid_payload)["pages"]
+                meta = pageio.read_tree_meta(r, _skip_oid_payload)
+                pages += meta["pages"]
+                reads += meta["reads"]
+                misses += meta["misses"]
+                writes += meta["writes"]
             sets.append(
                 {
                     "name": set_name,
@@ -412,6 +479,9 @@ def snapshot_info(path: str | Path) -> dict[str, object]:
                     "shards": n_shards,
                     "grid_order": order,
                     "pages": pages,
+                    "reads": reads,
+                    "misses": misses,
+                    "writes": writes,
                 }
             )
         elif kind == _KIND_MONO:
@@ -423,6 +493,9 @@ def snapshot_info(path: str | Path) -> dict[str, object]:
                     "kind": "monolithic",
                     "obstacles": meta["size"],
                     "pages": meta["pages"],
+                    "reads": meta["reads"],
+                    "misses": meta["misses"],
+                    "writes": meta["writes"],
                 }
             )
         else:
@@ -439,9 +512,16 @@ def snapshot_info(path: str | Path) -> dict[str, object]:
                 "name": entity_name,
                 "points": meta["size"],
                 "pages": meta["pages"],
+                "reads": meta["reads"],
+                "misses": meta["misses"],
+                "writes": meta["writes"],
             }
         )
     cached_graphs = r.u32()
+    cache_entries = [_skim_cache_entry(r) for __ in range(cached_graphs)]
+    runtime_stats: dict[str, object] = {}
+    if version >= 2:
+        runtime_stats = _read_runtime_stats(r, name)
     return {
         "path": name,
         "format_version": version,
@@ -454,7 +534,53 @@ def snapshot_info(path: str | Path) -> dict[str, object]:
         "obstacle_sets": sets,
         "entity_sets": entities,
         "cached_graphs": cached_graphs,
+        "cache_entries": cache_entries,
+        "runtime_stats": runtime_stats,
         "dataset_refs": refs,
+    }
+
+
+def _skim_cache_entry(r: BinaryReader) -> dict[str, object]:
+    """Decode one cache-entry record for its summary only (no graph
+    reassembly, no obstacle-table resolution)."""
+    from repro.persist.graphio import _STAMP_INT, _STAMP_SHARD
+
+    center = Point(r.f64(), r.f64())
+    covered = r.f64()
+    guests = r.points()
+    stamp_kind = r.u8()
+    if stamp_kind == _STAMP_INT:
+        r.i64()
+    elif stamp_kind == _STAMP_SHARD:
+        r.f64()  # stamp centre x
+        r.f64()  # stamp centre y
+        r.f64()  # stamp radius
+        r.u64()  # layout version
+        for __ in range(r.u32()):
+            r.u64()
+            r.u64()
+    else:
+        raise DatasetError(
+            f"unknown version-stamp kind {stamp_kind} at offset {r.offset}"
+        )
+    obstacles = r.u32()
+    for __ in range(obstacles):
+        r.i64()
+    nodes = len(r.points())
+    for __ in range(r.u32()):  # free-point indexes
+        r.u32()
+    edges = r.u32()
+    for __ in range(edges):
+        r.u32()
+        r.u32()
+    return {
+        "center": (center.x, center.y),
+        "covered": covered,
+        "guests": len(guests),
+        "obstacles": obstacles,
+        "nodes": nodes,
+        "edges": edges,
+        "stamp": "sharded" if stamp_kind == _STAMP_SHARD else "integer",
     }
 
 

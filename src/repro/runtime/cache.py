@@ -37,6 +37,7 @@ from collections import OrderedDict
 from typing import Hashable, Iterable
 
 from repro.geometry.point import Point
+from repro.obs.trace import TRACER
 from repro.runtime.sharding import stamp_is_stale
 from repro.runtime.stats import RuntimeStats
 from repro.visibility.graph import VisibilityGraph
@@ -156,14 +157,18 @@ class VisibilityGraphCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.graph_cache_misses += 1
+            TRACER.count("graph_cache.miss")
             return None
         if stamp_is_stale(entry.version, version):
             self._remove(key)
             self.stats.graph_cache_invalidations += 1
             self.stats.graph_cache_misses += 1
+            TRACER.count("graph_cache.invalidation")
+            TRACER.count("graph_cache.miss")
             return None
         self._entries.move_to_end(key)
         self.stats.graph_cache_hits += 1
+        TRACER.count("graph_cache.hit")
         return entry
 
     def put(

@@ -32,6 +32,7 @@ from repro.core.distance import ObstacleSource, SourceDistanceField
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.model import Obstacle
+from repro.obs.trace import TRACER
 from repro.runtime.cache import CachedGraph, VisibilityGraphCache
 from repro.runtime.sharding import stamp_for, stamp_is_stale
 from repro.runtime.stats import RuntimeStats
@@ -229,27 +230,31 @@ class QueryContext:
         obstacle set."""
         graph = entry.graph
         try:
-            if kind == "delete":
-                if (
-                    graph.has_obstacle(obstacle.oid)
-                    and graph.node_count > DELETE_REPAIR_NODE_LIMIT
-                ):
-                    # The local re-sweep would cost more than a fresh
-                    # build of a graph this size: fall back to rebuild.
-                    self.cache.discard(entry)
-                    return
-                if graph.remove_obstacle(obstacle.oid):
-                    self.stats.graph_cache_repairs += 1
-            else:
-                disk = Circle(entry.center, entry.covered)
-                # Same filter/refinement as obstacles_in_range: only an
-                # obstacle intersecting the coverage disk enters the
-                # graph, keeping repair identical to a from-scratch
-                # rebuild over the same disk.
-                if disk.intersects_polygon(obstacle.polygon) and (
-                    graph.add_obstacle(obstacle)
-                ):
-                    self.stats.graph_cache_repairs += 1
+            with TRACER.span("graph.repair", kind=kind):
+                if kind == "delete":
+                    if (
+                        graph.has_obstacle(obstacle.oid)
+                        and graph.node_count > DELETE_REPAIR_NODE_LIMIT
+                    ):
+                        # The local re-sweep would cost more than a
+                        # fresh build of a graph this size: fall back
+                        # to rebuild.
+                        self.cache.discard(entry)
+                        return
+                    if graph.remove_obstacle(obstacle.oid):
+                        self.stats.graph_cache_repairs += 1
+                        TRACER.count("graph_cache.repair")
+                else:
+                    disk = Circle(entry.center, entry.covered)
+                    # Same filter/refinement as obstacles_in_range:
+                    # only an obstacle intersecting the coverage disk
+                    # enters the graph, keeping repair identical to a
+                    # from-scratch rebuild over the same disk.
+                    if disk.intersects_polygon(obstacle.polygon) and (
+                        graph.add_obstacle(obstacle)
+                    ):
+                        self.stats.graph_cache_repairs += 1
+                        TRACER.count("graph_cache.repair")
         except Exception:
             self.cache.discard(entry)
             return
@@ -289,17 +294,19 @@ class QueryContext:
         """
         entry = self.cache.get(center, self.version)
         if entry is None:
-            # Stamp before retrieving: the stamp must never post-date
-            # the obstacle set the graph is built from.
-            stamp = stamp_for(self.source, center, radius)
-            obstacles = (
-                self.source.obstacles_in_range(center, radius)
-                if radius > 0
-                else []
-            )
-            graph = VisibilityGraph.build(
-                [center], obstacles, method=self.backend
-            )
+            with TRACER.span("graph.build", radius=radius) as span:
+                # Stamp before retrieving: the stamp must never
+                # post-date the obstacle set the graph is built from.
+                stamp = stamp_for(self.source, center, radius)
+                obstacles = (
+                    self.source.obstacles_in_range(center, radius)
+                    if radius > 0
+                    else []
+                )
+                span.set_attr("obstacles", len(obstacles))
+                graph = VisibilityGraph.build(
+                    [center], obstacles, method=self.backend
+                )
             self.stats.graph_builds += 1
             entry = CachedGraph(graph, center, radius, stamp)
             self.cache.put(entry, shards=self._disk_shards(center, radius))
@@ -381,7 +388,10 @@ class QueryContext:
                 if radius > 0
                 else []
             )
-            entry.graph.rebuild(obstacles)
+            with TRACER.span(
+                "graph.rebuild", radius=radius, obstacles=len(obstacles)
+            ):
+                entry.graph.rebuild(obstacles)
             self.stats.graph_rebuilds += 1
             entry.version = stamp
             entry.covered = radius
@@ -392,13 +402,14 @@ class QueryContext:
         if radius <= entry.covered:
             return False
         self.stats.coverage_expansions += 1
-        retrieved = self.source.obstacles_in_range(entry.center, radius)
-        graph = entry.graph
-        added = False
-        for obs in retrieved:
-            if graph.add_obstacle(obs):
-                self.stats.obstacles_added += 1
-                added = True
+        with TRACER.span("graph.expand", radius=radius):
+            retrieved = self.source.obstacles_in_range(entry.center, radius)
+            graph = entry.graph
+            added = False
+            for obs in retrieved:
+                if graph.add_obstacle(obs):
+                    self.stats.obstacles_added += 1
+                    added = True
         extend = getattr(entry.version, "extend", None)
         if extend is not None:
             # Per-shard stamps absorb the newly touched shards (at
@@ -418,6 +429,7 @@ class QueryContext:
         iteration stops once the provisional lower bound exceeds it.
         """
         self.stats.distance_calls += 1
+        TRACER.count("context.distance_call")
         if p == q:
             return 0.0
         entry = self.entry_for(q, p.distance(q))
@@ -442,7 +454,8 @@ class QueryContext:
         near-duplicate one, with spatial keys) skip redundant obstacle
         retrievals.
         """
-        entry = self.entry_for(q, radius)
+        with TRACER.span("field.build", radius=radius):
+            entry = self.entry_for(q, radius)
         self.stats.field_builds += 1
         readmit = (
             (lambda: self._admit_guest(entry, q))

@@ -57,6 +57,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 from repro.errors import QueryError
+from repro.obs.trace import TRACER
 from repro.runtime.stats import RuntimeStats
 
 #: Environment variable supplying the default worker count.
@@ -146,13 +147,14 @@ def _chunk_ranges(n: int, parts: int) -> list[tuple[int, int]]:
 class _ForkTask:
     """The per-batch state fork children inherit (never pickled)."""
 
-    __slots__ = ("metric", "queries", "evaluate", "trees")
+    __slots__ = ("metric", "queries", "evaluate", "trees", "trace")
 
-    def __init__(self, metric, queries, evaluate, trees) -> None:
+    def __init__(self, metric, queries, evaluate, trees, trace) -> None:
         self.metric = metric
         self.queries = queries
         self.evaluate = evaluate
         self.trees = trees
+        self.trace = trace
 
 
 _FORK_TASK: _ForkTask | None = None
@@ -170,7 +172,12 @@ def _run_chunk_fork(chunk: tuple[int, int]):
     task = _FORK_TASK
     assert task is not None, "fork worker started without task state"
     return _evaluate_chunk(
-        task.metric, task.queries, task.evaluate, chunk, trees=task.trees
+        task.metric,
+        task.queries,
+        task.evaluate,
+        chunk,
+        trees=task.trees,
+        trace=task.trace,
     )
 
 
@@ -196,6 +203,7 @@ def _evaluate_chunk(
     chunk: tuple[int, int],
     *,
     trees: "Sequence | None" = None,
+    trace: bool = False,
 ):
     # In fork mode the children tick copy-on-write copies of the
     # parent's page counters; snapshot a baseline so the reply can
@@ -209,7 +217,22 @@ def _evaluate_chunk(
         }
     worker_metric = metric.spawn()
     start, stop = chunk
-    results = [evaluate(worker_metric, queries[i]) for i in range(start, stop)]
+    span = None
+    if trace:
+        # The parent made the sampling decision; the worker traces
+        # unconditionally under a detached root and ships the tree
+        # back in the reply for the parent to graft.
+        TRACER.reset_thread()
+        span = TRACER.detached("batch.worker", start=start, stop=stop)
+    if span is not None:
+        with span:
+            results = [
+                evaluate(worker_metric, queries[i]) for i in range(start, stop)
+            ]
+    else:
+        results = [
+            evaluate(worker_metric, queries[i]) for i in range(start, stop)
+        ]
     context = getattr(worker_metric, "context", None)
     stats = context.stats.snapshot() if context is not None else None
     pages = None
@@ -221,7 +244,7 @@ def _evaluate_chunk(
             delta = (c.reads - r0, c.misses - m0, c.writes - w0)
             if any(delta):
                 pages[tree.name] = delta
-    return start, results, stats, pages
+    return start, results, stats, pages, span.to_dict() if span else None
 
 
 class BatchExecutor:
@@ -269,13 +292,19 @@ class BatchExecutor:
         n = len(queries)
         chunks = _chunk_ranges(n, min(self.workers, n))
         tracked = _task_trees(metric, trees) if self.mode == "fork" else []
+        # The sampling decision is the parent's: when a span is open
+        # here, every worker traces its chunk and the subtrees are
+        # grafted back below (one merged tree per batch).
+        trace = TRACER.tracing()
         if self.mode == "fork":
-            parts = self._run_fork(metric, queries, evaluate, chunks, tracked)
+            parts = self._run_fork(
+                metric, queries, evaluate, chunks, tracked, trace
+            )
         else:
-            parts = self._run_thread(metric, queries, evaluate, chunks)
+            parts = self._run_thread(metric, queries, evaluate, chunks, trace)
         by_name = {tree.name: tree for tree in tracked}
         results: list[R] = [None] * n  # type: ignore[list-item]
-        for start, chunk_results, worker_stats, worker_pages in parts:
+        for start, chunk_results, worker_stats, worker_pages, span_doc in parts:
             results[start : start + len(chunk_results)] = chunk_results
             if stats is not None and worker_stats is not None:
                 stats.merge(worker_stats)
@@ -284,17 +313,25 @@ class BatchExecutor:
                 counter.reads += reads
                 counter.misses += misses
                 counter.writes += writes
+            TRACER.graft(span_doc)
         return results
 
-    def _run_thread(self, metric, queries, evaluate, chunks):
+    def _run_thread(self, metric, queries, evaluate, chunks, trace=False):
         with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
             futures = [
-                pool.submit(_evaluate_chunk, metric, queries, evaluate, chunk)
+                pool.submit(
+                    _evaluate_chunk,
+                    metric,
+                    queries,
+                    evaluate,
+                    chunk,
+                    trace=trace,
+                )
                 for chunk in chunks
             ]
             return [f.result() for f in futures]
 
-    def _run_fork(self, metric, queries, evaluate, chunks, trees):
+    def _run_fork(self, metric, queries, evaluate, chunks, trees, trace=False):
         import multiprocessing
 
         global _FORK_TASK
@@ -302,9 +339,9 @@ class BatchExecutor:
             # A forked child running a batch of its own must not
             # re-fork over the parent's task state (children are born
             # with _FORK_TASK set, and never touch the lock).
-            return self._run_thread(metric, queries, evaluate, chunks)
+            return self._run_thread(metric, queries, evaluate, chunks, trace)
         with _FORK_LOCK:
-            _FORK_TASK = _ForkTask(metric, queries, evaluate, trees)
+            _FORK_TASK = _ForkTask(metric, queries, evaluate, trees, trace)
             try:
                 ctx = multiprocessing.get_context("fork")
                 with ctx.Pool(processes=len(chunks)) as pool:

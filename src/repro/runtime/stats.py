@@ -81,12 +81,29 @@ class RuntimeStats:
         context's counters account all work regardless of worker
         count.  The ``backend`` label is configuration, not work, and
         is left untouched.
+
+        A dict snapshot must carry *every* counter: a missing key
+        raises instead of silently dropping that counter's worker-side
+        work (the pipe protocol and the fork executor always ship full
+        snapshots; a partial dict means a producer forgot a counter
+        added later).
         """
         snapshot = other.snapshot() if isinstance(other, RuntimeStats) else other
+        missing = [
+            name
+            for name in self.__slots__
+            if name != "backend" and name not in snapshot
+        ]
+        if missing:
+            raise ValueError(
+                f"incomplete RuntimeStats snapshot: missing counter(s) "
+                f"{', '.join(missing)} — every merge source must report "
+                f"all of __slots__"
+            )
         for name in self.__slots__:
             if name == "backend":
                 continue
-            value = snapshot.get(name)
+            value = snapshot[name]
             if value:
                 setattr(self, name, getattr(self, name) + value)
 

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.model import Obstacle
+from repro.obs.trace import TRACER
 from repro.runtime.executor import _chunk_ranges
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -170,17 +171,38 @@ def _worker_main(
         if message[0] == "shutdown":
             conn.send(("bye",))
             break
-        __, deltas, command, items = message
+        __, deltas, command, items, trace = message
+        span = None
+        if trace:
+            # The parent sampled this batch: trace the worker's share
+            # under a detached root and ship the tree back for the
+            # parent to graft into its own span.
+            TRACER.reset_thread()
+            span = TRACER.detached(
+                "pool.worker", kind=command[0], items=len(items)
+            )
         try:
-            for delta in deltas:
-                _apply_delta(db, delta)
-            results = _evaluate(db, command, items)
+            if span is not None:
+                with span:
+                    for delta in deltas:
+                        _apply_delta(db, delta)
+                    results = _evaluate(db, command, items)
+            else:
+                for delta in deltas:
+                    _apply_delta(db, delta)
+                results = _evaluate(db, command, items)
         except BaseException as exc:
             conn.send(("error", repr(exc)))
             db.reset_stats()
             continue
         conn.send(
-            ("ok", results, db.runtime_stats(), _tree_counters(db))
+            (
+                "ok",
+                results,
+                db.runtime_stats(),
+                _tree_counters(db),
+                span.to_dict() if span is not None else None,
+            )
         )
         db.reset_stats()
     conn.close()
@@ -441,47 +463,61 @@ class PersistentWorkerPool:
             return []
         self._ensure_workers()
         chunks = _chunk_ranges(len(items), min(self.workers, len(items)))
-        dispatched: list[tuple[_Worker, tuple[int, int]]] = []
-        failure: QueryError | None = None
-        for member, chunk in zip(self._members, chunks):
-            deltas = self._log[member.cursor :]
-            try:
-                member.conn.send(
-                    ("serve", deltas, command, items[chunk[0] : chunk[1]])
-                )
-            except (OSError, ValueError):
-                failure = QueryError(
-                    f"pool worker {member.index} died before serving chunk "
-                    f"[{chunk[0]}:{chunk[1]}) of a {command[0]!r} batch"
-                )
-                break
-            member.cursor = len(self._log)
-            dispatched.append((member, chunk))
-        results: list = [None] * len(items)
-        for member, (start, stop) in dispatched:
-            try:
-                reply = member.conn.recv()
-            except (EOFError, OSError):
-                failure = failure or QueryError(
-                    f"pool worker {member.index} died serving chunk "
-                    f"[{start}:{stop}) of a {command[0]!r} batch"
-                )
-                continue
-            if reply[0] != "ok":
-                failure = failure or QueryError(
-                    f"pool worker {member.index} failed on chunk "
-                    f"[{start}:{stop}) of a {command[0]!r} batch: {reply[1]}"
-                )
-                continue
-            __, chunk_results, runtime_snapshot, page_deltas = reply
-            results[start:stop] = chunk_results
-            self._db.context.stats.merge(runtime_snapshot)
-            _merge_tree_counters(self._db, page_deltas)
-        if failure is not None:
-            # The pipe protocol may be out of sync with the dead or
-            # failed worker's peers mid-batch; restart from scratch.
-            self._stop_workers()
-            raise failure
+        with TRACER.span(
+            "pool.batch", kind=command[0], n=len(items)
+        ) as batch_span:
+            # A real span here means this batch is being traced (the
+            # sampling decision is the parent's); the flag rides the
+            # pipe protocol and each worker's span tree rides back.
+            trace = bool(batch_span)
+            dispatched: list[tuple[_Worker, tuple[int, int]]] = []
+            failure: QueryError | None = None
+            for member, chunk in zip(self._members, chunks):
+                deltas = self._log[member.cursor :]
+                try:
+                    member.conn.send(
+                        (
+                            "serve",
+                            deltas,
+                            command,
+                            items[chunk[0] : chunk[1]],
+                            trace,
+                        )
+                    )
+                except (OSError, ValueError):
+                    failure = QueryError(
+                        f"pool worker {member.index} died before serving chunk "
+                        f"[{chunk[0]}:{chunk[1]}) of a {command[0]!r} batch"
+                    )
+                    break
+                member.cursor = len(self._log)
+                dispatched.append((member, chunk))
+            results: list = [None] * len(items)
+            for member, (start, stop) in dispatched:
+                try:
+                    reply = member.conn.recv()
+                except (EOFError, OSError):
+                    failure = failure or QueryError(
+                        f"pool worker {member.index} died serving chunk "
+                        f"[{start}:{stop}) of a {command[0]!r} batch"
+                    )
+                    continue
+                if reply[0] != "ok":
+                    failure = failure or QueryError(
+                        f"pool worker {member.index} failed on chunk "
+                        f"[{start}:{stop}) of a {command[0]!r} batch: {reply[1]}"
+                    )
+                    continue
+                __, chunk_results, runtime_snapshot, page_deltas, span_doc = reply
+                results[start:stop] = chunk_results
+                self._db.context.stats.merge(runtime_snapshot)
+                _merge_tree_counters(self._db, page_deltas)
+                TRACER.graft(span_doc)
+            if failure is not None:
+                # The pipe protocol may be out of sync with the dead or
+                # failed worker's peers mid-batch; restart from scratch.
+                self._stop_workers()
+                raise failure
         self.batches_served += 1
         return results
 

@@ -32,6 +32,8 @@ from typing import Sequence
 
 from repro.errors import QueryError
 from repro.geometry.point import Point
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACER
 from repro.serve.stats import ServeStats
 
 
@@ -99,6 +101,20 @@ class QueryServer:
         self._open: dict[tuple, _MicroBatch] = {}
         self._dispatch_lock = asyncio.Lock()
         self._closed = False
+        self._metrics: MetricsRegistry | None = None
+
+    @property
+    def db(self):
+        """The served database."""
+        return self._db
+
+    def metrics(self) -> MetricsRegistry:
+        """The unified metrics registry over this server: the served
+        database's groups plus ``serve`` (front-end counters) and
+        ``serve_latency`` (per-kind histograms)."""
+        if self._metrics is None:
+            self._metrics = MetricsRegistry.for_server(self)
+        return self._metrics
 
     # ------------------------------------------------------------- requests
     async def nearest(
@@ -182,7 +198,11 @@ class QueryServer:
         async with self._dispatch_lock:
             try:
                 results = await loop.run_in_executor(
-                    None, self._run_batch, batch.key, batch.items
+                    None,
+                    self._run_batch,
+                    batch.key,
+                    batch.items,
+                    batch.admitted[0] if batch.admitted else None,
                 )
             except BaseException as exc:
                 self.stats.batches += 1
@@ -203,34 +223,49 @@ class QueryServer:
             if not future.done():
                 future.set_result(result)
 
-    def _run_batch(self, key: tuple, items: Sequence) -> list:
-        """Executed on the executor thread: one database batch call."""
+    def _run_batch(
+        self, key: tuple, items: Sequence, first_admitted: float | None = None
+    ) -> list:
+        """Executed on the executor thread: one database batch call.
+
+        Opens the serve-side root span: ``serve.batch`` carries the
+        microbatch phases — the queue wait of its oldest request (time
+        from admission to dispatch start, i.e. coalescing delay plus
+        dispatch-lock contention) as an attribute, and the database
+        batch work as child spans.
+        """
         kind = key[0]
-        if kind == "nearest":
-            __, set_name, k = key
-            return self._db.batch_nearest(
-                set_name,
-                items,
-                k,
-                workers=self._workers,
-                mode=self._mode,
-                pool=self._pool,
-            )
-        if kind == "range":
-            __, set_name, e = key
-            return self._db.batch_range(
-                set_name,
-                items,
-                e,
-                workers=self._workers,
-                mode=self._mode,
-                pool=self._pool,
-            )
-        if kind == "distance":
-            return self._db.batch_distance(
-                items, workers=self._workers, pool=self._pool
-            )
-        raise QueryError(f"unknown request kind {kind!r}")
+        with TRACER.span("serve.batch", kind=kind, n=len(items)) as span:
+            if first_admitted is not None:
+                span.set_attr(
+                    "queue_wait_ms",
+                    (time.perf_counter() - first_admitted) * 1000.0,
+                )
+            if kind == "nearest":
+                __, set_name, k = key
+                return self._db.batch_nearest(
+                    set_name,
+                    items,
+                    k,
+                    workers=self._workers,
+                    mode=self._mode,
+                    pool=self._pool,
+                )
+            if kind == "range":
+                __, set_name, e = key
+                return self._db.batch_range(
+                    set_name,
+                    items,
+                    e,
+                    workers=self._workers,
+                    mode=self._mode,
+                    pool=self._pool,
+                )
+            if kind == "distance":
+                return self._db.batch_distance(
+                    items, workers=self._workers, pool=self._pool
+                )
+            raise QueryError(f"unknown request kind {kind!r}")
 
     def __repr__(self) -> str:
         return (

@@ -1,12 +1,17 @@
 """Instrumentation: page-access counters, timers and experiment records.
 
 The paper's I/O metric is the number of R-tree page accesses with an
-LRU buffer sized at 10 % of each tree.  These helpers make that metric
-a first-class, resettable observable on every index.
+LRU buffer sized at 10 % of each tree.  :class:`PageAccessCounter`
+makes that metric a first-class, resettable observable on every index.
+
+The timing/experiment helpers now live in :mod:`repro.obs` (the
+observability package); they are re-exported here for compatibility —
+the ``repro.stats.timing`` / ``repro.stats.experiment`` module paths
+are deprecated shims.
 """
 
+from repro.obs.experiment import ExperimentSeries, format_table
+from repro.obs.timing import Timer
 from repro.stats.counters import PageAccessCounter
-from repro.stats.timing import Timer
-from repro.stats.experiment import ExperimentSeries, format_table
 
 __all__ = ["PageAccessCounter", "Timer", "ExperimentSeries", "format_table"]

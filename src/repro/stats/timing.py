@@ -1,43 +1,16 @@
-"""Lightweight wall-clock timing helpers."""
+"""Deprecated shim — :class:`Timer` moved to :mod:`repro.obs.timing`."""
 
 from __future__ import annotations
 
-import time
+import warnings
 
+from repro.obs.timing import Timer
 
-class Timer:
-    """A context-manager stopwatch accumulating elapsed seconds.
+__all__ = ["Timer"]
 
-    Can be re-entered; ``elapsed`` accumulates across uses, which suits
-    per-workload CPU-time accounting::
-
-        timer = Timer()
-        for q in workload:
-            with timer:
-                run_query(q)
-        print(timer.elapsed_ms / len(workload))
-    """
-
-    __slots__ = ("elapsed", "_start")
-
-    def __init__(self) -> None:
-        self.elapsed = 0.0
-        self._start: float | None = None
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        assert self._start is not None
-        self.elapsed += time.perf_counter() - self._start
-        self._start = None
-
-    @property
-    def elapsed_ms(self) -> float:
-        """Accumulated time in milliseconds."""
-        return self.elapsed * 1000.0
-
-    def reset(self) -> None:
-        """Zero the accumulated time."""
-        self.elapsed = 0.0
+warnings.warn(
+    "repro.stats.timing is deprecated; import Timer from repro.obs "
+    "(or repro.obs.timing) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -37,6 +37,7 @@ from typing import Protocol, TYPE_CHECKING, runtime_checkable
 
 from repro.errors import QueryError
 from repro.geometry.point import Point
+from repro.obs.trace import TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.stats import RuntimeStats
@@ -71,12 +72,15 @@ class _TimedBackend:
     ) -> list[Point]:
         stats = self.stats
         if stats is None:
+            TRACER.count("sweep.run")
             return self._sweep(p, graph)
         t0 = time.perf_counter()
         result = self._sweep(p, graph)
         stats.sweep_seconds += time.perf_counter() - t0
         stats.sweeps_run += 1
         stats.sweep_events += max(graph.node_count - 1, 0)
+        TRACER.count("sweep.run")
+        TRACER.count("sweep.events", max(graph.node_count - 1, 0))
         return result
 
     def _sweep(self, p: Point, graph: "VisibilityGraph") -> list[Point]:

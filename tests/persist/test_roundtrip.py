@@ -70,13 +70,17 @@ def test_roundtrip_parity(tmp_path, backend, shards, data):
         obstacles, entities, backend=backend, shards=shards, snap=snap
     )
     live_answers = warm_queries(db, probes)
+    saved_builds = db.runtime_stats()["graph_builds"]
     loaded = _roundtrip(db, tmp_path, backend)
 
-    # Warm start: replaying the workload on the restored database
-    # rebuilds nothing and answers identically.
+    # Runtime counters persist (format 2): the restored database
+    # reports the same build count it was saved with...
+    assert loaded.runtime_stats()["graph_builds"] == saved_builds
+    # ...and a warm start means replaying the workload adds zero new
+    # builds on top of it, answering identically.
     loaded_answers = warm_queries(loaded, probes)
     assert loaded_answers == live_answers
-    assert loaded.runtime_stats()["graph_builds"] == 0
+    assert loaded.runtime_stats()["graph_builds"] == saved_builds
 
     # Cached graphs are structurally identical (before the replay the
     # signature already matched; the replay mutates recency only).
@@ -196,6 +200,44 @@ def test_cache_knob_via_environment(tmp_path, monkeypatch):
 
     with pytest.raises(DatasetError, match="REPRO_SNAPSHOT_CACHE"):
         db.save(path)
+
+
+def test_runtime_counters_roundtrip(tmp_path):
+    """Format 2 carries the runtime counters: a restored database
+    reports exactly the values it was saved with (except ``backend``,
+    which the restored context re-selects)."""
+    db = ObstacleDatabase([Rect(4.0, 2.0, 6.0, 8.0)])
+    db.add_entity_set("P", [Point(1.0, 5.0), Point(9.0, 5.0)])
+    db.nearest("P", Point(2.0, 1.0), 2)
+    db.obstructed_distance(Point(2.0, 5.0), Point(8.0, 5.0))
+    saved = db.runtime_stats()
+    assert saved["graph_builds"] > 0  # the probe did real work
+    loaded = _roundtrip(db, tmp_path, "python-sweep")
+    restored = loaded.runtime_stats()
+    for counter, value in saved.items():
+        if counter == "backend":
+            continue
+        assert restored[counter] == value, f"counter {counter} drifted"
+
+
+def test_v1_snapshot_loads_with_zeroed_counters(tmp_path, monkeypatch):
+    """A version-1 file (no runtime-stats section) still loads: the
+    counters come up zeroed, answers and cache state are unaffected."""
+    from repro.persist import codec, store
+
+    db = ObstacleDatabase([Rect(4.0, 2.0, 6.0, 8.0)])
+    db.add_entity_set("P", [Point(1.0, 5.0), Point(9.0, 5.0)])
+    q = Point(2.0, 1.0)
+    live = db.nearest("P", q, 2)
+    path = os.path.join(str(tmp_path), "v1.snap")
+    monkeypatch.setattr(codec, "FORMAT_VERSION", 1)
+    monkeypatch.setattr(store, "_write_runtime_stats", lambda w, s: None)
+    db.save(path)
+    loaded = ObstacleDatabase.load(path)
+    restored = loaded.runtime_stats()
+    assert all(v == 0 for k, v in restored.items() if k != "backend")
+    assert loaded.nearest("P", q, 2) == live
+    assert len(loaded.context.cache) == len(db.context.cache)
 
 
 def test_empty_database_roundtrip(tmp_path):

@@ -66,6 +66,14 @@ GATES: tuple[tuple[tuple[str, ...], str], ...] = (
     (("smoke obs", "pool_trace_merged"), "exact"),
     (("smoke obs", "registry_complete"), "exact"),
     (("smoke obs", "prometheus_parses"), "exact"),
+    # Distance-field engine: exactness flags (bit-identical answers,
+    # identical counters, the >= 3x bar evaluated in the smoke) plus
+    # the deterministic freeze/build counters.
+    (("smoke field engine", "parity"), "exact"),
+    (("smoke field engine", "counters_match"), "exact"),
+    (("smoke field engine", "speedup_ok"), "exact"),
+    (("smoke field engine", "graph_builds"), "lower"),
+    (("smoke field engine", "field_freezes"), "lower"),
 )
 
 
@@ -78,6 +86,53 @@ def _lookup(results: dict, path: tuple[str, ...]):
     return node
 
 
+def delta_rows(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[tuple[str, str, float, object, float | None, str]]:
+    """One row per gate: ``(label, direction, old, new, delta, verdict)``.
+
+    ``delta`` is the relative change in percent (``None`` when the
+    baseline is zero, infinite, or the metric is missing); ``verdict``
+    is ``"ok"``, ``"FAIL"``, or ``"skipped"`` (no baseline history).
+    ``baseline`` and ``current`` are full ``--json`` documents (or bare
+    ``results`` mappings).
+    """
+    base_results = baseline.get("results", baseline)
+    cur_results = current.get("results", current)
+    rows = []
+    for path, direction in GATES:
+        label = " / ".join(path)
+        base = _lookup(base_results, path)
+        if base is None:
+            rows.append((label, direction, base, None, None, "skipped"))
+            continue
+        cur = _lookup(cur_results, path)
+        delta = None
+        if (
+            cur is not None
+            and base not in (0, 0.0)
+            and abs(base) != float("inf")
+        ):
+            delta = (cur - base) / base * 100.0
+        if cur is None:
+            verdict = "FAIL"
+        elif direction == "exact":
+            verdict = "FAIL" if abs(cur - base) > 1e-9 else "ok"
+        elif direction == "lower":
+            verdict = (
+                "FAIL" if cur > base * (1.0 + threshold) + 1e-9 else "ok"
+            )
+        else:  # higher
+            verdict = (
+                "FAIL" if cur < base * (1.0 - threshold) - 1e-9 else "ok"
+            )
+        rows.append((label, direction, base, cur, delta, verdict))
+    return rows
+
+
 def compare(
     baseline: dict,
     current: dict,
@@ -86,46 +141,102 @@ def compare(
 ) -> list[str]:
     """Violation messages for every gated metric that regressed.
 
-    ``baseline`` and ``current`` are full ``--json`` documents (or bare
-    ``results`` mappings).  A gate whose metric is missing from the
-    baseline is skipped (new benchmark, no history yet); one missing
-    from the current run is itself a violation — a benchmark silently
-    disappearing must not read as a pass.
+    A gate whose metric is missing from the baseline is skipped (new
+    benchmark, no history yet); one missing from the current run is
+    itself a violation — a benchmark silently disappearing must not
+    read as a pass.
     """
-    base_results = baseline.get("results", baseline)
-    cur_results = current.get("results", current)
     violations = []
-    for path, direction in GATES:
-        label = " / ".join(path)
-        base = _lookup(base_results, path)
-        if base is None:
+    for label, direction, base, cur, __, verdict in delta_rows(
+        baseline, current, threshold=threshold
+    ):
+        if verdict != "FAIL":
             continue
-        cur = _lookup(cur_results, path)
         if cur is None:
             violations.append(f"{label}: missing from the current run")
-            continue
-        if direction == "exact":
-            if abs(cur - base) > 1e-9:
-                violations.append(f"{label}: expected {base!r}, got {cur!r}")
+        elif direction == "exact":
+            violations.append(f"{label}: expected {base!r}, got {cur!r}")
         elif direction == "lower":
-            if cur > base * (1.0 + threshold) + 1e-9:
-                violations.append(
-                    f"{label}: {cur!r} exceeds baseline {base!r} "
-                    f"by more than {threshold:.0%}"
-                )
+            violations.append(
+                f"{label}: {cur!r} exceeds baseline {base!r} "
+                f"by more than {threshold:.0%}"
+            )
         else:  # higher
-            if cur < base * (1.0 - threshold) - 1e-9:
-                violations.append(
-                    f"{label}: {cur!r} fell below baseline {base!r} "
-                    f"by more than {threshold:.0%}"
-                )
+            violations.append(
+                f"{label}: {cur!r} fell below baseline {base!r} "
+                f"by more than {threshold:.0%}"
+            )
     return violations
 
 
+def _cell(value) -> str:
+    if value is None:
+        return "—"
+    return f"{value:g}"
+
+
+def _delta_cell(delta) -> str:
+    if delta is None:
+        return "—"
+    return f"{delta:+.1f}%"
+
+
+def format_delta_table(rows, *, failures_only: bool = False) -> str:
+    """The per-metric delta table as aligned plain text."""
+    shown = [
+        r for r in rows if not failures_only or r[5] == "FAIL"
+    ]
+    header = ("metric", "gate", "old", "new", "Δ%", "verdict")
+    cells = [header] + [
+        (label, direction, _cell(base), _cell(cur), _delta_cell(delta), verdict)
+        for label, direction, base, cur, delta, verdict in shown
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append(
+            "  ".join(col.ljust(w) for col, w in zip(row, widths)).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_markdown_summary(rows, *, threshold: float) -> str:
+    """The delta table as GitHub-flavored markdown (CI step summary)."""
+    failed = sum(1 for r in rows if r[5] == "FAIL")
+    verdict = (
+        f"**{failed} regression(s)**" if failed else "all gates clean"
+    )
+    lines = [
+        "## Benchmark regression gate",
+        "",
+        f"{len(rows)} gated metrics, {threshold:.0%} threshold — {verdict}.",
+        "",
+        "| metric | gate | old | new | Δ% | verdict |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for label, direction, base, cur, delta, row_verdict in rows:
+        mark = {"ok": "✅", "FAIL": "❌", "skipped": "⏭️"}[row_verdict]
+        lines.append(
+            f"| {label} | {direction} | {_cell(base)} | {_cell(cur)} "
+            f"| {_delta_cell(delta)} | {mark} {row_verdict} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: list[str]) -> int:
-    """CLI entry point: ``check_regression.py BASELINE CURRENT``."""
+    """CLI entry point:
+    ``check_regression.py [--threshold F] [--summary PATH] BASELINE CURRENT``.
+
+    ``--summary`` writes the full delta table as markdown (intended for
+    ``$GITHUB_STEP_SUMMARY``), pass or fail.  On failure the plain-text
+    table is also printed so the log shows old/new/Δ% for every gate,
+    not just the violated ones.
+    """
     argv = list(argv)
     threshold = DEFAULT_THRESHOLD
+    summary_path = None
     if "--threshold" in argv:
         flag = argv.index("--threshold")
         try:
@@ -134,9 +245,18 @@ def main(argv: list[str]) -> int:
             print("--threshold needs a float argument", file=sys.stderr)
             return 2
         del argv[flag : flag + 2]
+    if "--summary" in argv:
+        flag = argv.index("--summary")
+        try:
+            summary_path = argv[flag + 1]
+        except IndexError:
+            print("--summary needs a file path argument", file=sys.stderr)
+            return 2
+        del argv[flag : flag + 2]
     if len(argv) != 2:
         print(
-            "usage: check_regression.py [--threshold F] BASELINE CURRENT",
+            "usage: check_regression.py [--threshold F] [--summary PATH] "
+            "BASELINE CURRENT",
             file=sys.stderr,
         )
         return 2
@@ -144,11 +264,17 @@ def main(argv: list[str]) -> int:
         baseline = json.load(fh)
     with open(argv[1]) as fh:
         current = json.load(fh)
+    rows = delta_rows(baseline, current, threshold=threshold)
     violations = compare(baseline, current, threshold=threshold)
+    if summary_path is not None:
+        with open(summary_path, "a") as fh:
+            fh.write(format_markdown_summary(rows, threshold=threshold))
     if violations:
         print(f"{len(violations)} benchmark regression(s):")
         for message in violations:
             print(f"  - {message}")
+        print()
+        print(format_delta_table(rows))
         return 1
     print(f"benchmark gates clean ({len(GATES)} metrics, {threshold:.0%} threshold)")
     return 0

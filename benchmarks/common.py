@@ -823,3 +823,79 @@ def kernel_comparison(n_rects: int) -> dict[str, float]:
         edges["python-sweep"] == edges["numpy-kernel"]
     )
     return results
+
+
+def field_engine_comparison(
+    n_obstacles: int, rounds: int, *, n_queries: int = 4
+) -> dict[str, float]:
+    """Warm-cache range+nearest streams under each distance-field
+    engine (``REPRO_FIELD_ENGINE=python`` vs ``csr``).
+
+    The stream revisits a handful of centres ``rounds`` times — the
+    serving steady state the CSR engine targets: after the first visit
+    the frozen arrays and the per-source distance field are cached, so
+    repeat visits reduce to int indexing plus one vectorized last leg,
+    while the reference engine re-runs a dict Dijkstra per query.
+    Returns per-engine CPU time, the speedup, and two exactness flags:
+    ``parity`` (bit-identical answer streams) and ``counters_match``
+    (identical graph-build counts and R-tree page traffic).
+    """
+    from repro.runtime.field import FIELD_ENGINE_ENV
+
+    workload = bench_workload(
+        n_obstacles, (("P1", n_obstacles),), n_queries
+    )
+    e = scaled_range(0.001) * math.sqrt(BENCH_O / n_obstacles)
+    saved = os.environ.get(FIELD_ENGINE_ENV)
+    runs: dict[str, tuple[list, dict[str, float]]] = {}
+    try:
+        for engine in ("python", "csr"):
+            os.environ[FIELD_ENGINE_ENV] = engine
+            db = ObstacleDatabase(
+                workload.obstacles,
+                max_entries=BENCH_PAGE_ENTRIES,
+                min_entries=max(2, int(BENCH_PAGE_ENTRIES * 0.4)),
+            )
+            db.add_entity_set("P1", workload.entity_sets["P1"])
+            answers: list = []
+            timer = Timer()
+            with timer:
+                for __ in range(rounds):
+                    for q in workload.queries:
+                        answers.append(db.range("P1", q, e))
+                        answers.append(db.nearest("P1", q, 4))
+            runtime = db.runtime_stats()
+            pages = db.stats()["obstacles:obstacles"]
+            runs[engine] = (
+                answers,
+                {
+                    "cpu_s": timer.elapsed,
+                    "graph_builds": float(runtime["graph_builds"]),
+                    "field_freezes": float(runtime["field_freezes"]),
+                    "obstacle_reads": float(pages["reads"]),
+                },
+            )
+    finally:
+        if saved is None:
+            os.environ.pop(FIELD_ENGINE_ENV, None)
+        else:
+            os.environ[FIELD_ENGINE_ENV] = saved
+    py_answers, py = runs["python"]
+    csr_answers, csr = runs["csr"]
+    speedup = py["cpu_s"] / csr["cpu_s"] if csr["cpu_s"] else math.inf
+    return {
+        "python_cpu_s": py["cpu_s"],
+        "csr_cpu_s": csr["cpu_s"],
+        "speedup": speedup,
+        # The wall-clock verdict, evaluated where it was measured (the
+        # raw speedup rides in the JSON ungated, like the obs bars).
+        "speedup_ok": float(speedup >= 3.0),
+        "queries": float(2 * rounds * len(workload.queries)),
+        "graph_builds": csr["graph_builds"],
+        "field_freezes": csr["field_freezes"],
+        "parity": float(py_answers == csr_answers),
+        "counters_match": float(
+            py["graph_builds"] == csr["graph_builds"]
+            and py["obstacle_reads"] == csr["obstacle_reads"]
+        ),
+    }

@@ -313,7 +313,10 @@ def smoke() -> int:
     code = smoke_serve()
     if code:
         return code
-    return smoke_obs()
+    code = smoke_obs()
+    if code:
+        return code
+    return smoke_field_engine()
 
 
 def smoke_kernel() -> int:
@@ -641,6 +644,39 @@ def smoke_obs() -> int:
         return 1
     if not prometheus_parses:
         print("FAIL: prometheus exposition did not parse")
+        return 1
+    return 0
+
+
+def smoke_field_engine() -> int:
+    """Distance-field engine smoke: the warm-cache range+nearest stream
+    under the compiled CSR engine vs the reference python engine.
+    Gated on all three acceptance claims: bit-identical answers,
+    identical graph-build/page counters, and >= 3x CPU speedup (the
+    benchmark-scale bar lives in ``benchmarks/test_field_engine.py``)."""
+    from benchmarks.common import field_engine_comparison
+    from repro.visibility.kernel.backend import numpy_available
+
+    if not numpy_available():
+        print("\nfield engine: numpy unavailable, CSR engine not measurable")
+        return 0
+    metrics = field_engine_comparison(200, 24)
+    RESULTS["smoke field engine"] = metrics
+    print(
+        f"\nfield engine ({metrics['queries']:.0f} warm queries, |O|=200): "
+        f"python {metrics['python_cpu_s'] * 1000:.0f} ms, csr "
+        f"{metrics['csr_cpu_s'] * 1000:.0f} ms "
+        f"({metrics['speedup']:.2f}x), "
+        f"{metrics['field_freezes']:.0f} freezes"
+    )
+    if not metrics["parity"]:
+        print("FAIL: CSR engine changed range/nearest answers")
+        return 1
+    if not metrics["counters_match"]:
+        print("FAIL: CSR engine changed graph-build or page counters")
+        return 1
+    if metrics["speedup"] < 3.0:
+        print("FAIL: CSR engine under 3x on the warm stream")
         return 1
     return 0
 

@@ -76,8 +76,19 @@ class Point:
 
     # -- metrics ---------------------------------------------------------
     def distance(self, other: "Point") -> float:
-        """Euclidean distance to ``other``."""
-        return math.hypot(self.x - other.x, self.y - other.y)
+        """Euclidean distance to ``other``.
+
+        Computed as ``sqrt(dx*dx + dy*dy)`` rather than ``hypot``:
+        both sqrt and the products/sum are IEEE correctly-rounded, so a
+        vectorized evaluation (``numpy.sqrt(dx*dx + dy*dy)`` in the
+        compiled distance-field engine) produces bit-identical values,
+        whereas ``math.hypot`` and ``numpy.hypot`` disagree by an ulp
+        on ~1e-5 of inputs.  The extra overflow guard hypot buys is
+        irrelevant at coordinate scales (< 1e150).
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return math.sqrt(dx * dx + dy * dy)
 
     def distance_sq(self, other: "Point") -> float:
         """Squared Euclidean distance to ``other`` (no sqrt)."""
@@ -87,7 +98,7 @@ class Point:
 
     def norm(self) -> float:
         """Length of this point interpreted as a vector from the origin."""
-        return math.hypot(self.x, self.y)
+        return math.sqrt(self.x * self.x + self.y * self.y)
 
     def as_tuple(self) -> tuple[float, float]:
         """Return ``(x, y)``."""
@@ -95,8 +106,11 @@ class Point:
 
 
 def distance(a: Point, b: Point) -> float:
-    """Euclidean distance between two points."""
-    return math.hypot(a.x - b.x, a.y - b.y)
+    """Euclidean distance between two points (see :meth:`Point.distance`
+    for why this is ``sqrt(dx*dx + dy*dy)`` and not ``hypot``)."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def distance_sq(a: Point, b: Point) -> float:

@@ -49,7 +49,11 @@ MAGIC = b"RPROSNAP"
 #: 2. appends the runtime-stats section (the warm counters of the
 #:    metrics registry) after the graph cache; version-1 files load
 #:    with zeroed runtime counters.
-FORMAT_VERSION = 2
+#: 3. appends the frozen-CSR section (the compiled distance-field
+#:    arrays of each cached graph) after the runtime stats; the
+#:    section is optional per entry, and version-2 files load with no
+#:    frozen arrays — graphs re-freeze lazily at first field use.
+FORMAT_VERSION = 3
 
 _HEAD = struct.Struct("<8sIQI")
 _HEAD_CRC = struct.Struct("<I")
@@ -146,6 +150,36 @@ class BinaryWriter:
         self.u32(len(flat) // 2)
         self._write_floats(flat)
 
+    def f64_array(self, values: "Iterable[float]") -> None:
+        """Append a length-prefixed bulk float64 array (CSR weights /
+        coordinate vectors); accepts any iterable, including numpy
+        arrays, and writes the same bytes on either bulk path."""
+        if self._numpy:
+            import numpy as np
+
+            arr = np.asarray(values, dtype="<f8")
+            self.u64(len(arr))
+            self._buf += arr.tobytes()
+        else:
+            flat = [float(v) for v in values]
+            self.u64(len(flat))
+            self._write_floats(flat)
+
+    def u32_array(self, values: "Iterable[int]") -> None:
+        """Append a length-prefixed bulk uint32 array (CSR index
+        vectors)."""
+        if self._numpy:
+            import numpy as np
+
+            arr = np.asarray(values, dtype="<u4")
+            self.u64(len(arr))
+            self._buf += arr.tobytes()
+        else:
+            flat = [int(v) for v in values]
+            self.u64(len(flat))
+            if flat:
+                self._buf += struct.pack(f"<{len(flat)}I", *flat)
+
     def getvalue(self) -> bytes:
         """The accumulated payload."""
         return bytes(self._buf)
@@ -226,6 +260,32 @@ class BinaryReader:
         n = self.u32()
         flat = self._read_floats(2 * n)
         return [Point(flat[i], flat[i + 1]) for i in range(0, 2 * n, 2)]
+
+    def f64_array(self) -> "list[float]":
+        """Decode a length-prefixed bulk float64 array (as a numpy
+        array when the bulk path is numpy, else a list)."""
+        n = self.u64()
+        raw = self._take(8 * n)
+        if self._numpy:
+            import numpy as np
+
+            return np.frombuffer(raw, dtype="<f8").copy()
+        if n == 0:
+            return []
+        return list(struct.unpack(f"<{n}d", raw))
+
+    def u32_array(self) -> "list[int]":
+        """Decode a length-prefixed bulk uint32 array (numpy array on
+        the numpy bulk path, else a list)."""
+        n = self.u64()
+        raw = self._take(4 * n)
+        if self._numpy:
+            import numpy as np
+
+            return np.frombuffer(raw, dtype="<u4").copy()
+        if n == 0:
+            return []
+        return list(struct.unpack(f"<{n}I", raw))
 
     def expect_end(self) -> None:
         """Raise unless the payload was consumed exactly."""

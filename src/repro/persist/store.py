@@ -44,6 +44,7 @@ from repro.geometry.polygon import Polygon
 from repro.geometry.rect import Rect
 from repro.index import pageio
 from repro.model import Obstacle
+from repro.persist import codec
 from repro.persist.codec import (
     BinaryReader,
     BinaryWriter,
@@ -105,6 +106,65 @@ def _read_runtime_stats(r: BinaryReader, path: str) -> dict[str, object]:
                 f"{r.offset}"
             )
     return out
+
+
+def _write_frozen_csr(w: BinaryWriter, entries) -> None:
+    """The format-3 frozen-CSR section: compiled distance-field arrays.
+
+    One record per cache entry whose graph holds a freeze valid at its
+    *current* structure revision (stale freezes are dropped — they
+    describe a topology the restored graph will not have).  Node order
+    is the freeze order; ``indptr``/``indices`` are stored as u32 (a
+    cached local graph never approaches 2**32 nodes or edges) and
+    widened on read.  Per-source distance arrays are not stored: they
+    are derived data the restored freeze recomputes on first use.
+    """
+    frozen: list[tuple[int, object]] = []
+    for i, entry in enumerate(entries):
+        cached = entry.graph._csr
+        if cached is not None and cached[0] == entry.graph.structure_revision:
+            frozen.append((i, cached[1]))
+    w.u32(len(frozen))
+    for i, csr in frozen:
+        w.u32(i)
+        w.points(csr.points)
+        w.u32_array(csr.indptr)
+        w.u32_array(csr.indices)
+        w.f64_array(csr.weights)
+
+
+def _read_frozen_csr(r: BinaryReader, entries, path: str) -> None:
+    """Decode the frozen-CSR section and install the arrays on the
+    restored graphs.  Without numpy the records are consumed and
+    dropped — the python engine never touches frozen arrays, and the
+    graphs simply re-freeze lazily if numpy appears later."""
+    try:
+        import numpy as np
+
+        from repro.visibility.csr import install_frozen
+    except ImportError:  # pragma: no cover - numpy is baked into the image
+        np = None
+        install_frozen = None
+    for __ in range(r.u32()):
+        index = r.u32()
+        points = r.points()
+        indptr = r.u32_array()
+        indices = r.u32_array()
+        weights = r.f64_array()
+        if index >= len(entries):
+            raise DatasetError(
+                f"{path}: frozen-CSR record references cache entry "
+                f"{index} of {len(entries)} at offset {r.offset}"
+            )
+        if install_frozen is None:
+            continue
+        install_frozen(
+            entries[index].graph,
+            points,
+            np.asarray(indptr, dtype=np.int64),
+            np.asarray(indices, dtype=np.int32),
+            np.asarray(weights, dtype=np.float64),
+        )
 
 
 def _include_cache_default() -> bool:
@@ -274,6 +334,12 @@ def save_database(
         write_cache_entry(w, entry)
     # -- runtime stats (format 2) ------------------------------------------
     _write_runtime_stats(w, context.stats if context is not None else None)
+    # -- frozen CSR arrays (format 3) --------------------------------------
+    # ``codec.FORMAT_VERSION`` is read at call time so a writer pinned
+    # to an older version (compatibility tests) omits the section the
+    # older reader would reject.
+    if codec.FORMAT_VERSION >= 3:
+        _write_frozen_csr(w, entries)
     write_snapshot(path, w.getvalue())
 
 
@@ -397,11 +463,13 @@ def load_database(
         backend=backend,
     )
     context = db.context
+    restored_entries = []
     for __ in range(n_entries):
         entry = read_cache_entry(
             r, table, context.source, backend=context.backend
         )
         context.admit_restored(entry)
+        restored_entries.append(entry)
     # -- runtime stats (format 2) ------------------------------------------
     # Version-1 snapshots predate the section: their counters restore
     # zeroed (the v1 behaviour), everything else identically.
@@ -417,6 +485,11 @@ def load_database(
             if stat_name == "backend" or stat_name not in stats.__slots__:
                 continue
             setattr(stats, stat_name, value)
+    # -- frozen CSR arrays (format 3) --------------------------------------
+    # Version-2 files predate the section: their graphs re-freeze
+    # lazily at first field evaluation, everything else identically.
+    if version >= 3:
+        _read_frozen_csr(r, restored_entries, name)
     r.expect_end()
     return db
 
@@ -522,6 +595,18 @@ def snapshot_info(path: str | Path) -> dict[str, object]:
     runtime_stats: dict[str, object] = {}
     if version >= 2:
         runtime_stats = _read_runtime_stats(r, name)
+    frozen_fields = 0
+    if version >= 3:
+        frozen_fields = r.u32()
+        for __ in range(frozen_fields):
+            index = r.u32()
+            nodes = len(r.points())
+            r.u32_array()  # indptr
+            indices = r.u32_array()
+            r.f64_array()  # weights
+            if index < len(cache_entries):
+                cache_entries[index]["frozen_nodes"] = nodes
+                cache_entries[index]["frozen_edges"] = len(indices) // 2
     return {
         "path": name,
         "format_version": version,
@@ -535,6 +620,7 @@ def snapshot_info(path: str | Path) -> dict[str, object]:
         "entity_sets": entities,
         "cached_graphs": cached_graphs,
         "cache_entries": cache_entries,
+        "frozen_fields": frozen_fields,
         "runtime_stats": runtime_stats,
         "dataset_refs": refs,
     }

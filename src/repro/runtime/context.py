@@ -452,8 +452,12 @@ class QueryContext:
         The field's Fig. 8 enlargement is routed through
         :meth:`cover`, so repeated fields over the same centre (or a
         near-duplicate one, with spatial keys) skip redundant obstacle
-        retrievals.
+        retrievals.  The engine — compiled CSR arrays or the dict
+        reference path — is resolved per call from
+        ``REPRO_FIELD_ENGINE`` (see :mod:`repro.runtime.field`).
         """
+        from repro.runtime.field import make_distance_field
+
         with TRACER.span("field.build", radius=radius):
             entry = self.entry_for(q, radius)
         self.stats.field_builds += 1
@@ -462,10 +466,11 @@ class QueryContext:
             if q != entry.center
             else None
         )
-        return SourceDistanceField(
+        return make_distance_field(
             entry.graph,
             q,
             self.source,
             grow=lambda r: self.cover(entry, q, r),
             readmit=readmit,
+            stats=self.stats,
         )

@@ -22,7 +22,6 @@ from typing import Iterable, Protocol, runtime_checkable
 
 from repro.core.distance import ObstacleSource
 from repro.geometry.point import Point
-from repro.runtime.skeletons import bounded_expansion
 
 
 @runtime_checkable
@@ -33,6 +32,13 @@ class DistanceField(Protocol):
         """Distance from the field's source to ``p``; may return any
         value above ``bound`` once the true distance is known to
         exceed it."""
+
+    def batch_eval(
+        self, points: "list[Point]", *, bound: float = inf
+    ) -> list[float]:
+        """Distances to every point of ``points`` (same per-candidate
+        semantics as :meth:`distance_to`, amortizing shared state —
+        one revalidation, one provisional field — over the batch)."""
 
 
 @runtime_checkable
@@ -67,6 +73,12 @@ class _EuclideanField:
 
     def distance_to(self, p: Point, *, bound: float = inf) -> float:
         return self._q.distance(p)
+
+    def batch_eval(
+        self, points: "list[Point]", *, bound: float = inf
+    ) -> list[float]:
+        q = self._q
+        return [q.distance(p) for p in points]
 
 
 class EuclideanMetric:
@@ -144,21 +156,25 @@ class ObstructedMetric:
     def range_refine(
         self, q: Point, e: float, candidates: Iterable[Point]
     ) -> list[tuple[Point, float]]:
-        """Fig. 5's elimination: one bounded expansion over the cached
-        graph for ``q``, covering radius ``e``.
+        """Fig. 5's elimination: one batched distance field rooted at
+        ``q``, covering radius ``e``.
 
-        Candidates are added as transient entities and removed again so
-        the cached graph keeps only its centre as a free point.
+        Each candidate's distance is the last-leg minimisation over its
+        visible anchors — exact because a shortest path never turns at
+        a free point, so it leaves the candidate straight toward some
+        graph node — evaluated in one :meth:`DistanceField.batch_eval`
+        call.  Unlike the pre-field formulation (one bounded expansion
+        with every candidate inserted as a transient entity, see
+        :func:`~repro.runtime.skeletons.bounded_expansion`), candidates
+        never enter the cached graph, so the field's provisional
+        Dijkstra is reusable across calls at the same centre.
         """
-        candidates = list(candidates)
-        entry = self.context.entry_for(q, e)
-        graph = entry.graph
-        added = [p for p in candidates if graph.add_entity(p)]
-        try:
-            return bounded_expansion(graph, q, e, candidates)
-        finally:
-            for p in added:
-                graph.delete_entity(p)
+        uniq = list(dict.fromkeys(candidates))
+        if not uniq:
+            return []
+        field = self.context.field_for(q, e)
+        dists = field.batch_eval(uniq, bound=e)
+        return [(p, d) for p, d in zip(uniq, dists) if d <= e]
 
 
 def resolve_metric(

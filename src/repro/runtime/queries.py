@@ -103,8 +103,19 @@ def metric_nearest(
     # from the obstacles within it, paper Fig. 9).
     field = metric.field(q, radius=seeds[-1][1])
     result: list[tuple[float, Point]] = []
-    for p, __ in seeds:
-        insort(result, (field.distance_to(p), p))
+    # One batched evaluation for the whole seed set: the field
+    # amortizes its revalidation and provisional Dijkstra across the
+    # seeds (and the CSR engine vectorizes the last-leg minimisation).
+    # Fields predating the batch protocol degrade to the scalar loop.
+    seed_points = [p for p, __ in seeds]
+    batch = getattr(field, "batch_eval", None)
+    dists = (
+        batch(seed_points)
+        if batch is not None
+        else [field.distance_to(p) for p in seed_points]
+    )
+    for p, d in zip(seed_points, dists):
+        insort(result, (d, p))
     d_emax = result[k - 1][0] if len(result) >= k else inf
     for p, d_e in stream:
         if d_e > d_emax:

@@ -13,8 +13,12 @@ of it (see :mod:`repro.euclidean.nearest`,
 
 :func:`bounded_expansion` is the other shared loop: Fig. 5's single
 bounded Dijkstra from a query point that settles many candidates in
-one traversal (used by OR, by ODJ's per-seed elimination, and by the
-obstructed metric's range refinement).
+one traversal.  The obstructed metric's range refinement (OR and
+ODJ's per-seed elimination) now batches its candidates through a
+:class:`~repro.runtime.metric.DistanceField` instead — candidates stay
+out of the cached graph, so the field's provisional Dijkstra survives
+across calls — but the expansion skeleton remains the reference
+formulation (and the standalone ``core.range`` path still uses it).
 """
 
 from __future__ import annotations

@@ -35,6 +35,8 @@ class RuntimeStats:
         "obstacles_added",
         "distance_calls",
         "field_builds",
+        "field_freezes",
+        "field_batch_evals",
         "batch_memo_hits",
         "parallel_batches",
         "pool_batches",
@@ -62,6 +64,8 @@ class RuntimeStats:
         self.obstacles_added = 0
         self.distance_calls = 0
         self.field_builds = 0
+        self.field_freezes = 0
+        self.field_batch_evals = 0
         self.batch_memo_hits = 0
         self.parallel_batches = 0
         self.pool_batches = 0

@@ -30,6 +30,14 @@ Worker runtime counters and per-tree simulated page counters travel
 back with every reply and are merged into the parent database, so
 ``db.runtime_stats()`` / ``db.stats()`` account pool work exactly as
 they account sequential work.
+
+Workers inherit the parent's environment, including
+``REPRO_FIELD_ENGINE`` (see :mod:`repro.runtime.field`): under the
+CSR engine, a long-lived worker amortizes frozen-CSR adjacency and
+per-source distance fields across every batch it serves — snapshot
+format v3 even ships the frozen arrays in the warm-start snapshot, so
+workers boot with them installed.  The new ``field_freezes`` /
+``field_batch_evals`` counters merge like every other runtime stat.
 """
 
 from __future__ import annotations

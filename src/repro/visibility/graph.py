@@ -61,6 +61,8 @@ class VisibilityGraph:
         "_boundary",
         "_edges",
         "_obstacle_revision",
+        "_structure_revision",
+        "_csr",
         "_backend",
         "_packed",
         "method",
@@ -70,6 +72,11 @@ class VisibilityGraph:
         self._backend = resolve_backend(method)
         self.method = self._backend.name
         self._obstacle_revision = 0
+        self._structure_revision = 0
+        #: Frozen CSR view of the adjacency (``(structure_revision,
+        #: CSRGraph)`` or ``None``), maintained by
+        #: :mod:`repro.visibility.csr`.
+        self._csr: "tuple[int, object] | None" = None
         self._adj: dict[Point, dict[Point, float]] = {}
         self._obstacles: dict[int, Obstacle] = {}
         self._incident: dict[Point, list[BoundaryEdge]] = {}
@@ -252,6 +259,18 @@ class VisibilityGraph:
         """
         return self._obstacle_revision
 
+    @property
+    def structure_revision(self) -> int:
+        """Monotone counter bumped on *any* topology change.
+
+        Unlike :attr:`obstacle_revision` this also moves on free-point
+        additions/removals: node-indexed structures (the frozen CSR
+        arrays of :mod:`repro.visibility.csr`) are invalidated by any
+        change to the node or edge set, not just by obstacle
+        incorporation.
+        """
+        return self._structure_revision
+
     def has_obstacle(self, oid: int) -> bool:
         """True when the obstacle with id ``oid`` is in the graph."""
         return oid in self._obstacles
@@ -285,6 +304,8 @@ class VisibilityGraph:
         self._edges.clear()
         self._packed = None
         self._obstacle_revision += 1
+        self._structure_revision += 1
+        self._csr = None
         for obs in obstacles:
             self._register_obstacle(obs)
         for p in free:
@@ -329,6 +350,7 @@ class VisibilityGraph:
         if obs is None:
             return False
         self._obstacle_revision += 1
+        self._structure_revision += 1
         poly = obs.polygon
         self._edges = [e for e in self._edges if e.oid != oid]
         revived: list[Point] = []
@@ -424,6 +446,7 @@ class VisibilityGraph:
         """
         if p not in self._free:
             return False
+        self._structure_revision += 1
         for nbr in list(self._adj[p]):
             del self._adj[nbr][p]
         del self._adj[p]
@@ -437,6 +460,7 @@ class VisibilityGraph:
     def _register_obstacle(self, obs: Obstacle) -> list[Point]:
         self._obstacles[obs.oid] = obs
         self._obstacle_revision += 1
+        self._structure_revision += 1
         if self._packed is not None:
             self._packed.add_obstacle(obs)
         new_vertices: list[Point] = []
@@ -470,6 +494,7 @@ class VisibilityGraph:
             # demote it back to a free point.
             self._promoted.add(p)
             return
+        self._structure_revision += 1
         self._adj.setdefault(p, {})
         self._free.add(p)
         if self._packed is not None:
@@ -486,10 +511,12 @@ class VisibilityGraph:
         if u == v:
             return
         w = u.distance(v)
+        self._structure_revision += 1
         self._adj[u][v] = w
         self._adj[v][u] = w
 
     def _remove_edges_crossing(self, poly: Polygon) -> None:
+        self._structure_revision += 1
         mbr = poly.mbr
         for u in list(self._adj):
             for v in list(self._adj[u]):

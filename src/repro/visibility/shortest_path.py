@@ -33,11 +33,19 @@ def dijkstra(
         return {}
     remaining = set(targets) if targets is not None else None
     dist: dict[Point, float] = {}
+    # Best tentative distance per pushed node.  A relaxation that does
+    # not strictly improve on it is dominated — the cheaper entry is
+    # already in the heap — so it is never pushed, and any entry popped
+    # above the tentative value is stale and skipped.  Settled values
+    # are unchanged (the minimum relaxation is always pushed); only the
+    # heap traffic shrinks, from one entry per relaxation to one per
+    # strict improvement.
+    best: dict[Point, float] = {source: 0.0}
     tiebreak = count()
     heap: list[tuple[float, int, Point]] = [(0.0, next(tiebreak), source)]
     while heap:
         d, __, node = heapq.heappop(heap)
-        if node in dist:
+        if node in dist or d > best.get(node, -inf):
             continue
         if d > bound:
             break
@@ -49,7 +57,8 @@ def dijkstra(
         for nbr, w in graph.neighbors(node).items():
             if nbr not in dist:
                 nd = d + w
-                if nd <= bound:
+                if nd <= bound and nd < best.get(nbr, inf):
+                    best[nbr] = nd
                     heapq.heappush(heap, (nd, next(tiebreak), nbr))
     return dist
 

@@ -1,0 +1,73 @@
+"""The ``repro.stats`` deprecation shims must warn — and only them.
+
+PR 7 folded the timing/experiment helpers into ``repro.obs``; the
+compatibility paths (``repro.stats.timing``, ``repro.stats.experiment``
+and the package-level re-exports) must emit ``DeprecationWarning`` so
+callers migrate before the scheduled removal, while the canonical
+``repro.stats.PageAccessCounter`` stays silent (the CI tier-1 leg runs
+with ``-W error::DeprecationWarning``, so an accidental warning on the
+canonical path — or a shim that regresses to silence — both fail).
+"""
+
+import importlib
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+
+def _fresh_import(module: str) -> list[warnings.WarningMessage]:
+    """Import ``module`` from scratch, collecting warnings."""
+    for name in list(sys.modules):
+        if name == module or name.startswith(module + "."):
+            del sys.modules[name]
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        importlib.import_module(module)
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+class TestModuleShims:
+    def test_timing_module_warns(self):
+        assert _fresh_import("repro.stats.timing")
+
+    def test_experiment_module_warns(self):
+        assert _fresh_import("repro.stats.experiment")
+
+
+class TestPackageReexports:
+    @pytest.mark.parametrize(
+        "name", ["Timer", "ExperimentSeries", "format_table"]
+    )
+    def test_reexport_warns_and_resolves(self, name):
+        import repro.stats
+
+        with pytest.warns(DeprecationWarning, match=f"repro.stats.{name}"):
+            moved = getattr(repro.stats, name)
+        source = importlib.import_module(
+            "repro.obs.timing" if name == "Timer" else "repro.obs.experiment"
+        )
+        assert moved is getattr(source, name)
+
+    def test_unknown_attribute_raises(self):
+        import repro.stats
+
+        with pytest.raises(AttributeError):
+            repro.stats.no_such_helper
+
+    def test_canonical_counter_import_is_silent(self):
+        # Run in a clean interpreter with DeprecationWarning fatal: the
+        # non-deprecated import path must not trip it.
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-W",
+                "error::DeprecationWarning",
+                "-c",
+                "from repro.stats import PageAccessCounter",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -4,7 +4,9 @@ import time
 
 import pytest
 
-from repro.stats import ExperimentSeries, PageAccessCounter, Timer, format_table
+from repro.obs.experiment import ExperimentSeries, format_table
+from repro.obs.timing import Timer
+from repro.stats import PageAccessCounter
 
 
 class TestPageAccessCounter:

@@ -4,7 +4,17 @@ baseline's integrity."""
 import json
 import pathlib
 
-from benchmarks.check_regression import GATES, _lookup, compare, main
+import pytest
+
+from benchmarks.check_regression import (
+    GATES,
+    _lookup,
+    compare,
+    delta_rows,
+    format_delta_table,
+    format_markdown_summary,
+    main,
+)
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -49,6 +59,13 @@ def _doc(**overrides):
             "pool_trace_merged": 1.0,
             "registry_complete": 1.0,
             "prometheus_parses": 1.0,
+        },
+        "smoke field engine": {
+            "parity": 1.0,
+            "counters_match": 1.0,
+            "speedup_ok": 1.0,
+            "graph_builds": 4.0,
+            "field_freezes": 10.0,
         },
     }
     for dotted, value in overrides.items():
@@ -122,6 +139,65 @@ class TestCompare:
         assert compare(_doc()["results"], _doc()["results"]) == []
 
 
+class TestDeltaTable:
+    def test_one_row_per_gate(self):
+        rows = delta_rows(_doc(), _doc())
+        assert len(rows) == len(GATES)
+        assert all(r[5] == "ok" for r in rows)
+
+    def test_regression_row_carries_old_new_delta(self):
+        worse = _doc(**{"smoke/OR/entity_pa": 5.0})
+        row = next(
+            r for r in delta_rows(_doc(), worse) if "entity_pa" in r[0]
+        )
+        label, direction, base, cur, delta, verdict = row
+        assert (direction, base, cur, verdict) == ("lower", 2.5, 5.0, "FAIL")
+        assert delta == pytest.approx(100.0)
+
+    def test_missing_baseline_rows_are_skipped(self):
+        old = _doc(**{"smoke field engine": None})
+        rows = delta_rows(old, _doc())
+        skipped = [r for r in rows if r[5] == "skipped"]
+        assert len(skipped) == 5  # the five field-engine gates
+        assert compare(old, _doc()) == []
+
+    def test_zero_and_inf_baselines_have_no_delta(self):
+        rows = delta_rows(_doc(), _doc())
+        by_label = {r[0]: r for r in rows}
+        assert by_label["smoke snapshot warm-start / builds_warm"][4] is None
+        assert (
+            by_label["smoke snapshot warm-start / build_reduction"][4] is None
+        )
+
+    def test_plain_table_renders_every_gate(self):
+        text = format_delta_table(delta_rows(_doc(), _doc()))
+        assert "Δ%" in text and "verdict" in text
+        for path, __ in GATES:
+            assert " / ".join(path) in text
+
+    def test_failures_only_filter(self):
+        worse = _doc(**{"smoke/OR/entity_pa": 5.0})
+        text = format_delta_table(
+            delta_rows(_doc(), worse), failures_only=True
+        )
+        assert "entity_pa" in text
+        assert "field engine" not in text
+
+    def test_markdown_summary_counts_failures(self):
+        worse = _doc(**{"smoke serve/parity": 0.0})
+        md = format_markdown_summary(
+            delta_rows(_doc(), worse), threshold=0.3
+        )
+        assert "**1 regression(s)**" in md
+        assert "| smoke serve / parity |" in md
+        assert md.count("❌") == 1
+
+    def test_markdown_summary_clean(self):
+        md = format_markdown_summary(delta_rows(_doc(), _doc()), threshold=0.3)
+        assert "all gates clean" in md
+        assert "❌" not in md
+
+
 class TestCli:
     def _write(self, tmp_path, name, doc):
         path = tmp_path / name
@@ -153,6 +229,32 @@ class TestCli:
     def test_bad_usage_exits_two(self, tmp_path):
         assert main([]) == 2
         assert main(["--threshold", "x", "a", "b"]) == 2
+        assert main(["--summary"]) == 2
+
+    def test_failure_prints_delta_table(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _doc())
+        cur = self._write(
+            tmp_path, "cur.json", _doc(**{"smoke/OR/entity_pa": 99.0})
+        )
+        assert main([base, cur]) == 1
+        out = capsys.readouterr().out
+        assert "Δ%" in out  # the full table, not just the violation list
+        assert "smoke kernel / edges_match" in out
+
+    def test_summary_written_pass_and_fail(self, tmp_path):
+        base = self._write(tmp_path, "base.json", _doc())
+        good = self._write(tmp_path, "good.json", _doc())
+        bad = self._write(
+            tmp_path, "bad.json", _doc(**{"smoke serve/parity": 0.0})
+        )
+        summary = tmp_path / "summary.md"
+        assert main(["--summary", str(summary), base, good]) == 0
+        assert "all gates clean" in summary.read_text()
+        assert main(["--summary", str(summary), base, bad]) == 1
+        # Appended (the CI step-summary file accumulates).
+        text = summary.read_text()
+        assert "all gates clean" in text
+        assert "**1 regression(s)**" in text
 
 
 class TestCommittedBaseline:

@@ -1,0 +1,147 @@
+"""Frozen CSR views: freeze correctness, flat-heap behaviour, and
+bit-parity of the int-indexed Dijkstra against the dict-path oracle."""
+
+import math
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.geometry.point import Point
+from repro.visibility import VisibilityGraph, bounded_dijkstra, dijkstra
+from repro.visibility.csr import CSRGraph, FlatHeap, frozen
+from tests.conftest import rect_obstacle
+
+
+def _grid_graph(seed: int = 0, n: int = 18, obstacles: int = 4):
+    rng = np.random.default_rng(seed)
+    points = [
+        Point(float(x), float(y))
+        for x, y in rng.uniform(-20, 20, size=(n, 2)).round(3)
+    ]
+    obs = []
+    for i in range(obstacles):
+        cx, cy = rng.uniform(-14, 14, size=2)
+        w, h = rng.uniform(1, 5, size=2)
+        obs.append(rect_obstacle(i, cx, cy, cx + w, cy + h))
+    return VisibilityGraph.build(points, obs, method="naive")
+
+
+class TestFlatHeap:
+    def test_pushes_pop_sorted(self):
+        heap = FlatHeap(capacity=2)
+        keys = [5.0, 1.0, 3.0, 2.0, 4.0, 0.5]
+        for i, k in enumerate(keys):
+            heap.push(k, i)
+        out = [heap.pop() for _ in range(len(heap))]
+        assert [k for k, __ in out] == sorted(keys)
+        assert not len(heap)
+
+    def test_push_many_matches_push(self):
+        rng = np.random.default_rng(7)
+        keys = rng.uniform(0, 100, size=64)
+        nodes = np.arange(64, dtype=np.int32)
+        a = FlatHeap(capacity=4)
+        a.push_many(keys, nodes)
+        b = FlatHeap(capacity=4)
+        for k, v in zip(keys.tolist(), nodes.tolist()):
+            b.push(k, v)
+        got_a = sorted(a.pop() for _ in range(64))
+        got_b = sorted(b.pop() for _ in range(64))
+        assert got_a == got_b
+        assert [k for k, __ in got_a] == sorted(keys.tolist())
+
+
+class TestFreeze:
+    def test_arrays_mirror_adjacency(self):
+        g = _grid_graph(seed=1)
+        csr = CSRGraph.freeze(g)
+        assert csr.node_count == g.node_count
+        assert csr.edge_count == g.edge_count
+        for p in csr.points:
+            i = csr.index[p]
+            assert (csr.xs[i], csr.ys[i]) == (p.x, p.y)
+            lo, hi = int(csr.indptr[i]), int(csr.indptr[i + 1])
+            row = {
+                csr.points[int(j)]: float(w)
+                for j, w in zip(csr.indices[lo:hi], csr.weights[lo:hi])
+            }
+            assert row == g._adj[p]
+
+    def test_frozen_caches_per_revision(self):
+        g = _grid_graph(seed=2)
+        csr = frozen(g)
+        assert frozen(g) is csr
+        g.add_entity(Point(100.0, 100.0))
+        csr2 = frozen(g)
+        assert csr2 is not csr
+        assert csr2.node_count == csr.node_count + 1
+
+    def test_structure_revision_moves_on_topology_change(self):
+        g = _grid_graph(seed=3)
+        r0 = g.structure_revision
+        g.add_entity(Point(50.0, 50.0))
+        r1 = g.structure_revision
+        assert r1 > r0
+        g.delete_entity(Point(50.0, 50.0))
+        assert g.structure_revision > r1
+
+
+class TestDijkstraParity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_full_expansion_bit_identical(self, seed):
+        g = _grid_graph(seed=seed)
+        csr = CSRGraph.freeze(g)
+        source = csr.points[0]
+        oracle = dijkstra(g, source)
+        dist, settled = csr.dijkstra(csr.index[source])
+        for p in csr.points:
+            i = csr.index[p]
+            if p in oracle:
+                assert settled[i]
+                assert dist[i] == oracle[p]  # bitwise
+            else:
+                assert not settled[i]
+                assert math.isinf(dist[i])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bounded_bit_identical(self, seed):
+        g = _grid_graph(seed=seed)
+        csr = CSRGraph.freeze(g)
+        source = csr.points[0]
+        full = dijkstra(g, source)
+        bound = float(np.median([d for d in full.values() if d < math.inf]))
+        oracle = bounded_dijkstra(g, source, bound)
+        dist, settled = csr.dijkstra(csr.index[source], bound=bound)
+        got = {
+            csr.points[i]: float(dist[i])
+            for i in range(csr.node_count)
+            if settled[i]
+        }
+        assert got == oracle
+
+    def test_targets_early_exit_settles_targets(self):
+        g = _grid_graph(seed=4)
+        csr = CSRGraph.freeze(g)
+        source = csr.points[0]
+        oracle = dijkstra(g, source)
+        reachable = [p for p in csr.points[1:] if p in oracle]
+        target = max(reachable, key=oracle.__getitem__)
+        near = min(reachable, key=oracle.__getitem__)
+        dist, settled = csr.dijkstra(
+            csr.index[source], targets=[csr.index[near]]
+        )
+        assert settled[csr.index[near]]
+        assert dist[csr.index[near]] == oracle[near]
+        # The far target need not have settled after the early exit.
+        full_dist, full_settled = csr.dijkstra(csr.index[source])
+        assert full_settled.sum() >= settled.sum()
+        assert full_dist[csr.index[target]] == oracle[target]
+
+    def test_field_cache_reuses_array(self):
+        g = _grid_graph(seed=5)
+        csr = CSRGraph.freeze(g)
+        a = csr.field(0)
+        assert csr.field(0) is a
+        b = csr.field(1)
+        assert b is not a

@@ -131,3 +131,111 @@ class TestDijkstraVariants:
         d2 = bounded_dijkstra(g, a, 20.0)
         for node, d in d1.items():
             assert d2[node] == pytest.approx(d)
+
+
+class TestTargetsAndBoundSemantics:
+    """Early-exit contract of ``dijkstra(targets=...)`` and the closed
+    boundary of ``bounded_dijkstra`` (satellite coverage for the heap
+    rework)."""
+
+    def test_settled_target_terminates_expansion(self):
+        # A long chain: asking for a near target must not settle the
+        # far end of the chain.
+        points = [Point(float(i), 0.0) for i in range(30)]
+        g = VisibilityGraph.build(points, [])
+        res = dijkstra(g, points[0], targets=[points[1]])
+        assert res[points[1]] == pytest.approx(1.0)
+        assert len(res) < len(points)
+
+    def test_all_targets_settled(self, wall_graph):
+        g, a, b, wall = wall_graph
+        corners = list(wall.polygon.vertices)[:2]
+        res = dijkstra(g, a, targets=[b] + corners)
+        for t in [b] + corners:
+            assert t in res
+
+    def test_unreachable_target_within_bound_terminates(self, wall_graph):
+        # b is ~22 away around the wall: within bound 5 it is
+        # unreachable, and the expansion must prove that by exhausting
+        # the bounded frontier rather than spinning.
+        g, a, b, __ = wall_graph
+        res = dijkstra(g, a, targets=[b], bound=5.0)
+        assert b not in res
+        assert all(d <= 5.0 for d in res.values())
+
+    def test_sealed_target_terminates(self):
+        # A target in a separate component: the heap drains and the
+        # call returns (no bound needed to terminate).
+        walls = [
+            rect_obstacle(0, -10, -10, 10, -7),
+            rect_obstacle(1, -10, 7, 10, 10),
+            rect_obstacle(2, -10, -9, -7, 9),
+            rect_obstacle(3, 7, -9, 10, 9),
+        ]
+        a, b = Point(0, 0), Point(50, 50)
+        g = VisibilityGraph.build([a, b], walls, method="naive")
+        res = dijkstra(g, a, targets=[b])
+        assert b not in res
+
+    def test_bounded_dijkstra_includes_exact_boundary(self):
+        # Integer chain: node i sits at exactly distance i.  The bound
+        # is inclusive (``nd <= bound`` pushes, ``d > bound`` breaks),
+        # so a node at exactly the bound is settled.
+        points = [Point(float(i), 0.0) for i in range(8)]
+        g = VisibilityGraph.build(points, [])
+        res = bounded_dijkstra(g, points[0], 5.0)
+        assert res[points[5]] == 5.0
+        assert points[6] not in res
+
+
+class TestHeapTraffic:
+    """Regression guard for the stale-pop/dominated-push fix: on a
+    dense graph the heap must pop O(n) entries, not one per
+    relaxation."""
+
+    def _counting_heapq(self):
+        import heapq as real
+
+        class Counting:
+            pops = 0
+            pushes = 0
+
+            @classmethod
+            def heappop(cls, heap):
+                cls.pops += 1
+                return real.heappop(heap)
+
+            @classmethod
+            def heappush(cls, heap, item):
+                cls.pushes += 1
+                return real.heappush(heap, item)
+
+        return Counting
+
+    def test_dense_graph_pop_count_linear(self, monkeypatch):
+        # ``repro.visibility.shortest_path`` the module is shadowed by
+        # the re-exported function of the same name; go via importlib.
+        import importlib
+
+        sp = importlib.import_module("repro.visibility.shortest_path")
+
+        # Collinear points with no obstacles: a complete visibility
+        # graph (every pair mutually visible), the densest case.  All
+        # coordinates are integers, so relaxations i -> j compute
+        # i + (j - i) == j exactly and the dominated-push guard
+        # rejects every non-improving re-push.
+        n = 40
+        points = [Point(float(i), 0.0) for i in range(n)]
+        g = VisibilityGraph.build(points, [])
+        counting = self._counting_heapq()
+        monkeypatch.setattr(sp, "heapq", counting)
+        res = sp.dijkstra(g, points[0])
+        assert len(res) == n
+        for i, p in enumerate(points):
+            assert res[p] == float(i)
+        # One pop per settled node; the pre-fix behaviour pushed one
+        # entry per relaxation (~n^2/2 = 800 here) and popped them all.
+        assert counting.pops == n
+        # The source enters via the initial heap literal, so exactly
+        # one push per non-source settled node.
+        assert counting.pushes == n - 1

@@ -74,6 +74,16 @@ GATES: tuple[tuple[tuple[str, ...], str], ...] = (
     (("smoke field engine", "speedup_ok"), "exact"),
     (("smoke field engine", "graph_builds"), "lower"),
     (("smoke field engine", "field_freezes"), "lower"),
+    # Adaptive cache policy: the acceptance verdict (>= 2 wins, no
+    # losses, bit-identical answers), the deterministic trace check,
+    # and the build counters of the two headline-win profiles.
+    (("smoke adaptive policy", "gate_ok"), "exact"),
+    (("smoke adaptive policy", "parity"), "exact"),
+    (("smoke adaptive policy", "trace_deterministic"), "exact"),
+    (("smoke adaptive policy", "wins"), "higher"),
+    (("smoke adaptive policy", "losses"), "lower"),
+    (("smoke adaptive policy", "zipf-hotspot", "builds_adaptive"), "lower"),
+    (("smoke adaptive policy", "churn-heavy", "builds_adaptive"), "lower"),
 )
 
 
@@ -107,7 +117,10 @@ def delta_rows(
         label = " / ".join(path)
         base = _lookup(base_results, path)
         if base is None:
-            rows.append((label, direction, base, None, None, "skipped"))
+            # No baseline history; the current value still rides in the
+            # row so the CLI can flag a stale baseline (exit 3).
+            cur = _lookup(cur_results, path)
+            rows.append((label, direction, base, cur, None, "skipped"))
             continue
         cur = _lookup(cur_results, path)
         delta = None
@@ -233,6 +246,11 @@ def main(argv: list[str]) -> int:
     ``$GITHUB_STEP_SUMMARY``), pass or fail.  On failure the plain-text
     table is also printed so the log shows old/new/Δ% for every gate,
     not just the violated ones.
+
+    Exit codes: ``0`` clean, ``1`` regression, ``2`` bad usage, ``3``
+    stale baseline — the current run emits a gated metric the baseline
+    has no history for (a new benchmark landed without refreshing
+    ``BENCH_smoke.json``); the fix-it command is printed.
     """
     argv = list(argv)
     threshold = DEFAULT_THRESHOLD
@@ -276,6 +294,20 @@ def main(argv: list[str]) -> int:
         print()
         print(format_delta_table(rows))
         return 1
+    stale = [r for r in rows if r[5] == "skipped" and r[3] is not None]
+    if stale:
+        print(
+            f"{len(stale)} gate(s) missing from the baseline but emitted "
+            "by the current run:"
+        )
+        for label, *__ in stale:
+            print(f"  - {label}")
+        print()
+        print(
+            "the committed baseline predates these gates; refresh it with:"
+        )
+        print("  python benchmarks/run_all.py --smoke --json BENCH_smoke.json")
+        return 3
     print(f"benchmark gates clean ({len(GATES)} metrics, {threshold:.0%} threshold)")
     return 0
 

@@ -39,6 +39,8 @@ from repro.datasets.synthetic import (
 )
 from repro.geometry.point import Point
 from repro.obs.timing import Timer
+from repro.workloads.replay import replay_events, replay_trace
+from repro.workloads.trace import WorkloadEvent
 
 #: The paper's obstacle cardinality (LA streets).
 PAPER_OBSTACLES = 131_461
@@ -469,23 +471,29 @@ def run_moving_query(
     coverage-guarded graphs.  ``cold=False`` keeps the graph cache and
     page buffers (counters are still zeroed) — the warm-start leg of
     the snapshot benchmark, where the cache arrived from disk.
+
+    The execution engine is the shared workload-replay loop
+    (:func:`repro.workloads.replay.replay_events`): the trajectory is
+    lowered to ``distance`` events, replayed, and regrouped per step.
     """
     entities = workload.entity_sets[set_name]
-    db.reset_stats(clear_buffers=cold)
-    timer = Timer()
-    answers = []
-    for q in path:
-        near = sorted(entities, key=q.distance)[:n_sources]
-        with timer:
-            answers.append([db.obstructed_distance(p, q) for p in near])
-    stats = db.runtime_stats()
-    n = len(path)
+    events = [
+        WorkloadEvent("distance", center=q, source=p)
+        for q in path
+        for p in sorted(entities, key=q.distance)[:n_sources]
+    ]
+    flat, metrics = replay_events(
+        db, events, set_name=set_name, clear_buffers=cold
+    )
+    answers = [
+        flat[i : i + n_sources] for i in range(0, len(flat), n_sources)
+    ]
     return answers, {
-        "cpu_ms": timer.elapsed_ms / n,
-        "graph_builds": float(stats["graph_builds"]),
-        "cache_hits": float(stats["graph_cache_hits"]),
-        "cache_misses": float(stats["graph_cache_misses"]),
-        "promotions": float(stats["graph_cache_promotions"]),
+        "cpu_ms": metrics["cpu_ms_total"] / len(path),
+        "graph_builds": metrics["graph_builds"],
+        "cache_hits": metrics["cache_hits"],
+        "cache_misses": metrics["cache_misses"],
+        "promotions": metrics["promotions"],
     }
 
 
@@ -857,19 +865,19 @@ def field_engine_comparison(
                 min_entries=max(2, int(BENCH_PAGE_ENTRIES * 0.4)),
             )
             db.add_entity_set("P1", workload.entity_sets["P1"])
-            answers: list = []
-            timer = Timer()
-            with timer:
-                for __ in range(rounds):
-                    for q in workload.queries:
-                        answers.append(db.range("P1", q, e))
-                        answers.append(db.nearest("P1", q, 4))
+            events = [
+                WorkloadEvent(kind, center=q, k=4, e=e)
+                for __ in range(rounds)
+                for q in workload.queries
+                for kind in ("range", "nearest")
+            ]
+            answers, metrics = replay_events(db, events, set_name="P1")
             runtime = db.runtime_stats()
             pages = db.stats()["obstacles:obstacles"]
             runs[engine] = (
                 answers,
                 {
-                    "cpu_s": timer.elapsed,
+                    "cpu_s": metrics["cpu_ms_total"] / 1000.0,
                     "graph_builds": float(runtime["graph_builds"]),
                     "field_freezes": float(runtime["field_freezes"]),
                     "obstacle_reads": float(pages["reads"]),
@@ -899,3 +907,112 @@ def field_engine_comparison(
             and py["obstacle_reads"] == csr["obstacle_reads"]
         ),
     }
+
+
+# ---------------------------------------------------- adaptive cache policy
+#: Profiles of the adaptive-policy comparison, in reporting order.
+POLICY_PROFILES = (
+    "uniform",
+    "zipf-hotspot",
+    "commuter",
+    "flash-crowd",
+    "churn-heavy",
+)
+
+#: A profile is a *win* when adaptive beats the best static config by
+#: this factor on graph builds or hit rate...
+POLICY_WIN_RATIO = 1.3
+#: ...and a *loss* when adaptive needs more than this multiple of the
+#: best static config's graph builds.
+POLICY_LOSS_TOLERANCE = 1.05
+
+#: Scene size of the policy comparison (kept below the other benches:
+#: fifteen hundred replayed events dominate, not the scene).
+POLICY_BENCH_OBSTACLES = 120
+POLICY_BENCH_ENTITIES = 120
+
+#: Events per profile trace; 0 keeps each profile's own default count
+#: (the committed-baseline configuration).
+BENCH_POLICY_EVENTS = int(os.environ.get("REPRO_BENCH_POLICY_EVENTS", "0"))
+
+
+def adaptive_policy_comparison(
+    n_obstacles: int = POLICY_BENCH_OBSTACLES,
+    *,
+    seed: int = BENCH_SEED,
+    n_entities: int = POLICY_BENCH_ENTITIES,
+) -> dict[str, object]:
+    """Adaptive policy vs the best static knob, per workload profile.
+
+    Every profile trace is replayed three times on identical scenes:
+    exact keys (``snap=0``), the hand-tuned moving-query quantum
+    (:func:`moving_snap`), and ``REPRO_CACHE_POLICY=adaptive`` learning
+    its own knobs.  "Best static" is picked per profile *after the
+    fact* — the strongest possible opponent.  The acceptance gate:
+    adaptive wins (``>= POLICY_WIN_RATIO`` fewer graph builds or higher
+    hit rate) on at least two profiles, and never needs more than
+    ``POLICY_LOSS_TOLERANCE`` times the best static's builds on any.
+    Answers must be bit-identical across all three replays (the
+    coverage guard makes every snap/capacity decision
+    answer-preserving), and generating a trace twice from one seed
+    must be byte-identical (``trace_deterministic``).
+    """
+    from repro.workloads.profiles import generate_trace
+    from repro.workloads.trace import encode_trace
+
+    results: dict[str, object] = {}
+    wins = 0
+    losses = 0
+    parity_all = True
+    deterministic_all = True
+    adjustments = 0.0
+    n_events = BENCH_POLICY_EVENTS or None
+    for profile in POLICY_PROFILES:
+        trace = generate_trace(
+            profile, seed=seed, n_events=n_events,
+            n_obstacles=n_obstacles, n_entities=n_entities,
+        )
+        again = generate_trace(
+            profile, seed=seed, n_events=n_events,
+            n_obstacles=n_obstacles, n_entities=n_entities,
+        )
+        deterministic = encode_trace(trace) == encode_trace(again)
+        a_exact, m_exact = replay_trace(trace, graph_cache_snap=0.0)
+        a_snap, m_snap = replay_trace(trace, graph_cache_snap=moving_snap())
+        a_adapt, m_adapt = replay_trace(trace, cache_policy="adaptive")
+        parity = a_exact == a_snap == a_adapt
+        best_builds = min(m_exact["graph_builds"], m_snap["graph_builds"])
+        best_hit = max(m_exact["hit_rate"], m_snap["hit_rate"])
+        build_ratio = best_builds / max(1.0, m_adapt["graph_builds"])
+        if best_hit > 0.0:
+            hit_ratio = m_adapt["hit_rate"] / best_hit
+        else:
+            hit_ratio = math.inf if m_adapt["hit_rate"] > 0.0 else 1.0
+        win = build_ratio >= POLICY_WIN_RATIO or hit_ratio >= POLICY_WIN_RATIO
+        loss = m_adapt["graph_builds"] > best_builds * POLICY_LOSS_TOLERANCE
+        wins += win
+        losses += loss
+        parity_all &= parity
+        deterministic_all &= deterministic
+        adjustments += m_adapt["policy_adjustments"]
+        results[profile] = {
+            "events": m_adapt["events"],
+            "builds_exact": m_exact["graph_builds"],
+            "builds_snapped": m_snap["graph_builds"],
+            "builds_adaptive": m_adapt["graph_builds"],
+            "build_ratio": build_ratio,
+            "hit_rate_static": best_hit,
+            "hit_rate_adaptive": m_adapt["hit_rate"],
+            "hit_ratio": hit_ratio,
+            "adjustments": m_adapt["policy_adjustments"],
+            "win": float(win),
+            "loss": float(loss),
+            "parity": float(parity),
+        }
+    results["wins"] = float(wins)
+    results["losses"] = float(losses)
+    results["parity"] = float(parity_all)
+    results["trace_deterministic"] = float(deterministic_all)
+    results["policy_adjustments"] = adjustments
+    results["gate_ok"] = float(wins >= 2 and losses == 0 and parity_all)
+    return results

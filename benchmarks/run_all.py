@@ -316,7 +316,10 @@ def smoke() -> int:
     code = smoke_obs()
     if code:
         return code
-    return smoke_field_engine()
+    code = smoke_field_engine()
+    if code:
+        return code
+    return smoke_policy()
 
 
 def smoke_kernel() -> int:
@@ -677,6 +680,52 @@ def smoke_field_engine() -> int:
         return 1
     if metrics["speedup"] < 3.0:
         print("FAIL: CSR engine under 3x on the warm stream")
+        return 1
+    return 0
+
+
+def smoke_policy() -> int:
+    """Adaptive-cache-policy smoke: replay every workload profile under
+    exact keys, the hand-tuned snap quantum, and the adaptive policy.
+    Gated on the acceptance claims: adaptive wins on >= 2 of 5 profiles
+    (>= 1.3x fewer graph builds or higher hit rate), never needs more
+    than 1.05x the best static's builds, answers stay bit-identical
+    under every policy, and trace generation is deterministic."""
+    from benchmarks.common import (
+        POLICY_PROFILES,
+        adaptive_policy_comparison,
+    )
+
+    metrics = adaptive_policy_comparison()
+    RESULTS["smoke adaptive policy"] = metrics
+    print("\nadaptive cache policy vs best static knob:")
+    for profile in POLICY_PROFILES:
+        row = metrics[profile]
+        verdict = (
+            "WIN" if row["win"] else ("LOSS" if row["loss"] else "par")
+        )
+        print(
+            f"  {profile:13} {verdict:4} builds exact/snapped/adaptive = "
+            f"{row['builds_exact']:.0f}/{row['builds_snapped']:.0f}/"
+            f"{row['builds_adaptive']:.0f} "
+            f"(best-static/adaptive {row['build_ratio']:.2f}x), hit rate "
+            f"{row['hit_rate_static']:.2f} -> {row['hit_rate_adaptive']:.2f}"
+        )
+    print(
+        f"  {metrics['wins']:.0f} win(s), {metrics['losses']:.0f} loss(es), "
+        f"{metrics['policy_adjustments']:.0f} policy adjustment(s)"
+    )
+    if not metrics["parity"]:
+        print("FAIL: a cache policy changed query answers")
+        return 1
+    if not metrics["trace_deterministic"]:
+        print("FAIL: trace generation is not deterministic")
+        return 1
+    if metrics["wins"] < 2:
+        print("FAIL: adaptive policy won fewer than 2 of 5 profiles")
+        return 1
+    if metrics["losses"]:
+        print("FAIL: adaptive policy lost > 5% on some profile")
         return 1
     return 0
 

@@ -61,6 +61,7 @@ from repro.runtime.batch import batch_distance, batch_nearest, batch_range
 from repro.runtime.context import QueryContext
 from repro.runtime.executor import resolve_pool_kind, resolve_workers
 from repro.runtime.metric import ObstructedMetric
+from repro.runtime.policy import CachePolicy
 from repro.runtime.stats import RuntimeStats
 from repro.visibility.kernel.backend import VisibilityBackend, resolve_backend
 
@@ -106,6 +107,14 @@ class ObstacleDatabase:
         instance).  ``None`` auto-picks — the
         ``REPRO_VISIBILITY_BACKEND`` environment variable when set,
         else the numpy kernel when numpy is importable.
+    cache_policy:
+        The graph-cache tuning policy (``"static"``, ``"adaptive"``,
+        or a :class:`~repro.runtime.policy.CachePolicy` instance).
+        ``None`` (default) reads the ``REPRO_CACHE_POLICY``
+        environment variable, else static.  The adaptive policy
+        observes the live centre stream and retunes the snap quantum,
+        LRU capacity and guest admission online; answers are
+        bit-identical under any policy.
     """
 
     def __init__(
@@ -121,6 +130,7 @@ class ObstacleDatabase:
         graph_cache_snap: float | None = None,
         shards: int | None = None,
         backend: "str | VisibilityBackend | None" = None,
+        cache_policy: "str | CachePolicy | None" = None,
     ) -> None:
         if shards is not None and shards < 1:
             raise DatasetError(f"shards must be >= 1, got {shards}")
@@ -147,6 +157,7 @@ class ObstacleDatabase:
         )
         self._next_oid = 0
         self._graph_cache_size = graph_cache_size
+        self._cache_policy = cache_policy
         self._runtime_stats = RuntimeStats()
         self._backend = resolve_backend(backend, stats=self._runtime_stats)
         self._entity_trees: dict[str, RStarTree] = {}
@@ -302,6 +313,12 @@ class ObstacleDatabase:
         assert self._context is not None
         return self._context
 
+    @property
+    def cache_policy(self) -> str:
+        """The active cache policy's name (``"static"``/``"adaptive"``)
+        — what a worker process must be told to resolve the same kind."""
+        return self.context.policy.name
+
     def universe(self) -> Rect | None:
         """MBR over obstacles and all entity sets."""
         rects = [idx.universe() for idx in self._obstacle_indexes.values()]
@@ -318,6 +335,7 @@ class ObstacleDatabase:
             snap=self._graph_cache_snap,
             stats=self._runtime_stats,
             backend=self._backend,
+            policy=self._cache_policy,
         )
 
     # --------------------------------------------------------- serving pool
@@ -421,6 +439,7 @@ class ObstacleDatabase:
         path: "str | os.PathLike[str]",
         *,
         backend: "str | VisibilityBackend | None" = None,
+        cache_policy: "str | CachePolicy | None" = None,
     ) -> "ObstacleDatabase":
         """Restore a database saved by :meth:`save`.
 
@@ -436,7 +455,7 @@ class ObstacleDatabase:
         """
         from repro.persist.store import load_database
 
-        return load_database(path, backend=backend)
+        return load_database(path, backend=backend, cache_policy=cache_policy)
 
     def _snapshot_state(self) -> dict:
         """The parts of this database a snapshot serializes (the
@@ -466,6 +485,7 @@ class ObstacleDatabase:
         obstacle_indexes: "dict[str, ObstacleIndex | ShardedObstacleIndex]",
         entity_trees: dict[str, RStarTree],
         backend: "str | VisibilityBackend | None" = None,
+        cache_policy: "str | CachePolicy | None" = None,
     ) -> "ObstacleDatabase":
         """Assemble a database around already-restored indexes.
 
@@ -477,6 +497,7 @@ class ObstacleDatabase:
         """
         db = object.__new__(cls)
         db._graph_cache_snap = graph_cache_snap
+        db._cache_policy = cache_policy
         db._shards = shards
         db._bulk = bulk
         db._tree_kwargs = dict(tree_kwargs)

@@ -347,6 +347,7 @@ def load_database(
     path: str | Path,
     *,
     backend: "str | VisibilityBackend | None" = None,
+    cache_policy: "str | None" = None,
 ) -> "ObstacleDatabase":
     """Restore a database saved by :func:`save_database`.
 
@@ -357,7 +358,9 @@ def load_database(
     visibility backend of the restored runtime (``None`` auto-picks,
     exactly as the :class:`~repro.core.engine.ObstacleDatabase`
     constructor does); restored cached graphs are reassembled without
-    sweeps either way.
+    sweeps either way.  ``cache_policy`` likewise selects the restored
+    runtime's cache policy (``None`` reads ``REPRO_CACHE_POLICY``) —
+    policy is runtime configuration, not snapshot state.
     """
     from repro.core.engine import ObstacleDatabase
 
@@ -461,6 +464,7 @@ def load_database(
         obstacle_indexes=obstacle_indexes,  # type: ignore[arg-type]
         entity_trees=entity_trees,
         backend=backend,
+        cache_policy=cache_policy,
     )
     context = db.context
     restored_entries = []

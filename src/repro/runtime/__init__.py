@@ -24,7 +24,11 @@ graph.  This package owns that machinery once, instead of per query:
   evaluating independent query points over per-worker contexts;
 * :mod:`~repro.runtime.sharding` — the spatial shard grid and the
   per-shard version stamps backing
-  :class:`~repro.core.source.ShardedObstacleIndex`.
+  :class:`~repro.core.source.ShardedObstacleIndex`;
+* :mod:`~repro.runtime.policy` — cache tuning policies: the static
+  default and :class:`~repro.runtime.policy.AdaptiveCachePolicy`,
+  which learns the snap quantum / LRU capacity / guest admission from
+  the observed centre stream (``REPRO_CACHE_POLICY=adaptive``).
 """
 
 from repro.runtime.batch import batch_distance, batch_nearest, batch_range
@@ -41,6 +45,11 @@ from repro.runtime.metric import (
     EuclideanMetric,
     ObstructedMetric,
     resolve_metric,
+)
+from repro.runtime.policy import (
+    AdaptiveCachePolicy,
+    CachePolicy,
+    resolve_cache_policy,
 )
 from repro.runtime.queries import (
     iter_metric_closest_pairs,
@@ -65,6 +74,9 @@ __all__ = [
     "RuntimeStats",
     "VisibilityGraphCache",
     "CachedGraph",
+    "CachePolicy",
+    "AdaptiveCachePolicy",
+    "resolve_cache_policy",
     "DistanceOracle",
     "DistanceField",
     "EuclideanMetric",

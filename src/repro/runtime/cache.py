@@ -128,6 +128,55 @@ class VisibilityGraphCache:
         """The spatial-key quantum (0 = exact centre keys)."""
         return self._snap
 
+    def configure(
+        self, *, snap: float | None = None, capacity: int | None = None
+    ) -> bool:
+        """Retune the spatial-key quantum and/or LRU capacity in place.
+
+        The adaptive cache policy's actuator: answers never depend on
+        the key scheme (reuse stays behind the caller's coverage
+        guard), so retuning is always safe — it only moves *which*
+        entries share a key and how many are retained.
+
+        A snap change re-keys every stored entry in LRU order.  Two
+        entries colliding under the new quantum keep the more recently
+        used one (the loser is booked as an eviction, exactly like a
+        capacity overflow); shard registrations follow the surviving
+        entries to their new keys.  A capacity shrink evicts the LRU
+        tail immediately.  Returns ``True`` when anything changed.
+        """
+        changed = False
+        if capacity is not None and capacity != self._capacity:
+            if capacity < 1:
+                raise ValueError(
+                    f"cache capacity must be >= 1, got {capacity}"
+                )
+            self._capacity = capacity
+            while len(self._entries) > self._capacity:
+                victim, __ = self._entries.popitem(last=False)
+                self._unregister_shards(victim)
+                self.stats.graph_cache_evictions += 1
+            changed = True
+        if snap is not None and snap != self._snap:
+            if snap < 0:
+                raise ValueError(f"snap quantum must be >= 0, got {snap}")
+            old = list(self._entries.items())
+            old_shards = self._entry_shards
+            self._snap = snap
+            self._entries = OrderedDict()
+            self._by_shard = {}
+            self._entry_shards = {}
+            for old_key, entry in old:  # LRU order: later wins collisions
+                key = self.key_for(entry.center)
+                if key in self._entries:
+                    self._unregister_shards(key)
+                    self.stats.graph_cache_evictions += 1
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                self._register_shards(key, old_shards.get(old_key))
+            changed = True
+        return changed
+
     def key_for(self, center: Point) -> Hashable:
         """The cache key ``center`` maps to (the centre itself with
         exact keys, its grid cell with a positive ``snap``)."""

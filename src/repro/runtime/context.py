@@ -34,6 +34,7 @@ from repro.geometry.point import Point
 from repro.model import Obstacle
 from repro.obs.trace import TRACER
 from repro.runtime.cache import CachedGraph, VisibilityGraphCache
+from repro.runtime.policy import CachePolicy, resolve_cache_policy
 from repro.runtime.sharding import stamp_for, stamp_is_stale
 from repro.runtime.stats import RuntimeStats
 from repro.visibility.graph import VisibilityGraph
@@ -84,6 +85,14 @@ class QueryContext:
         else the numpy kernel when numpy is importable.  The resolved
         backend shares this context's stats, so ``sweeps_run`` /
         ``sweep_events`` / ``sweep_seconds`` account all sweep work.
+    policy:
+        The cache policy (a name — ``"static"``, ``"adaptive"`` — or a
+        :class:`~repro.runtime.policy.CachePolicy` instance).  ``None``
+        reads ``REPRO_CACHE_POLICY``, defaulting to static.  The
+        adaptive policy observes every lookup centre and retunes the
+        cache's snap quantum / capacity / guest admission online;
+        answers are bit-identical under any policy (reuse stays behind
+        the coverage guard — the policy only moves keys and capacity).
     """
 
     def __init__(
@@ -94,6 +103,7 @@ class QueryContext:
         snap: float = 0.0,
         stats: RuntimeStats | None = None,
         backend: "str | VisibilityBackend | None" = None,
+        policy: "str | CachePolicy | None" = None,
     ) -> None:
         self.source = source
         self.stats = stats if stats is not None else RuntimeStats()
@@ -102,6 +112,8 @@ class QueryContext:
         self.cache = VisibilityGraphCache(
             cache_size, snap=snap, stats=self.stats
         )
+        self.policy = resolve_cache_policy(policy)
+        self.policy.attach(self.cache, self.stats)
         #: Entry ids (by identity) whose stamps were fresh at the last
         #: ``pre-`` mutation notification — the only entries the
         #: matching post-notification may repair-and-re-stamp — plus
@@ -127,9 +139,10 @@ class QueryContext:
         """An independent context over the same obstacle source.
 
         The parallel batch executor gives each worker one: same source
-        and backend *kind*, but a private graph cache and private stats
-        (merged into the parent's on join), so workers never contend on
-        mutable runtime state.
+        and backend *kind*, but a private graph cache, private stats
+        (merged into the parent's on join), and a private policy of the
+        same kind (each worker adapts to its own slice of the stream),
+        so workers never contend on mutable runtime state.
         """
         from repro.visibility.kernel.backend import available_backends
 
@@ -144,6 +157,7 @@ class QueryContext:
             snap=self.cache.snap,
             stats=stats,
             backend=backend,
+            policy=self.policy.spawn(),
         )
 
     # --------------------------------------------------------- repair plumbing
@@ -292,6 +306,7 @@ class QueryContext:
         widened radius (extend-and-promote) before being served, and
         ``center`` is added to the shared graph as a free point.
         """
+        self.policy.observe(center)
         entry = self.cache.get(center, self.version)
         if entry is None:
             with TRACER.span("graph.build", radius=radius) as span:
@@ -324,8 +339,9 @@ class QueryContext:
         """Make an off-centre ``center`` a node of the entry's shared
         graph: one sweep now, zero builds for every later query at this
         centre.  Guests are retained insertion-ordered up to
-        :data:`GUEST_LIMIT`; beyond it the oldest is deleted again, so
-        a jittering centre stream cannot grow the graph unboundedly.
+        :data:`GUEST_LIMIT` (the policy may widen the bound for hot
+        cells); beyond it the oldest is deleted again, so a jittering
+        centre stream cannot grow the graph unboundedly.
         """
         graph = entry.graph
         if graph.add_entity(center):
@@ -334,7 +350,8 @@ class QueryContext:
             # Refresh recency so a re-visited centre is evicted last.
             del entry.guests[center]
             entry.guests[center] = None
-        while len(entry.guests) > GUEST_LIMIT:
+        limit = self.policy.guest_limit(entry, GUEST_LIMIT)
+        while len(entry.guests) > limit:
             oldest = next(iter(entry.guests))
             del entry.guests[oldest]
             if oldest != center:

@@ -1,0 +1,373 @@
+"""Adaptive cache policy: learn the cache knobs from the query stream.
+
+Every cache knob of the runtime — the spatial-key quantum
+(``graph_cache_snap``), the LRU capacity, the per-cell guest admission
+bound — is a constant that is only right for the workload it was tuned
+on.  A commuter stream wants a snap quantum a few steps wide; a Zipf
+hotspot wants cells the size of the whole hot disk; a uniform scatter
+wants exact keys and a small cache.  This module makes the knobs
+*observed* instead of guessed: an :class:`AdaptiveCachePolicy` watches
+the live centre stream plus the cache's own hit/miss/repair counters
+(the same :class:`~repro.runtime.stats.RuntimeStats` the metrics
+registry exports) and periodically retunes the cache through
+:meth:`~repro.runtime.cache.VisibilityGraphCache.configure`.
+
+Correctness is not the policy's problem by construction: spatial-key
+reuse is guarded by the coverage disk (see
+:meth:`~repro.runtime.context.QueryContext.entry_for`), so any snap
+quantum — including a terrible one — yields bit-identical answers.
+The policy only moves *performance*: which centres share a graph, how
+many graphs are retained, how many guests a hot graph admits.
+
+The estimator is deliberately small (windowed order statistics and
+EWMAs, no training loop):
+
+* **Snap quantum** — the median nearest-neighbour displacement over
+  the most recent slice of the sliding window, scaled by
+  ``snap_factor``.  A stream with spatial locality (commuters,
+  hotspots, crowds) has a small median displacement and gets cells
+  several displacements wide; a stream without locality (uniform
+  scatter) has displacements on the order of the observed spread and
+  gets exact keys (snap ``0``).  Deciding from the recent slice, not
+  the full window, is what makes regime changes (a flash crowd
+  forming) take effect within a handful of lookups instead of a full
+  window turnover.
+* **Capacity** — twice the number of distinct snapped cells in the
+  window, clamped to ``[base capacity, max_capacity]``: enough room
+  that the working set never self-evicts, never less than the
+  configured floor.
+* **Guest bound** — per-cell EWMA of lookup share; a cell that
+  concentrates the stream (a flash crowd) gets ``hot_guest_factor``
+  times the default guest bound so the crowd's distinct positions stay
+  resident in the shared graph.
+
+Decisions are damped (a retune needs a >25 % relative change) so the
+cache is not re-keyed on every estimator wobble, and every applied
+change is booked in ``RuntimeStats``
+(``policy_adjustments`` / ``policy_snap`` / ``policy_capacity``) and
+traced (``policy.adjust`` spans) so a trace or metrics export shows
+what the policy did and when.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from statistics import median
+from typing import TYPE_CHECKING, Hashable
+
+from repro.errors import DatasetError
+from repro.obs.trace import TRACER
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runtime.cache import CachedGraph, VisibilityGraphCache
+    from repro.runtime.stats import RuntimeStats
+
+#: Environment knob selecting the policy for every
+#: :class:`~repro.core.engine.ObstacleDatabase` that is not given one
+#: explicitly.
+POLICY_ENV = "REPRO_CACHE_POLICY"
+
+
+class CachePolicy:
+    """The static (identity) policy: observe nothing, adjust nothing.
+
+    This is the default and the historical behaviour — the cache keeps
+    whatever ``snap`` / capacity it was constructed with, and every
+    entry admits the default number of guests.  It also defines the
+    interface the runtime calls:
+
+    * :meth:`attach` — wires the policy to one context's cache + stats
+      (called once from ``QueryContext.__init__``);
+    * :meth:`observe` — one lookup centre, called on every
+      ``entry_for`` before the cache is consulted;
+    * :meth:`guest_limit` — the per-entry guest admission bound;
+    * :meth:`spawn` — a fresh policy of the same kind for a worker
+      context (workers adapt to *their* slice of the stream
+      independently; no estimator state is shipped).
+    """
+
+    name = "static"
+
+    def attach(
+        self, cache: "VisibilityGraphCache", stats: "RuntimeStats"
+    ) -> None:
+        """Wire the policy to one context's cache and stats."""
+        self.cache = cache
+        self.stats = stats
+
+    def observe(self, center) -> None:
+        """Feed one lookup centre to the estimator (no-op here)."""
+
+    def guest_limit(self, entry: "CachedGraph", default: int) -> int:
+        """The guest admission bound for ``entry`` (the default here)."""
+        return default
+
+    def spawn(self) -> "CachePolicy":
+        """A fresh, unattached policy of the same kind."""
+        return type(self)()
+
+
+class AdaptiveCachePolicy(CachePolicy):
+    """Windowed-quantile/EWMA tuner for snap, capacity, and admission.
+
+    Parameters
+    ----------
+    window:
+        Sliding window length (recent lookup centres the estimator
+        sees).
+    adjust_every:
+        Lookups between adjustment passes.
+    snap_factor:
+        Cell size as a multiple of the median nearest-neighbour
+        displacement.
+    locality_fraction:
+        Minimum share of recent displacements that must fall inside a
+        candidate cell for snapping to engage at all; below it the
+        stream has no usable locality and exact keys win.
+    max_capacity:
+        Upper clamp for the learned LRU capacity.
+    hot_guest_factor / hot_share:
+        A cell whose EWMA share of lookups exceeds ``hot_share`` gets
+        ``hot_guest_factor`` times the default guest bound.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        *,
+        window: int = 48,
+        adjust_every: int = 8,
+        snap_factor: float = 12.0,
+        locality_fraction: float = 0.6,
+        max_capacity: int = 512,
+        hot_guest_factor: int = 4,
+        hot_share: float = 0.25,
+    ) -> None:
+        if window < 2:
+            raise DatasetError(f"policy window must be >= 2, got {window}")
+        if adjust_every < 1:
+            raise DatasetError(
+                f"adjust_every must be >= 1, got {adjust_every}"
+            )
+        self.window = window
+        self.adjust_every = adjust_every
+        self.snap_factor = snap_factor
+        self.locality_fraction = locality_fraction
+        self.max_capacity = max_capacity
+        self.hot_guest_factor = hot_guest_factor
+        self.hot_share = hot_share
+        self._centers: list = []  # ring buffer of recent centres
+        self._displacements: list[float] = []  # parallel ring buffer
+        self._head = 0
+        #: Long-run bounding box of every centre ever observed — the
+        #: snap cap scales with the workload's full extent, not the
+        #: current window's (a flash crowd collapses the window to the
+        #: crowd's box; the cap must not collapse with it).
+        self._bounds: list[float] | None = None  # [minx, miny, maxx, maxy]
+        self._since_adjust = 0
+        self._base_capacity: int | None = None
+        #: cell key -> EWMA of that cell's share of recent lookups.
+        self._cell_share: OrderedDict[Hashable, float] = OrderedDict()
+
+    def spawn(self) -> "AdaptiveCachePolicy":
+        """A parameter-identical policy with fresh estimator state."""
+        return AdaptiveCachePolicy(
+            window=self.window,
+            adjust_every=self.adjust_every,
+            snap_factor=self.snap_factor,
+            locality_fraction=self.locality_fraction,
+            max_capacity=self.max_capacity,
+            hot_guest_factor=self.hot_guest_factor,
+            hot_share=self.hot_share,
+        )
+
+    def attach(
+        self, cache: "VisibilityGraphCache", stats: "RuntimeStats"
+    ) -> None:
+        """Wire up the cache and remember its configured capacity as
+        the floor the learned capacity never drops below."""
+        super().attach(cache, stats)
+        self._base_capacity = cache.capacity
+
+    # ------------------------------------------------------------ observation
+    def observe(self, center) -> None:
+        """One lookup centre: update the displacement window and the
+        per-cell EWMA, and run an adjustment pass every
+        ``adjust_every`` lookups."""
+        # Nearest-neighbour displacement against the *current* window
+        # (min over the window, not just the previous centre, so R
+        # interleaved commuter clients still measure the per-client
+        # step rather than the client-to-client hop).
+        if self._centers:
+            d = min(center.distance(c) for c in self._centers)
+        else:
+            d = 0.0
+        if len(self._centers) < self.window:
+            self._centers.append(center)
+            self._displacements.append(d)
+        else:
+            self._centers[self._head] = center
+            self._displacements[self._head] = d
+            self._head = (self._head + 1) % self.window
+        if self._bounds is None:
+            self._bounds = [center.x, center.y, center.x, center.y]
+        else:
+            b = self._bounds
+            b[0] = min(b[0], center.x)
+            b[1] = min(b[1], center.y)
+            b[2] = max(b[2], center.x)
+            b[3] = max(b[3], center.y)
+        self._update_cell_share(center)
+        self._since_adjust += 1
+        if self._since_adjust >= self.adjust_every:
+            self._since_adjust = 0
+            self._adjust()
+
+    def _update_cell_share(self, center) -> None:
+        """EWMA per-cell lookup share under the *current* snap (exact
+        keys degrade to per-centre shares, which never cross
+        ``hot_share`` for a jittering stream — hot admission only
+        matters once snapping has engaged)."""
+        alpha = 2.0 / (self.window + 1)
+        key = self.cache.key_for(center)
+        for k in list(self._cell_share):
+            decayed = self._cell_share[k] * (1.0 - alpha)
+            if decayed < alpha / 8:  # forget cold cells
+                del self._cell_share[k]
+            else:
+                self._cell_share[k] = decayed
+        self._cell_share[key] = self._cell_share.get(key, 0.0) + alpha
+
+    # ------------------------------------------------------------- adjustment
+    def _spread(self) -> float:
+        if self._bounds is None:
+            return 0.0
+        minx, miny, maxx, maxy = self._bounds
+        return max(maxx - minx, maxy - miny)
+
+    def _recent_displacements(self, k: int) -> list[float]:
+        """The last ``k`` displacements, most recent first."""
+        n = len(self._displacements)
+        if n < self.window:
+            return self._displacements[-k:]
+        return [
+            self._displacements[(self._head - 1 - j) % self.window]
+            for j in range(min(k, n))
+        ]
+
+    def _candidate_snap(self) -> float:
+        """The snap quantum the recent stream argues for (0 = exact).
+
+        Decisions use the most recent third of the window (at least 8
+        samples): the displacement distribution is what changes when
+        the workload changes regime, and waiting for the full window
+        to turn over would cost a window's worth of exact-key misses
+        on every transition.
+        """
+        recent = self._recent_displacements(max(8, self.window // 3))
+        nonzero = [d for d in recent if d > 0.0]
+        if len(nonzero) < 6:
+            return self.cache.snap  # too little signal: hold
+        spread = self._spread()
+        if spread <= 0.0:
+            return self.cache.snap
+        candidate = self.snap_factor * median(nonzero)
+        # Cells are never wider than a small fraction of the long-run
+        # spread — beyond that, "sharing" means covering most of the
+        # universe from one centre.  (A capped cell can still win:
+        # the locality test below decides.)
+        candidate = min(candidate, 0.05 * spread)
+        inside = sum(1 for d in recent if d <= candidate)
+        if inside < self.locality_fraction * len(recent):
+            return 0.0  # no locality: exact keys
+        return candidate
+
+    def _candidate_capacity(self) -> int:
+        base = self._base_capacity or self.cache.capacity
+        snap = self.cache.snap
+        if snap > 0:
+            cells = {
+                (round(c.x / snap), round(c.y / snap))
+                for c in self._centers
+            }
+            distinct = len(cells)
+        else:
+            distinct = len(set(self._centers))
+        return max(base, min(self.max_capacity, 2 * distinct))
+
+    def _adjust(self) -> None:
+        new_snap = self._candidate_snap()
+        old_snap = self.cache.snap
+        snap_arg = None
+        if new_snap != old_snap:
+            lo, hi = sorted((new_snap, old_snap))
+            # Damping: re-keying the cache is not free, so a retune
+            # needs either a zero/non-zero flip or a >25 % move.
+            if lo == 0.0 or (hi - lo) / hi > 0.25:
+                snap_arg = new_snap
+        new_capacity = self._candidate_capacity()
+        capacity_arg = (
+            new_capacity if new_capacity != self.cache.capacity else None
+        )
+        if snap_arg is None and capacity_arg is None:
+            return
+        with TRACER.span(
+            "policy.adjust",
+            snap=snap_arg if snap_arg is not None else old_snap,
+            capacity=(
+                capacity_arg
+                if capacity_arg is not None
+                else self.cache.capacity
+            ),
+        ):
+            self.cache.configure(snap=snap_arg, capacity=capacity_arg)
+        self.stats.policy_adjustments += 1
+        TRACER.count("policy.adjust")
+        if snap_arg is not None:
+            self.stats.policy_snap += 1
+            self._cell_share.clear()  # shares were per old-snap cell
+        if capacity_arg is not None:
+            self.stats.policy_capacity += 1
+
+    # -------------------------------------------------------------- admission
+    def guest_limit(self, entry: "CachedGraph", default: int) -> int:
+        """``hot_guest_factor`` times the default bound for entries in
+        hot cells (EWMA share >= ``hot_share``), the default elsewhere."""
+        key = self.cache.key_for(entry.center)
+        if self._cell_share.get(key, 0.0) >= self.hot_share:
+            return default * self.hot_guest_factor
+        return default
+
+
+_POLICIES = {
+    "static": CachePolicy,
+    "adaptive": AdaptiveCachePolicy,
+}
+
+
+def resolve_cache_policy(
+    spec: "str | CachePolicy | None" = None,
+) -> CachePolicy:
+    """The policy instance ``spec`` names.
+
+    ``None`` reads the ``REPRO_CACHE_POLICY`` environment variable
+    (empty/unset = static); a string is looked up by name; a
+    :class:`CachePolicy` instance passes through unchanged.  Unknown
+    names raise :class:`~repro.errors.DatasetError` naming the valid
+    choices — fail fast, not fall back.
+    """
+    if isinstance(spec, CachePolicy):
+        return spec
+    if spec is None:
+        spec = os.environ.get(POLICY_ENV, "") or "static"
+    try:
+        factory = _POLICIES[spec]
+    except KeyError:
+        raise DatasetError(
+            f"unknown cache policy {spec!r}: expected one of "
+            f"{', '.join(sorted(_POLICIES))} (set {POLICY_ENV} or pass "
+            f"cache_policy=)"
+        ) from None
+    return factory()

@@ -40,6 +40,9 @@ class RuntimeStats:
         "batch_memo_hits",
         "parallel_batches",
         "pool_batches",
+        "policy_adjustments",
+        "policy_snap",
+        "policy_capacity",
         "sweeps_run",
         "sweep_events",
         "sweep_seconds",
@@ -69,6 +72,9 @@ class RuntimeStats:
         self.batch_memo_hits = 0
         self.parallel_batches = 0
         self.pool_batches = 0
+        self.policy_adjustments = 0
+        self.policy_snap = 0
+        self.policy_capacity = 0
         self.sweeps_run = 0
         self.sweep_events = 0
         self.sweep_seconds = 0.0

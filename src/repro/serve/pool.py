@@ -149,7 +149,10 @@ def _evaluate(db: "ObstacleDatabase", command: tuple, items: Sequence) -> list:
 
 
 def _worker_main(
-    conn: "Connection", snapshot_path: str, backend: str | None
+    conn: "Connection",
+    snapshot_path: str,
+    backend: str | None,
+    cache_policy: str | None = None,
 ) -> None:
     """The worker process body: load the snapshot (warm start), then
     serve ``(deltas, command, items)`` requests until shutdown.
@@ -162,7 +165,9 @@ def _worker_main(
     from repro.core.engine import ObstacleDatabase
 
     try:
-        db = ObstacleDatabase.load(snapshot_path, backend=backend)
+        db = ObstacleDatabase.load(
+            snapshot_path, backend=backend, cache_policy=cache_policy
+        )
     except BaseException as exc:  # startup must never hang the parent
         try:
             conn.send(("boot-error", repr(exc)))
@@ -363,13 +368,16 @@ class PersistentWorkerPool:
 
         if backend not in available_backends():
             backend = None
+        # Workers inherit the parent's cache policy *kind* by name (not
+        # its estimator state): each adapts to the stream it serves.
+        cache_policy = self._db.cache_policy
         members: list[_Worker] = []
         try:
             for i in range(self.workers):
                 parent_conn, child_conn = ctx.Pipe()
                 process = ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, path, backend),
+                    args=(child_conn, path, backend, cache_policy),
                     daemon=True,
                     name=f"repro-pool-{i}",
                 )

@@ -1,0 +1,55 @@
+"""Workload harness: named query-stream profiles, a replayable trace
+format, and the replay loop driving a database from a trace.
+
+* :mod:`~repro.workloads.trace` — the versioned, checksummed trace
+  file format (``b"RPROTRCE"``) and its event model;
+* :mod:`~repro.workloads.profiles` — the five named profiles
+  (``uniform``, ``zipf-hotspot``, ``commuter``, ``flash-crowd``,
+  ``churn-heavy``) as deterministic, seedable generators;
+* :mod:`~repro.workloads.replay` — scene reconstruction and the
+  shared replay loop (also the engine of the moving-query benches);
+* :mod:`~repro.workloads.cli` — the ``repro-workloads`` command
+  (generate / describe / replay / list).
+"""
+
+from repro.workloads.profiles import (
+    PROFILES,
+    generate_trace,
+    profile_names,
+)
+from repro.workloads.replay import (
+    database_for_trace,
+    replay_events,
+    replay_trace,
+    scene_for,
+)
+from repro.workloads.trace import (
+    EVENT_KINDS,
+    TRACE_MAGIC,
+    TRACE_VERSION,
+    Trace,
+    WorkloadEvent,
+    decode_trace,
+    encode_trace,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "PROFILES",
+    "generate_trace",
+    "profile_names",
+    "database_for_trace",
+    "replay_events",
+    "replay_trace",
+    "scene_for",
+    "EVENT_KINDS",
+    "TRACE_MAGIC",
+    "TRACE_VERSION",
+    "Trace",
+    "WorkloadEvent",
+    "decode_trace",
+    "encode_trace",
+    "read_trace",
+    "write_trace",
+]

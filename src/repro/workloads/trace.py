@@ -1,0 +1,268 @@
+"""The replayable workload-trace format.
+
+A trace is one file capturing everything needed to re-run a workload
+bit-for-bit on any host: the scene *parameters* (the synthetic
+generators are deterministic, so the scene is stored by recipe, not by
+geometry), and the full event stream — query kind, centre, parameters,
+and obstacle mutations, in order.  Framing mirrors the snapshot codec
+(:mod:`repro.persist.codec`): explicit little-endian records, a
+checksummed header, CRC-32 over the payload, fail-fast
+:class:`~repro.errors.DatasetError` naming the path and offset on any
+corruption, and version-too-new rejection — but under its own magic
+and version, because traces and snapshots evolve independently.
+
+File layout::
+
+    offset 0   magic            8 bytes  (``b"RPROTRCE"``)
+    offset 8   format version   u32
+    offset 12  payload length   u64
+    offset 20  payload crc32    u32
+    offset 24  header crc32     u32      (over bytes [0, 24))
+    offset 28  payload
+
+The payload is the trace header (profile name, seed, scene recipe)
+followed by the length-prefixed event list; every event starts with a
+one-byte kind code.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import DatasetError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.persist.codec import BinaryReader, BinaryWriter
+
+#: First 8 bytes of every trace file.
+TRACE_MAGIC = b"RPROTRCE"
+
+#: The trace format this build writes (and the newest it reads).
+#: Version history:
+#:
+#: 1. header (profile, seed, scene recipe), event stream
+#:    (nearest / range / distance / insert / delete).
+TRACE_VERSION = 1
+
+_HEAD = struct.Struct("<8sIQI")
+_HEAD_CRC = struct.Struct("<I")
+
+#: Total trace header size; the payload starts at this file offset.
+TRACE_HEADER_SIZE = _HEAD.size + _HEAD_CRC.size
+
+#: Event kinds, in wire-code order (codes are 1-based; the kind byte
+#: is the index+1 into this tuple).
+EVENT_KINDS = ("nearest", "range", "distance", "insert", "delete")
+_KIND_CODE = {kind: i + 1 for i, kind in enumerate(EVENT_KINDS)}
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One replayable workload event.
+
+    ``kind`` selects which fields matter:
+
+    * ``nearest`` — ONN at ``center`` with ``k`` neighbours;
+    * ``range`` — OR at ``center`` with radius ``e``;
+    * ``distance`` — obstructed distance from ``source`` to ``center``
+      (the centre is the graph-cache key, exactly as
+      ``obstructed_distance(p, q)`` caches per ``q``);
+    * ``insert`` — insert the free-space rectangle ``rect`` as an
+      obstacle, remembered under ``tag``;
+    * ``delete`` — delete the obstacle inserted under ``tag``.
+    """
+
+    kind: str
+    center: Point | None = None
+    k: int = 0
+    e: float = 0.0
+    source: Point | None = None
+    rect: Rect | None = None
+    tag: int = -1
+
+
+@dataclass
+class Trace:
+    """One workload trace: scene recipe plus the event stream.
+
+    The scene is reproduced from ``(n_obstacles, scene_seed,
+    n_entities)`` through the deterministic synthetic generators (see
+    :func:`repro.workloads.replay.scene_for`); ``profile`` and ``seed``
+    record how the events were generated, so ``repro-workloads
+    generate`` with the same arguments reproduces the file
+    byte-for-byte.
+    """
+
+    profile: str
+    seed: int
+    n_obstacles: int
+    scene_seed: int
+    n_entities: int
+    set_name: str = "P1"
+    events: list[WorkloadEvent] = field(default_factory=list)
+
+    def kind_counts(self) -> dict[str, int]:
+        """Event count per kind (describe/CLI summary)."""
+        counts = dict.fromkeys(EVENT_KINDS, 0)
+        for ev in self.events:
+            counts[ev.kind] += 1
+        return counts
+
+
+def _write_point(w: BinaryWriter, p: Point) -> None:
+    w.f64(p.x)
+    w.f64(p.y)
+
+
+def _read_point(r: BinaryReader) -> Point:
+    return Point(r.f64(), r.f64())
+
+
+def encode_trace(trace: Trace) -> bytes:
+    """The trace's payload bytes (header + event stream, unframed)."""
+    w = BinaryWriter()
+    w.str_(trace.profile)
+    w.u64(trace.seed)
+    w.u32(trace.n_obstacles)
+    w.u64(trace.scene_seed)
+    w.u32(trace.n_entities)
+    w.str_(trace.set_name)
+    w.u32(len(trace.events))
+    for ev in trace.events:
+        code = _KIND_CODE.get(ev.kind)
+        if code is None:
+            raise DatasetError(
+                f"cannot encode workload event of unknown kind {ev.kind!r}"
+            )
+        w.u8(code)
+        if ev.kind == "nearest":
+            _write_point(w, ev.center)
+            w.u32(ev.k)
+        elif ev.kind == "range":
+            _write_point(w, ev.center)
+            w.f64(ev.e)
+        elif ev.kind == "distance":
+            _write_point(w, ev.source)
+            _write_point(w, ev.center)
+        elif ev.kind == "insert":
+            w.i64(ev.tag)
+            w.f64(ev.rect.minx)
+            w.f64(ev.rect.miny)
+            w.f64(ev.rect.maxx)
+            w.f64(ev.rect.maxy)
+        else:  # delete
+            w.i64(ev.tag)
+    return w.getvalue()
+
+
+def decode_trace(payload: bytes, *, path: str | Path = "<trace>") -> Trace:
+    """Decode a trace payload (inverse of :func:`encode_trace`)."""
+    r = BinaryReader(payload, path=path, base_offset=TRACE_HEADER_SIZE)
+    trace = Trace(
+        profile=r.str_(),
+        seed=r.u64(),
+        n_obstacles=r.u32(),
+        scene_seed=r.u64(),
+        n_entities=r.u32(),
+        set_name=r.str_(),
+    )
+    n_events = r.u32()
+    for __ in range(n_events):
+        code = r.u8()
+        if not 1 <= code <= len(EVENT_KINDS):
+            raise DatasetError(
+                f"{path}: unknown workload event kind {code} at offset "
+                f"{r.offset - 1}"
+            )
+        kind = EVENT_KINDS[code - 1]
+        if kind == "nearest":
+            ev = WorkloadEvent(kind, center=_read_point(r), k=r.u32())
+        elif kind == "range":
+            ev = WorkloadEvent(kind, center=_read_point(r), e=r.f64())
+        elif kind == "distance":
+            ev = WorkloadEvent(
+                kind, source=_read_point(r), center=_read_point(r)
+            )
+        elif kind == "insert":
+            tag = r.i64()
+            ev = WorkloadEvent(
+                kind,
+                tag=tag,
+                rect=Rect(r.f64(), r.f64(), r.f64(), r.f64()),
+            )
+        else:  # delete
+            ev = WorkloadEvent(kind, tag=r.i64())
+        trace.events.append(ev)
+    r.expect_end()
+    return trace
+
+
+def write_trace(path: str | Path, trace: Trace) -> None:
+    """Frame and write ``trace`` (atomic rename, like snapshots)."""
+    payload = encode_trace(trace)
+    head = _HEAD.pack(
+        TRACE_MAGIC, TRACE_VERSION, len(payload), zlib.crc32(payload)
+    )
+    blob = head + _HEAD_CRC.pack(zlib.crc32(head)) + payload
+    target = str(path)
+    tmp = f"{target}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, target)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - crash-path cleanup
+            os.unlink(tmp)
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Read and verify a trace file.
+
+    Verification order matches the snapshot codec: magic, header
+    checksum, format version, payload length, payload checksum — each
+    failure raises :class:`~repro.errors.DatasetError` naming ``path``
+    and the byte offset, before any event is decoded.
+    """
+    name = str(path)
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError as exc:
+        raise DatasetError(f"{name}: cannot read trace ({exc})") from None
+    if len(blob) < TRACE_HEADER_SIZE:
+        raise DatasetError(
+            f"{name}: truncated trace header at offset {len(blob)} "
+            f"(need {TRACE_HEADER_SIZE} bytes)"
+        )
+    magic, version, payload_len, payload_crc = _HEAD.unpack_from(blob, 0)
+    (head_crc,) = _HEAD_CRC.unpack_from(blob, _HEAD.size)
+    if magic != TRACE_MAGIC:
+        raise DatasetError(
+            f"{name}: not a repro workload trace (bad magic at offset 0)"
+        )
+    if head_crc != zlib.crc32(blob[: _HEAD.size]):
+        raise DatasetError(
+            f"{name}: header checksum mismatch at offset {_HEAD.size}"
+        )
+    if version > TRACE_VERSION:
+        raise DatasetError(
+            f"{name}: trace format version {version} at offset 8 is newer "
+            f"than the supported version {TRACE_VERSION}"
+        )
+    payload = blob[TRACE_HEADER_SIZE:]
+    if len(payload) != payload_len:
+        raise DatasetError(
+            f"{name}: truncated trace payload at offset "
+            f"{TRACE_HEADER_SIZE + len(payload)} (expected {payload_len} "
+            f"byte(s), found {len(payload)})"
+        )
+    if zlib.crc32(payload) != payload_crc:
+        raise DatasetError(
+            f"{name}: payload checksum mismatch at offset "
+            f"{TRACE_HEADER_SIZE}"
+        )
+    return decode_trace(payload, path=path)

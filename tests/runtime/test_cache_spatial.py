@@ -120,7 +120,7 @@ class TestGuestBound:
         index = build_obstacle_index(
             [rect_obstacle(0, 40, 40, 44, 44)], max_entries=8, min_entries=3
         )
-        ctx = QueryContext(index, snap=10.0)
+        ctx = QueryContext(index, snap=10.0, policy="static")
         rng = random.Random(8)
         p = Point(0.0, 0.0)
         for __ in range(3 * GUEST_LIMIT):
@@ -143,7 +143,7 @@ class TestGuestBound:
 
         wall = rect_obstacle(0, 4, -10, 6, 10)
         index = build_obstacle_index([wall], max_entries=8, min_entries=3)
-        ctx = QueryContext(index, snap=50.0)
+        ctx = QueryContext(index, snap=50.0, policy="static")
         entry = ctx.entry_for(Point(9.0, 0.5), 25.0)  # owns the cell
         q = Point(10.0, 0.1)  # off-centre: admitted as a guest
         field = ctx.field_for(q, radius=25.0)
@@ -183,6 +183,63 @@ class TestGuestBound:
         assert math.isfinite(d)
         assert d == pytest.approx(1.0)
         assert math.isfinite(entry.covered)  # no grow(inf) blow-up
+
+
+class TestPolicyCapacityChange:
+    def test_capacity_shrink_preserves_lru_order_and_held_fields(self):
+        """A jittering-centre stream crossing a policy-driven capacity
+        change: shrinking the LRU (what ``AdaptiveCachePolicy`` applies
+        through ``cache.configure``) must evict in LRU order, and a
+        held distance field whose source was evicted from its shared
+        graph must re-admit it before evaluating — even after the
+        field's entry itself fell out of the cache."""
+        from repro.core.source import build_obstacle_index
+        from repro.runtime.context import GUEST_LIMIT, QueryContext
+        from tests.conftest import rect_obstacle
+
+        index = build_obstacle_index(
+            [rect_obstacle(0, 700, 700, 744, 744)], max_entries=8, min_entries=3
+        )
+        ctx = QueryContext(index, snap=10.0, policy="static")
+        rng = random.Random(13)
+        # Anchors sit mid-cell (jitter +-1 never crosses a boundary).
+        anchors = [Point(22.0 + 100.0 * i, 22.0) for i in range(6)]
+
+        def jitter(a):
+            return Point(a.x + rng.uniform(-1, 1), a.y + rng.uniform(-1, 1))
+
+        # Oldest cell: an entry plus a guest source held by a live field.
+        entry0 = ctx.entry_for(jitter(anchors[0]), 5.0)
+        q = Point(anchors[0].x + 2.0, anchors[0].y)
+        field = ctx.field_for(q, radius=30.0)
+        target = Point(anchors[0].x - 20.0, anchors[0].y)
+        first = field.distance_to(target)
+        assert first == pytest.approx(q.distance(target))  # unobstructed
+        # Jitter inside the cell until q is evicted from the guest list...
+        for __ in range(GUEST_LIMIT + 8):
+            ctx.entry_for(jitter(anchors[0]), 1.0)
+        assert not entry0.graph.has_node(q)
+        # ...then across the remaining cells, ageing cell 0 to LRU tail.
+        for a in anchors[1:]:
+            for __ in range(4):
+                ctx.entry_for(jitter(a), 1.0)
+        assert len(ctx.cache) == 6
+        evictions = ctx.stats.graph_cache_evictions
+        # The policy actuator fires mid-stream: capacity 64 -> 3.
+        assert ctx.cache.configure(capacity=3)
+        assert ctx.cache.capacity == 3
+        assert ctx.stats.graph_cache_evictions == evictions + 3
+        # Eviction order preserved: oldest three cells gone, newest kept.
+        assert [a in ctx.cache for a in anchors] == [False] * 3 + [True] * 3
+        # The stream keeps jittering across the change; answers intact.
+        p = Point(0.0, 0.0)
+        q2 = jitter(anchors[0])
+        assert ctx.distance(p, q2) == pytest.approx(p.distance(q2))
+        # Held field: the evicted source is re-admitted before the
+        # evaluation, through the guest bookkeeping.
+        assert field.distance_to(target) == first
+        assert q in entry0.guests
+        assert len(entry0.guests) <= GUEST_LIMIT
 
 
 class TestSpatialCacheUnit:

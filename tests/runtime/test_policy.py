@@ -1,0 +1,320 @@
+"""Adaptive cache policy: resolution, actuator, estimator, wiring.
+
+The policy's contract has three layers, each tested here:
+
+* ``resolve_cache_policy`` — names / env / instances to policies,
+  unknown names fail fast;
+* ``VisibilityGraphCache.configure`` — the actuator: re-keying
+  preserves entries (collisions evict like capacity overflow), shard
+  registrations follow survivors, capacity shrinks evict the LRU tail;
+* ``AdaptiveCachePolicy`` — the estimator: localized streams engage a
+  positive snap quantum, uniform streams keep exact keys, capacity
+  follows the working set, hot cells widen the guest bound — and the
+  whole loop through ``ObstacleDatabase`` keeps answers bit-identical
+  while building fewer graphs on a localized stream.
+"""
+
+import random
+
+import pytest
+
+from repro import ObstacleDatabase, Point
+from repro.errors import DatasetError
+from repro.runtime.cache import CachedGraph, VisibilityGraphCache
+from repro.runtime.policy import (
+    POLICY_ENV,
+    AdaptiveCachePolicy,
+    CachePolicy,
+    resolve_cache_policy,
+)
+from repro.runtime.stats import RuntimeStats
+from repro.visibility import VisibilityGraph
+from tests.conftest import random_disjoint_rects, random_free_points
+
+
+class TestResolve:
+    def test_default_is_static(self, monkeypatch):
+        monkeypatch.delenv(POLICY_ENV, raising=False)
+        policy = resolve_cache_policy()
+        assert type(policy) is CachePolicy
+        assert policy.name == "static"
+
+    def test_env_selects_adaptive(self, monkeypatch):
+        monkeypatch.setenv(POLICY_ENV, "adaptive")
+        assert isinstance(resolve_cache_policy(), AdaptiveCachePolicy)
+
+    def test_empty_env_is_static(self, monkeypatch):
+        monkeypatch.setenv(POLICY_ENV, "")
+        assert resolve_cache_policy().name == "static"
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(POLICY_ENV, "adaptive")
+        assert resolve_cache_policy("static").name == "static"
+
+    def test_instance_passes_through(self):
+        policy = AdaptiveCachePolicy(window=8)
+        assert resolve_cache_policy(policy) is policy
+
+    def test_unknown_name_fails_fast(self):
+        with pytest.raises(DatasetError, match="adaptive.*static|static.*adaptive"):
+            resolve_cache_policy("learned")
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            AdaptiveCachePolicy(window=1)
+        with pytest.raises(DatasetError):
+            AdaptiveCachePolicy(adjust_every=0)
+
+
+class TestConfigure:
+    def _entry(self, x, y):
+        center = Point(x, y)
+        return CachedGraph(
+            VisibilityGraph.build([center], []), center, 0.0, 0
+        )
+
+    def test_rekey_preserves_entries(self):
+        cache = VisibilityGraphCache(8, snap=0.0)
+        a, b = self._entry(0.0, 0.0), self._entry(50.0, 50.0)
+        cache.put(a)
+        cache.put(b)
+        assert cache.configure(snap=4.0)
+        assert len(cache) == 2
+        # Near-duplicates of each centre now hit the re-keyed entries.
+        assert cache.get(Point(0.6, 0.6), 0) is a
+        assert cache.get(Point(49.2, 49.6), 0) is b
+
+    def test_rekey_collision_keeps_most_recent_and_books_eviction(self):
+        stats = RuntimeStats()
+        cache = VisibilityGraphCache(8, snap=0.0, stats=stats)
+        older, newer = self._entry(0.0, 0.0), self._entry(0.5, 0.5)
+        cache.put(older)
+        cache.put(newer)
+        assert cache.configure(snap=4.0)
+        assert len(cache) == 1
+        assert cache.get(Point(0.0, 0.0), 0) is newer
+        assert stats.graph_cache_evictions == 1
+
+    def test_rekey_moves_shard_registrations(self):
+        cache = VisibilityGraphCache(8, snap=0.0)
+        a = self._entry(10.0, 10.0)
+        cache.put(a, shards=[3, 4])
+        cache.configure(snap=2.0)
+        assert set(map(id, cache.entries_for_shards([3]))) == {id(a)}
+        # The registration lives under the new key: a further re-key
+        # back to exact keeps it intact.
+        cache.configure(snap=0.0)
+        assert set(map(id, cache.entries_for_shards([4]))) == {id(a)}
+
+    def test_capacity_shrink_evicts_lru_tail(self):
+        stats = RuntimeStats()
+        cache = VisibilityGraphCache(4, snap=0.0, stats=stats)
+        entries = [self._entry(float(i), 0.0) for i in range(4)]
+        for e in entries:
+            cache.put(e)
+        assert cache.configure(capacity=2)
+        assert len(cache) == 2
+        assert entries[0].center not in cache
+        assert entries[1].center not in cache
+        assert cache.get(entries[3].center, 0) is entries[3]
+        assert stats.graph_cache_evictions == 2
+
+    def test_noop_returns_false(self):
+        cache = VisibilityGraphCache(4, snap=2.0)
+        assert not cache.configure()
+        assert not cache.configure(snap=2.0, capacity=4)
+
+    def test_validation(self):
+        cache = VisibilityGraphCache(4)
+        with pytest.raises(ValueError):
+            cache.configure(capacity=0)
+        with pytest.raises(ValueError):
+            cache.configure(snap=-1.0)
+
+
+def _attached(policy, capacity=8, snap=0.0):
+    stats = RuntimeStats()
+    cache = VisibilityGraphCache(capacity, snap=snap, stats=stats)
+    policy.attach(cache, stats)
+    return cache, stats
+
+
+def _seed_bounds(policy):
+    """Give the estimator universe-scale history: the snap cap is
+    judged against the long-run spread, so a stream that never left
+    one tiny box would read as uniform at its own scale."""
+    for corner in (Point(0.0, 0.0), Point(1000.0, 1000.0)):
+        policy.observe(corner)
+
+
+class TestEstimator:
+    def test_localized_stream_engages_snapping(self):
+        policy = AdaptiveCachePolicy(window=16, adjust_every=4)
+        cache, stats = _attached(policy)
+        _seed_bounds(policy)
+        rng = random.Random(3)
+        for __ in range(32):
+            policy.observe(
+                Point(500.0 + rng.uniform(-2, 2), 500.0 + rng.uniform(-2, 2))
+            )
+        assert cache.snap > 0.0
+        assert stats.policy_adjustments >= 1
+        assert stats.policy_snap >= 1
+
+    def test_uniform_stream_keeps_exact_keys(self):
+        policy = AdaptiveCachePolicy(window=16, adjust_every=4)
+        cache, stats = _attached(policy)
+        rng = random.Random(5)
+        for __ in range(48):
+            policy.observe(
+                Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            )
+        assert cache.snap == 0.0
+
+    def test_regime_change_disengages_snapping(self):
+        policy = AdaptiveCachePolicy(window=16, adjust_every=4)
+        cache, stats = _attached(policy)
+        _seed_bounds(policy)
+        rng = random.Random(7)
+        for __ in range(24):
+            policy.observe(
+                Point(500.0 + rng.uniform(-2, 2), 500.0 + rng.uniform(-2, 2))
+            )
+        assert cache.snap > 0.0
+        for __ in range(48):
+            policy.observe(
+                Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            )
+        assert cache.snap == 0.0
+
+    def test_capacity_follows_working_set(self):
+        policy = AdaptiveCachePolicy(window=32, adjust_every=8, max_capacity=64)
+        cache, stats = _attached(policy, capacity=4)
+        rng = random.Random(11)
+        for __ in range(48):
+            policy.observe(
+                Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            )
+        # 32 distinct exact centres in the window: capacity learns up.
+        assert cache.capacity > 4
+        assert cache.capacity <= 64
+        assert stats.policy_capacity >= 1
+
+    def test_hot_cell_widens_guest_bound(self):
+        policy = AdaptiveCachePolicy(hot_guest_factor=4, hot_share=0.25)
+        cache, __ = _attached(policy, snap=10.0)
+        center = Point(55.0, 55.0)
+        entry = CachedGraph(
+            VisibilityGraph.build([center], []), center, 0.0, 0
+        )
+        for __unused in range(64):
+            policy.observe(center)
+        assert policy.guest_limit(entry, 64) == 256
+        cold = CachedGraph(
+            VisibilityGraph.build([Point(900.0, 900.0)], []),
+            Point(900.0, 900.0), 0.0, 0,
+        )
+        assert policy.guest_limit(cold, 64) == 64
+
+    def test_spawn_is_fresh_and_parameter_identical(self):
+        policy = AdaptiveCachePolicy(
+            window=24, adjust_every=6, snap_factor=9.0,
+            locality_fraction=0.7, max_capacity=128,
+            hot_guest_factor=3, hot_share=0.4,
+        )
+        cache, __ = _attached(policy)
+        policy.observe(Point(1.0, 2.0))
+        child = policy.spawn()
+        assert child is not policy
+        assert type(child) is AdaptiveCachePolicy
+        for attr in (
+            "window", "adjust_every", "snap_factor", "locality_fraction",
+            "max_capacity", "hot_guest_factor", "hot_share",
+        ):
+            assert getattr(child, attr) == getattr(policy, attr)
+        assert child._centers == []  # no estimator state shipped
+        assert not hasattr(child, "cache")  # unattached
+
+    def test_static_spawn(self):
+        assert type(CachePolicy().spawn()) is CachePolicy
+
+
+def _jitter_stream(rng, anchors, jitter, n):
+    stream = []
+    for i in range(n):
+        a = anchors[i % len(anchors)]
+        stream.append(
+            Point(a.x + rng.uniform(-jitter, jitter),
+                  a.y + rng.uniform(-jitter, jitter))
+        )
+    return stream
+
+
+class TestDatabaseWiring:
+    def _scene(self, seed):
+        rng = random.Random(seed)
+        obstacles = random_disjoint_rects(rng, 20)
+        polygons = [o.polygon for o in obstacles]
+        points = random_free_points(rng, 12, obstacles)
+        return rng, polygons, points
+
+    def test_adaptive_answers_bit_identical_and_builds_fewer(self):
+        rng, polygons, points = self._scene(21)
+        static = ObstacleDatabase(
+            polygons, max_entries=8, min_entries=3, graph_cache_snap=0.0,
+            cache_policy="static",
+        )
+        adaptive = ObstacleDatabase(
+            polygons, max_entries=8, min_entries=3, graph_cache_snap=0.0,
+            cache_policy="adaptive",
+        )
+        assert static.cache_policy == "static"
+        assert adaptive.cache_policy == "adaptive"
+        stream = _jitter_stream(rng, points[:3], 1.5, 60)
+        p = points[5]
+        for q in stream:
+            assert adaptive.obstructed_distance(p, q) == (
+                static.obstructed_distance(p, q)
+            )
+        ss = static.runtime_stats()
+        sa = adaptive.runtime_stats()
+        assert sa["graph_builds"] < ss["graph_builds"]
+        assert sa["policy_adjustments"] >= 1
+        assert sa["policy_snap"] >= 1
+        assert ss["policy_adjustments"] == 0
+
+    def test_env_policy_selected_at_construction(self, monkeypatch):
+        monkeypatch.setenv(POLICY_ENV, "adaptive")
+        __, polygons, __p = self._scene(33)
+        db = ObstacleDatabase(polygons, max_entries=8, min_entries=3)
+        assert db.cache_policy == "adaptive"
+        assert isinstance(db.context.policy, AdaptiveCachePolicy)
+
+    def test_context_spawn_gives_private_policy_of_same_kind(self):
+        __, polygons, __p = self._scene(34)
+        db = ObstacleDatabase(
+            polygons, max_entries=8, min_entries=3, cache_policy="adaptive"
+        )
+        ctx = db.context
+        worker_ctx = ctx.spawn()
+        assert type(worker_ctx.policy) is type(ctx.policy)
+        assert worker_ctx.policy is not ctx.policy
+        assert worker_ctx.policy.cache is worker_ctx.cache
+
+    def test_load_accepts_policy_and_snapshot_format_unchanged(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv(POLICY_ENV, raising=False)
+        __, polygons, points = self._scene(35)
+        db = ObstacleDatabase(
+            polygons, max_entries=8, min_entries=3, cache_policy="adaptive"
+        )
+        db.add_entity_set("pois", points)
+        path = tmp_path / "scene.snap"
+        db.save(path)
+        plain = ObstacleDatabase.load(path)
+        assert plain.cache_policy == "static"  # runtime config, not state
+        warm = ObstacleDatabase.load(path, cache_policy="adaptive")
+        assert warm.cache_policy == "adaptive"
+        q = points[0]
+        assert warm.nearest("pois", q, 3) == plain.nearest("pois", q, 3)

@@ -67,6 +67,15 @@ def _doc(**overrides):
             "graph_builds": 4.0,
             "field_freezes": 10.0,
         },
+        "smoke adaptive policy": {
+            "gate_ok": 1.0,
+            "parity": 1.0,
+            "trace_deterministic": 1.0,
+            "wins": 2.0,
+            "losses": 0.0,
+            "zipf-hotspot": {"builds_adaptive": 17.0},
+            "churn-heavy": {"builds_adaptive": 13.0},
+        },
     }
     for dotted, value in overrides.items():
         node = results
@@ -161,6 +170,16 @@ class TestDeltaTable:
         assert len(skipped) == 5  # the five field-engine gates
         assert compare(old, _doc()) == []
 
+    def test_skipped_rows_carry_the_current_value(self):
+        # The CLI's stale-baseline check (exit 3) needs to see whether
+        # the current run emitted the gate the baseline lacks.
+        old = _doc(**{"smoke adaptive policy": None})
+        rows = delta_rows(old, _doc())
+        skipped = [r for r in rows if r[5] == "skipped"]
+        assert len(skipped) == 7  # the seven adaptive-policy gates
+        assert all(r[2] is None for r in skipped)  # no baseline value
+        assert all(r[3] is not None for r in skipped)  # current value rides
+
     def test_zero_and_inf_baselines_have_no_delta(self):
         rows = delta_rows(_doc(), _doc())
         by_label = {r[0]: r for r in rows}
@@ -241,6 +260,41 @@ class TestCli:
         assert "Δ%" in out  # the full table, not just the violation list
         assert "smoke kernel / edges_match" in out
 
+    def test_stale_baseline_exits_three(self, tmp_path, capsys):
+        # The baseline predates a gate the current run emits: distinct
+        # exit code plus the refresh command, not a KeyError or a
+        # silent pass.
+        base = self._write(
+            tmp_path, "base.json", _doc(**{"smoke adaptive policy": None})
+        )
+        cur = self._write(tmp_path, "cur.json", _doc())
+        assert main([base, cur]) == 3
+        out = capsys.readouterr().out
+        assert "missing from the baseline" in out
+        assert "smoke adaptive policy / gate_ok" in out
+        assert "run_all.py --smoke --json BENCH_smoke.json" in out
+
+    def test_stale_baseline_does_not_mask_regressions(self, tmp_path):
+        # A real regression still wins over the stale-baseline notice.
+        base = self._write(
+            tmp_path, "base.json", _doc(**{"smoke adaptive policy": None})
+        )
+        cur = self._write(
+            tmp_path, "cur.json", _doc(**{"smoke/OR/entity_pa": 99.0})
+        )
+        assert main([base, cur]) == 1
+
+    def test_gate_absent_on_both_sides_stays_quiet(self, tmp_path):
+        # Neither document knows the metric (e.g. both predate it):
+        # skipped, but not stale — exit 0.
+        base = self._write(
+            tmp_path, "base.json", _doc(**{"smoke adaptive policy": None})
+        )
+        cur = self._write(
+            tmp_path, "cur.json", _doc(**{"smoke adaptive policy": None})
+        )
+        assert main([base, cur]) == 0
+
     def test_summary_written_pass_and_fail(self, tmp_path):
         base = self._write(tmp_path, "base.json", _doc())
         good = self._write(tmp_path, "good.json", _doc())
@@ -283,3 +337,9 @@ class TestCommittedBaseline:
             "prometheus_parses",
         ):
             assert results["smoke obs"][flag] == 1.0, flag
+        policy = results["smoke adaptive policy"]
+        assert policy["gate_ok"] == 1.0
+        assert policy["parity"] == 1.0
+        assert policy["trace_deterministic"] == 1.0
+        assert policy["wins"] >= 2.0
+        assert policy["losses"] == 0.0

@@ -1,0 +1,115 @@
+"""The ``repro-workloads`` CLI, driven through ``main(argv)``."""
+
+import json
+
+import pytest
+
+from repro.workloads.cli import main
+from repro.workloads.profiles import profile_names
+
+GEN_ARGS = ["--seed", "3", "--events", "24", "--obstacles", "40",
+            "--entities", "30"]
+
+
+def _generate(tmp_path, profile="uniform", name="trace.wtrc", extra=()):
+    path = tmp_path / name
+    assert main(["generate", profile, "-o", str(path), *GEN_ARGS, *extra]) == 0
+    return path
+
+
+class TestList:
+    def test_lists_every_profile_with_summary(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in profile_names():
+            assert name in out
+        assert "default events" in out
+
+
+class TestGenerate:
+    def test_writes_a_replayable_file(self, tmp_path, capsys):
+        path = _generate(tmp_path)
+        out = capsys.readouterr().out
+        assert "wrote" in out and "24 event(s)" in out
+        assert path.exists()
+
+    def test_byte_identical_per_seed(self, tmp_path):
+        a = _generate(tmp_path, name="a.wtrc")
+        b = _generate(tmp_path, name="b.wtrc")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unknown_profile_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):  # argparse choices
+            main(["generate", "rush-hour", "-o", str(tmp_path / "t.wtrc")])
+
+    def test_bad_event_count_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "t.wtrc"
+        code = main(
+            ["generate", "uniform", "-o", str(path), "--events", "0"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+        assert not path.exists()
+
+
+class TestDescribe:
+    def test_plain_summary(self, tmp_path, capsys):
+        path = _generate(tmp_path, profile="zipf-hotspot")
+        capsys.readouterr()
+        assert main(["describe", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "zipf-hotspot" in out
+        assert "40 obstacle(s)" in out
+
+    def test_json_summary(self, tmp_path, capsys):
+        path = _generate(tmp_path)
+        capsys.readouterr()
+        assert main(["describe", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["profile"] == "uniform"
+        assert doc["events"] == 24
+        assert sum(doc["kinds"].values()) == 24
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["describe", str(tmp_path / "nope.wtrc")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_file_exits_one(self, tmp_path, capsys):
+        path = _generate(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["describe", str(path)]) == 1
+        assert "checksum" in capsys.readouterr().err
+
+
+class TestReplay:
+    def test_replay_reports_cache_metrics(self, tmp_path, capsys):
+        path = _generate(tmp_path)
+        capsys.readouterr()
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "graph builds" in out and "hit rate" in out
+
+    def test_json_metrics(self, tmp_path, capsys):
+        path = _generate(tmp_path)
+        capsys.readouterr()
+        assert main(["replay", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["events"] == 24.0
+        assert doc["graph_builds"] > 0
+
+    def test_policy_and_snap_flags(self, tmp_path, capsys):
+        path = _generate(tmp_path, profile="zipf-hotspot")
+        capsys.readouterr()
+        assert main(["replay", str(path), "--snap", "40"]) == 0
+        assert main(["replay", str(path), "--policy", "adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "policy adjustment" in out
+
+    def test_unknown_policy_exits_one(self, tmp_path, capsys):
+        path = _generate(tmp_path)
+        capsys.readouterr()
+        assert main(["replay", str(path), "--policy", "learned"]) == 1
+        assert "error:" in capsys.readouterr().err

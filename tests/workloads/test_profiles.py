@@ -1,0 +1,140 @@
+"""The named workload profiles: determinism, event mixes, free centres."""
+
+import pytest
+
+from repro.datasets.synthetic import DEFAULT_UNIVERSE
+from repro.errors import DatasetError
+from repro.workloads.profiles import (
+    NEAREST_EVERY,
+    PROFILES,
+    RANGE_EVERY,
+    _is_free,
+    generate_trace,
+    profile_names,
+)
+from repro.workloads.replay import scene_for
+from repro.workloads.trace import encode_trace
+
+#: Small scene + short streams keep the whole module fast.
+SCENE = {"n_obstacles": 40, "n_entities": 30}
+
+
+def _trace(profile, seed=3, n_events=48):
+    return generate_trace(profile, seed=seed, n_events=n_events, **SCENE)
+
+
+class TestGenerate:
+    def test_profile_names_in_definition_order(self):
+        assert profile_names() == list(PROFILES)
+        assert set(profile_names()) == {
+            "uniform", "zipf-hotspot", "commuter", "flash-crowd",
+            "churn-heavy",
+        }
+
+    def test_unknown_profile_fails_fast(self):
+        with pytest.raises(DatasetError, match="unknown workload profile"):
+            generate_trace("rush-hour")
+
+    def test_event_count_validation(self):
+        with pytest.raises(DatasetError, match="n_events"):
+            generate_trace("uniform", n_events=0)
+
+    @pytest.mark.parametrize("profile", list(PROFILES))
+    def test_deterministic_per_seed(self, profile):
+        assert encode_trace(_trace(profile)) == encode_trace(_trace(profile))
+
+    def test_seed_changes_the_stream(self):
+        a = _trace("uniform", seed=1)
+        b = _trace("uniform", seed=2)
+        assert encode_trace(a) != encode_trace(b)
+        assert a.scene_seed != b.scene_seed  # scene follows the seed
+
+    def test_recipe_recorded(self):
+        trace = _trace("zipf-hotspot", seed=9)
+        assert trace.profile == "zipf-hotspot"
+        assert trace.seed == 9
+        assert trace.scene_seed == 9 ^ 0x5EED
+        assert trace.n_obstacles == SCENE["n_obstacles"]
+        assert trace.n_entities == SCENE["n_entities"]
+        assert trace.set_name == "P1"
+
+    def test_default_event_counts(self):
+        for name, (__, default_events) in PROFILES.items():
+            trace = generate_trace(name, seed=1, **SCENE)
+            assert len(trace.events) >= default_events, name
+
+
+class TestStreams:
+    @pytest.mark.parametrize("profile", list(PROFILES))
+    def test_centres_and_sources_in_free_space(self, profile):
+        trace = _trace(profile)
+        obstacles, entities = scene_for(
+            trace.n_obstacles, trace.scene_seed, trace.n_entities
+        )
+        for ev in trace.events:
+            if ev.center is not None:
+                assert _is_free(ev.center, obstacles)
+            if ev.kind == "distance":
+                assert ev.source in entities
+
+    def test_query_mix_cadence(self):
+        trace = _trace("uniform", n_events=64)
+        kinds = [ev.kind for ev in trace.events]
+        for i, kind in enumerate(kinds):
+            if i % RANGE_EVERY == RANGE_EVERY - 1:
+                assert kind == "range"
+            elif i % NEAREST_EVERY == NEAREST_EVERY - 1:
+                assert kind == "nearest"
+            else:
+                assert kind == "distance"
+
+    def test_commuter_clients_advance_in_small_steps(self):
+        trace = _trace("commuter", n_events=60)
+        n_clients = 6
+        centres = [ev.center for ev in trace.events]
+        for client in range(n_clients):
+            path = centres[client::n_clients]
+            steps = [a.distance(b) for a, b in zip(path, path[1:])]
+            assert steps  # every client got ticks
+            step = 0.0004 * DEFAULT_UNIVERSE.width
+            assert all(s == pytest.approx(step) for s in steps)
+
+    def test_churn_inserts_and_deletes_balance(self):
+        trace = _trace("churn-heavy", n_events=64)
+        counts = trace.kind_counts()
+        assert counts["insert"] > 0
+        assert counts["insert"] == counts["delete"]
+        inserted, deleted = [], []
+        for ev in trace.events:
+            if ev.kind == "insert":
+                assert ev.tag not in inserted
+                inserted.append(ev.tag)
+            elif ev.kind == "delete":
+                assert ev.tag in inserted  # never deletes before insert
+                assert ev.tag not in deleted
+                deleted.append(ev.tag)
+        assert sorted(inserted) == sorted(deleted)
+
+    def test_churn_rects_avoid_obstacles_and_entities(self):
+        trace = _trace("churn-heavy", n_events=64)
+        obstacles, entities = scene_for(
+            trace.n_obstacles, trace.scene_seed, trace.n_entities
+        )
+        for ev in trace.events:
+            if ev.kind != "insert":
+                continue
+            assert not any(ev.rect.intersects(o.mbr) for o in obstacles)
+            assert not any(ev.rect.contains_point(e) for e in entities)
+
+    def test_flash_crowd_collapses_in_the_middle(self):
+        trace = _trace("flash-crowd", n_events=120)
+        centres = [ev.center for ev in trace.events]
+        lead, tail = 120 // 10, 120 // 15
+        middle = centres[lead : 120 - tail]
+
+        def spread(points):
+            xs = [p.x for p in points]
+            ys = [p.y for p in points]
+            return max(max(xs) - min(xs), max(ys) - min(ys))
+
+        assert spread(middle) < spread(centres) / 4

@@ -1,0 +1,175 @@
+"""The workload-trace codec: round-trips, framing, corruption."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.workloads.trace import (
+    EVENT_KINDS,
+    TRACE_HEADER_SIZE,
+    TRACE_MAGIC,
+    TRACE_VERSION,
+    Trace,
+    WorkloadEvent,
+    decode_trace,
+    encode_trace,
+    read_trace,
+    write_trace,
+)
+
+
+def _sample_trace() -> Trace:
+    """One event of every kind, with non-default field values."""
+    return Trace(
+        profile="zipf-hotspot",
+        seed=42,
+        n_obstacles=80,
+        scene_seed=42 ^ 0x5EED,
+        n_entities=60,
+        set_name="pois",
+        events=[
+            WorkloadEvent("nearest", center=Point(1.5, -2.25), k=4),
+            WorkloadEvent("range", center=Point(10.0, 20.0), e=3.5),
+            WorkloadEvent(
+                "distance", source=Point(0.0, 0.0), center=Point(7.0, 8.0)
+            ),
+            WorkloadEvent(
+                "insert", tag=3, rect=Rect(1.0, 2.0, 3.0, 4.0)
+            ),
+            WorkloadEvent("delete", tag=3),
+        ],
+    )
+
+
+class TestCodec:
+    def test_encode_decode_round_trip(self):
+        trace = _sample_trace()
+        decoded = decode_trace(encode_trace(trace))
+        assert decoded == trace
+
+    def test_encode_is_deterministic(self):
+        assert encode_trace(_sample_trace()) == encode_trace(_sample_trace())
+
+    def test_empty_event_stream_round_trips(self):
+        trace = Trace("uniform", 0, 10, 0x5EED, 5)
+        assert decode_trace(encode_trace(trace)) == trace
+
+    def test_unknown_kind_fails_to_encode(self):
+        trace = Trace("uniform", 0, 10, 0x5EED, 5)
+        trace.events.append(WorkloadEvent("teleport", center=Point(0, 0)))
+        with pytest.raises(DatasetError, match="teleport"):
+            encode_trace(trace)
+
+    def test_unknown_kind_code_fails_to_decode(self):
+        trace = Trace("uniform", 0, 10, 0x5EED, 5)
+        trace.events.append(WorkloadEvent("delete", tag=0))
+        payload = bytearray(encode_trace(trace))
+        # The kind byte of the single event is 8 tag bytes from the end.
+        payload[-9] = len(EVENT_KINDS) + 1
+        with pytest.raises(DatasetError, match="unknown workload event kind"):
+            decode_trace(bytes(payload))
+
+    def test_kind_counts(self):
+        counts = _sample_trace().kind_counts()
+        assert counts == dict.fromkeys(EVENT_KINDS, 1)
+
+
+class TestFile:
+    def _path(self, tmp_path):
+        return tmp_path / "trace.wtrc"
+
+    def test_write_read_round_trip(self, tmp_path):
+        path = self._path(tmp_path)
+        trace = _sample_trace()
+        write_trace(path, trace)
+        assert read_trace(path) == trace
+
+    def test_file_is_byte_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.wtrc", tmp_path / "b.wtrc"
+        write_trace(a, _sample_trace())
+        write_trace(b, _sample_trace())
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        write_trace(self._path(tmp_path), _sample_trace())
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.wtrc"]
+
+    def test_header_starts_with_magic(self, tmp_path):
+        path = self._path(tmp_path)
+        write_trace(path, _sample_trace())
+        blob = path.read_bytes()
+        assert blob[:8] == TRACE_MAGIC
+        assert len(blob) > TRACE_HEADER_SIZE
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="cannot read trace"):
+            read_trace(tmp_path / "nope.wtrc")
+
+    def test_truncated_header(self, tmp_path):
+        path = self._path(tmp_path)
+        path.write_bytes(b"RPRO")
+        with pytest.raises(DatasetError, match="truncated trace header"):
+            read_trace(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = self._path(tmp_path)
+        write_trace(path, _sample_trace())
+        blob = bytearray(path.read_bytes())
+        blob[:8] = b"RPROSNAP"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(DatasetError, match="bad magic at offset 0"):
+            read_trace(path)
+
+    def test_header_checksum_mismatch(self, tmp_path):
+        path = self._path(tmp_path)
+        write_trace(path, _sample_trace())
+        blob = bytearray(path.read_bytes())
+        blob[12] ^= 0xFF  # flip a payload-length byte, keep the CRC
+        path.write_bytes(bytes(blob))
+        with pytest.raises(DatasetError, match="header checksum mismatch"):
+            read_trace(path)
+
+    def test_version_too_new_rejected(self, tmp_path):
+        path = self._path(tmp_path)
+        payload = encode_trace(_sample_trace())
+        head = struct.pack(
+            "<8sIQI",
+            TRACE_MAGIC,
+            TRACE_VERSION + 1,
+            len(payload),
+            zlib.crc32(payload),
+        )
+        path.write_bytes(
+            head + struct.pack("<I", zlib.crc32(head)) + payload
+        )
+        with pytest.raises(DatasetError, match="newer than the supported"):
+            read_trace(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = self._path(tmp_path)
+        write_trace(path, _sample_trace())
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(DatasetError, match="truncated trace payload"):
+            read_trace(path)
+
+    def test_payload_checksum_mismatch(self, tmp_path):
+        path = self._path(tmp_path)
+        write_trace(path, _sample_trace())
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(DatasetError, match="payload checksum mismatch"):
+            read_trace(path)
+
+    def test_errors_name_the_path(self, tmp_path):
+        path = self._path(tmp_path)
+        write_trace(path, _sample_trace())
+        blob = bytearray(path.read_bytes())
+        blob[0] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(DatasetError, match="trace.wtrc"):
+            read_trace(path)

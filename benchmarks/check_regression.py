@@ -84,6 +84,18 @@ GATES: tuple[tuple[tuple[str, ...], str], ...] = (
     (("smoke adaptive policy", "losses"), "lower"),
     (("smoke adaptive policy", "zipf-hotspot", "builds_adaptive"), "lower"),
     (("smoke adaptive policy", "churn-heavy", "builds_adaptive"), "lower"),
+    # Write-ahead journal durability: the crash-recovery and compaction
+    # verdicts, the bytes-per-mutation advantage over rewriting the
+    # snapshot, and write amplification (journal + compaction bytes
+    # over appended bytes — 1.0 while no auto-compaction triggers).
+    # The incremental-save speedup is gated through its >= 2x verdict;
+    # the raw wall-clock ratio rides in the JSON ungated.
+    (("smoke journal", "recovery_parity"), "exact"),
+    (("smoke journal", "compaction_ok"), "exact"),
+    (("smoke journal", "incremental_ok"), "exact"),
+    (("smoke journal", "save_speedup_ok"), "exact"),
+    (("smoke journal", "bytes_ratio"), "higher"),
+    (("smoke journal", "write_amplification"), "lower"),
 )
 
 

@@ -319,7 +319,10 @@ def smoke() -> int:
     code = smoke_field_engine()
     if code:
         return code
-    return smoke_policy()
+    code = smoke_policy()
+    if code:
+        return code
+    return smoke_journal()
 
 
 def smoke_kernel() -> int:
@@ -726,6 +729,55 @@ def smoke_policy() -> int:
         return 1
     if metrics["losses"]:
         print("FAIL: adaptive policy lost > 5% on some profile")
+        return 1
+    return 0
+
+
+def smoke_journal() -> int:
+    """Durability smoke: replay one churn-heavy trace with a
+    write-ahead journal and once with full-snapshot-per-mutation (the
+    pre-journal durability story).  Gated on the deterministic claims:
+    durable bytes per mutation at least ``JOURNAL_BYTES_RATIO_BAR``
+    times smaller, write amplification of 1 (no mid-replay base
+    rewrites at this trace size), crash-recovery parity (base + torn
+    journal reload answers bit-identically), a clean compaction fold,
+    and the >= 2x incremental-save speedup verdict — the raw
+    wall-clock ratio rides in the JSON ungated."""
+    import tempfile
+
+    from benchmarks.common import (
+        JOURNAL_BYTES_RATIO_BAR,
+        journal_durability_comparison,
+    )
+
+    with tempfile.TemporaryDirectory() as td:
+        metrics = journal_durability_comparison(td)
+    RESULTS["smoke journal"] = metrics
+    print(
+        f"\njournal smoke ({metrics['mutations']:.0f} mutations over "
+        f"{metrics['events']:.0f} churn events): "
+        f"{metrics['journal_bytes_per_mutation']:.0f} B/mutation "
+        f"journaled vs {metrics['full_bytes_per_mutation']:.0f} B "
+        f"re-snapshotted ({metrics['bytes_ratio']:.0f}x less), "
+        f"write amplification {metrics['write_amplification']:.2f}, "
+        f"save {metrics['full_ms_per_mutation']:.2f} ms -> "
+        f"{metrics['incr_ms_per_mutation']:.3f} ms "
+        f"({metrics['save_speedup']:.1f}x)"
+    )
+    if not metrics["recovery_parity"]:
+        print("FAIL: crash recovery changed replayed answers")
+        return 1
+    if not metrics["compaction_ok"]:
+        print("FAIL: compaction left records or an unloadable base")
+        return 1
+    if metrics["bytes_ratio"] < JOURNAL_BYTES_RATIO_BAR:
+        print(
+            f"FAIL: journaling wrote fewer than "
+            f"{JOURNAL_BYTES_RATIO_BAR:.0f}x less bytes per mutation"
+        )
+        return 1
+    if not metrics["save_speedup_ok"]:
+        print("FAIL: incremental save under 2x faster than full snapshot")
         return 1
     return 0
 

@@ -115,6 +115,20 @@ class ObstacleDatabase:
         observes the live centre stream and retunes the snap quantum,
         LRU capacity and guest admission online; answers are
         bit-identical under any policy.
+    durable:
+        A write-ahead mutation journal path
+        (:mod:`repro.persist.journal`).  Every obstacle/entity
+        mutation is appended and fsynced *before* it is applied, so
+        after a crash ``ObstacleDatabase.load(base, durable=path)``
+        replays the journal over the base snapshot and answers
+        bit-identically to a process that never crashed.  ``None``
+        (default) reads ``REPRO_JOURNAL`` (a directory there
+        allocates a unique journal file per database); unset means
+        not durable.  :meth:`save` anchors the journal to the saved
+        base snapshot and truncates it; once anchored, the journal is
+        auto-folded into the base when it outgrows the
+        ``REPRO_JOURNAL_COMPACT_BYTES`` / ``_RATIO`` triggers (or
+        explicitly via :meth:`compact`).
     """
 
     def __init__(
@@ -131,6 +145,7 @@ class ObstacleDatabase:
         shards: int | None = None,
         backend: "str | VisibilityBackend | None" = None,
         cache_policy: "str | CachePolicy | None" = None,
+        durable: "str | os.PathLike[str] | None" = None,
     ) -> None:
         if shards is not None and shards < 1:
             raise DatasetError(f"shards must be >= 1, got {shards}")
@@ -168,7 +183,16 @@ class ObstacleDatabase:
         self._serving_pool = None
         self._pool_finalizer = None
         self._metrics: MetricsRegistry | None = None
+        self._journal = None
+        self._base_path: str | None = None
+        self._compact_bytes = 0
+        self._compact_ratio = 0.0
         self.add_obstacle_set("obstacles", obstacles)
+        from repro.persist.journal import MutationJournal, resolve_journal_path
+
+        journal_path = resolve_journal_path(durable)
+        if journal_path is not None:
+            self._attach_journal(MutationJournal.create(journal_path))
 
     # ------------------------------------------------------------ datasets
     def add_obstacle_set(self, name: str, obstacles: Iterable[ObstacleLike]) -> None:
@@ -201,6 +225,7 @@ class ObstacleDatabase:
             self._obstacle_indexes[name] = ObstacleIndex(tree)
         self._rebuild_context()
         self._invalidate_pool()
+        self._journal_note_shape_change()
 
     def add_entity_set(self, name: str, points: Iterable[PointLike]) -> None:
         """Register a named entity dataset (points of interest)."""
@@ -216,20 +241,33 @@ class ObstacleDatabase:
                 tree.insert(p, rect)
         self._entity_trees[name] = tree
         self._invalidate_pool()
+        self._journal_note_shape_change()
 
     def insert_entity(self, name: str, point: PointLike) -> None:
         """Insert one entity into an existing dataset."""
         p = self._coerce_point(point)
-        self.entity_tree(name).insert(p, Rect.from_point(p))
+        tree = self.entity_tree(name)  # resolve (and fail) pre-journal
+        if self._journal is not None:
+            from repro.persist.journal import entity_record
+
+            self._journal_append(entity_record("insert", name, p))
+        tree.insert(p, Rect.from_point(p))
         if self._serving_pool is not None:
             self._serving_pool.note_entity("insert", name, p)
+        self._maybe_compact()
 
     def delete_entity(self, name: str, point: PointLike) -> bool:
         """Delete one entity; returns ``True`` when found."""
         p = self._coerce_point(point)
-        found = self.entity_tree(name).delete(p, Rect.from_point(p))
+        tree = self.entity_tree(name)
+        if self._journal is not None:
+            from repro.persist.journal import entity_record
+
+            self._journal_append(entity_record("delete", name, p))
+        found = tree.delete(p, Rect.from_point(p))
         if found and self._serving_pool is not None:
             self._serving_pool.note_entity("delete", name, p)
+        self._maybe_compact()
         return found
 
     # ------------------------------------------------- dynamic obstacles
@@ -250,7 +288,13 @@ class ObstacleDatabase:
         stale graph either way.
         """
         record = self._coerce_obstacle(obstacle)
-        self._obstacle_index_named(set_name).insert(record)
+        index = self._obstacle_index_named(set_name)
+        if self._journal is not None:
+            from repro.persist.journal import obstacle_record
+
+            self._journal_append(obstacle_record("insert", set_name, record))
+        index.insert(record)
+        self._maybe_compact()
         return record
 
     def delete_obstacle(
@@ -271,7 +315,13 @@ class ObstacleDatabase:
                 return False
         else:
             record = obstacle
-        return index.delete(record)
+        if self._journal is not None:
+            from repro.persist.journal import obstacle_record
+
+            self._journal_append(obstacle_record("delete", set_name, record))
+        found = index.delete(record)
+        self._maybe_compact()
+        return found
 
     def _obstacle_index_named(
         self, name: str
@@ -426,12 +476,20 @@ class ObstacleDatabase:
         its coverage and version stamp, so :meth:`load` warm-starts.
         ``dataset_refs`` records source dataset files by content hash;
         a later load verifies them (hash, not mtime) and refuses drift.
+
+        On a durable database (``durable=``) a successful save also
+        *anchors* the journal: ``path`` becomes the base snapshot the
+        journal folds into, and the journal is truncated — every
+        journaled mutation is now inside the base.
         """
         from repro.persist.store import save_database
 
         save_database(
             self, path, dataset_refs=dataset_refs, include_cache=include_cache
         )
+        if self._journal is not None:
+            self._journal.reset()
+            self._base_path = os.fspath(path)
 
     @classmethod
     def load(
@@ -440,6 +498,7 @@ class ObstacleDatabase:
         *,
         backend: "str | VisibilityBackend | None" = None,
         cache_policy: "str | CachePolicy | None" = None,
+        durable: "str | os.PathLike[str] | None" = None,
     ) -> "ObstacleDatabase":
         """Restore a database saved by :meth:`save`.
 
@@ -452,10 +511,102 @@ class ObstacleDatabase:
         Corrupt, truncated or future-version files raise
         :class:`~repro.errors.DatasetError` naming the path and offset,
         without constructing any partial database.
+
+        ``durable`` names the mutation journal written ahead of the
+        base snapshot (crash recovery): its durable record prefix is
+        replayed over the restored state — a torn tail from a mid-append
+        crash is truncated away, mid-record corruption raises
+        :class:`~repro.errors.DatasetError` naming path and offset —
+        and the journal stays attached, anchored to ``path``, so the
+        recovered database keeps journaling.  Like the constructor,
+        ``None`` falls back to ``REPRO_JOURNAL``.
         """
         from repro.persist.store import load_database
 
-        return load_database(path, backend=backend, cache_policy=cache_policy)
+        return load_database(
+            path, backend=backend, cache_policy=cache_policy, durable=durable
+        )
+
+    # ------------------------------------------------------------- journal
+    @property
+    def journal(self):
+        """The attached :class:`~repro.persist.journal.MutationJournal`
+        (``None`` when the database is not durable)."""
+        return self._journal
+
+    def _attach_journal(self, journal, *, base_path: str | None = None) -> None:
+        """Wire an open journal to this database (constructor or
+        post-replay from :func:`~repro.persist.store.load_database`)."""
+        from repro.persist.journal import compaction_thresholds
+
+        journal.stats = self._runtime_stats
+        self._journal = journal
+        self._base_path = base_path
+        self._compact_bytes, self._compact_ratio = compaction_thresholds()
+
+    def _journal_append(self, record) -> None:
+        with TRACER.span(
+            "journal.append", scope=record.scope, op=record.op
+        ):
+            self._journal.append(record)
+
+    def _journal_note_shape_change(self) -> None:
+        """A dataset was added: re-anchor the journal.
+
+        Records journaled before a structural change would replay over
+        a base snapshot missing the new set, so an anchored database
+        folds immediately (the new base includes the new set); an
+        unanchored one just truncates — nothing was recoverable yet.
+        """
+        if self._journal is None:
+            return
+        if self._base_path is not None:
+            self.compact()
+        else:
+            self._journal.reset()
+
+    def _maybe_compact(self) -> None:
+        """Fold the journal into the base snapshot once it outgrows the
+        size/ratio trigger (see
+        :func:`~repro.persist.journal.compaction_thresholds`)."""
+        journal = self._journal
+        if journal is None or self._base_path is None:
+            return
+        try:
+            base_bytes = os.path.getsize(self._base_path)
+        except OSError:
+            base_bytes = 0
+        threshold = max(
+            self._compact_bytes, self._compact_ratio * base_bytes
+        )
+        if journal.records_bytes >= threshold:
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold the journal into a new base snapshot, then truncate it.
+
+        The base is rewritten through the durable atomic-replace path
+        (:func:`~repro.persist.framing.atomic_write_bytes`), so a
+        ``kill -9`` at any point leaves either the old base plus the
+        full journal, or the new base plus the (about-to-be-)empty
+        journal — recovery is correct from both.  Requires a durable
+        database that has been anchored by :meth:`save` or restored by
+        :meth:`load`.
+        """
+        if self._journal is None:
+            raise DatasetError(
+                "compact() needs a durable database (open with durable=...)"
+            )
+        if self._base_path is None:
+            raise DatasetError(
+                "compact() needs a base snapshot: call save() first"
+            )
+        with TRACER.span("journal.compact", base=self._base_path):
+            self.save(self._base_path)
+            self._runtime_stats.compactions += 1
+            self._runtime_stats.compaction_bytes += os.path.getsize(
+                self._base_path
+            )
 
     def _snapshot_state(self) -> dict:
         """The parts of this database a snapshot serializes (the
@@ -511,6 +662,10 @@ class ObstacleDatabase:
         db._serving_pool = None
         db._pool_finalizer = None
         db._metrics = None
+        db._journal = None
+        db._base_path = None
+        db._compact_bytes = 0
+        db._compact_ratio = 0.0
         db._rebuild_context()
         return db
 

@@ -154,7 +154,8 @@ class MetricsRegistry:
 
         Groups: ``runtime`` (the shared :class:`RuntimeStats`) and
         ``pages`` (per-tree page counters, labelled by ``tree``), plus
-        ``pool`` when a persistent serving pool is up.
+        ``pool`` when a persistent serving pool is up and ``journal``
+        when the database is durable (write-ahead journal attached).
         """
         registry = cls()
         registry.register("runtime", db.runtime_stats)
@@ -166,7 +167,32 @@ class MetricsRegistry:
                 return {}
             return {"workers": pool.workers, "alive": 1}
 
+        def journal_state() -> dict[str, int | float]:
+            journal = getattr(db, "_journal", None)
+            if journal is None:
+                return {}
+            stats = db.runtime_stats()
+            appended = stats["journal_bytes"]
+            # Physical durable bytes written per byte of journaled
+            # mutation: 1.0 while appends only grow the log, rising
+            # with every compaction's base-snapshot rewrite (the
+            # log-structured GC cost).
+            total = appended + stats["compaction_bytes"]
+            return {
+                "attached": 1,
+                "size_bytes": journal.size,
+                "records": journal.record_count,
+                "journal_appends": stats["journal_appends"],
+                "journal_bytes": appended,
+                "compactions": stats["compactions"],
+                "compaction_bytes": stats["compaction_bytes"],
+                "write_amplification": (
+                    total / appended if appended else 0.0
+                ),
+            }
+
         registry.register("pool", pool_state)
+        registry.register("journal", journal_state)
         return registry
 
     @classmethod

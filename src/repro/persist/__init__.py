@@ -13,18 +13,35 @@ Entry points::
     db = ObstacleDatabase.load("scene.snap")   # observationally identical
     repro-snapshot save|info|verify ...        # CLI (repro.persist.cli)
 
-Layers: :mod:`repro.persist.codec` owns the framing (header, checksums,
-bulk float arrays), :mod:`repro.index.pageio` the node <-> page codec,
-:mod:`repro.persist.graphio` the cached graphs and version stamps, and
-:mod:`repro.persist.store` the assembled snapshot.
+Layers: :mod:`repro.persist.framing` owns the shared file header and
+the durable atomic write, :mod:`repro.persist.codec` the snapshot
+payload primitives (checksums, bulk float arrays),
+:mod:`repro.index.pageio` the node <-> page codec,
+:mod:`repro.persist.graphio` the cached graphs and version stamps,
+:mod:`repro.persist.store` the assembled snapshot, and
+:mod:`repro.persist.journal` the write-ahead mutation journal a
+durable database (``durable=`` / ``REPRO_JOURNAL``) appends to ahead
+of every mutation.
 """
 
 from repro.persist.codec import FORMAT_VERSION, MAGIC
+from repro.persist.journal import (
+    JOURNAL_MAGIC,
+    JOURNAL_VERSION,
+    MutationJournal,
+    MutationRecord,
+    apply_record,
+)
 from repro.persist.store import load_database, save_database, snapshot_info
 
 __all__ = [
     "FORMAT_VERSION",
     "MAGIC",
+    "JOURNAL_MAGIC",
+    "JOURNAL_VERSION",
+    "MutationJournal",
+    "MutationRecord",
+    "apply_record",
     "save_database",
     "load_database",
     "snapshot_info",

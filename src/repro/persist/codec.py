@@ -32,12 +32,12 @@ from __future__ import annotations
 
 import os
 import struct
-import zlib
 from pathlib import Path
 from typing import Iterable
 
 from repro.errors import DatasetError
 from repro.geometry.point import Point
+from repro.persist import framing
 
 #: First 8 bytes of every snapshot file.
 MAGIC = b"RPROSNAP"
@@ -53,13 +53,18 @@ MAGIC = b"RPROSNAP"
 #:    arrays of each cached graph) after the runtime stats; the
 #:    section is optional per entry, and version-2 files load with no
 #:    frozen arrays — graphs re-freeze lazily at first field use.
-FORMAT_VERSION = 3
+#: 4. appends the journal-sequence stamp (u64): the highest mutation
+#:    sequence number folded into this snapshot, ``0`` for a
+#:    non-durable database.  Journal recovery replays only records
+#:    with a higher sequence, so a crash *between* a compaction's
+#:    base rewrite and its journal truncation cannot double-apply;
+#:    version-3 files load with stamp 0 (replay everything).
+FORMAT_VERSION = 4
 
-_HEAD = struct.Struct("<8sIQI")
-_HEAD_CRC = struct.Struct("<I")
-
-#: Total header size; the payload starts at this file offset.
-HEADER_SIZE = _HEAD.size + _HEAD_CRC.size
+#: Total header size; the payload starts at this file offset.  The
+#: header itself (and its verification) lives in
+#: :mod:`repro.persist.framing`, shared with traces and the journal.
+HEADER_SIZE = framing.HEADER_SIZE
 
 _U8 = struct.Struct("<B")
 _U32 = struct.Struct("<I")
@@ -299,21 +304,13 @@ class BinaryReader:
 def write_snapshot(path: str | Path, payload: bytes) -> None:
     """Frame ``payload`` with the checksummed header and write it.
 
-    The file is written to a temporary sibling and atomically renamed
-    into place, so a crashed save never leaves a half-written snapshot
-    under the target name.
+    Durable atomic replace (see
+    :func:`repro.persist.framing.atomic_write_bytes`): unique temp
+    sibling, fsync, rename, directory fsync — a crash or power loss at
+    any point leaves either the old snapshot or the new one intact
+    under the target name, never a torn file.
     """
-    head = _HEAD.pack(MAGIC, FORMAT_VERSION, len(payload), zlib.crc32(payload))
-    blob = head + _HEAD_CRC.pack(zlib.crc32(head)) + payload
-    target = str(path)
-    tmp = f"{target}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "wb") as fh:
-            fh.write(blob)
-        os.replace(tmp, target)
-    finally:
-        if os.path.exists(tmp):  # pragma: no cover - crash-path cleanup
-            os.unlink(tmp)
+    framing.write_framed(path, MAGIC, FORMAT_VERSION, payload)
 
 
 def read_snapshot_versioned(path: str | Path) -> tuple[int, bytes]:
@@ -325,44 +322,13 @@ def read_snapshot_versioned(path: str | Path) -> tuple[int, bytes]:
     :class:`~repro.errors.DatasetError` naming ``path`` and the byte
     offset of the inconsistency; nothing is decoded past a failure.
     """
-    name = str(path)
-    try:
-        with open(path, "rb") as fh:
-            blob = fh.read()
-    except OSError as exc:
-        raise DatasetError(f"{name}: cannot read snapshot ({exc})") from None
-    if len(blob) < HEADER_SIZE:
-        raise DatasetError(
-            f"{name}: truncated snapshot header at offset {len(blob)} "
-            f"(need {HEADER_SIZE} bytes)"
-        )
-    magic, version, payload_len, payload_crc = _HEAD.unpack_from(blob, 0)
-    (head_crc,) = _HEAD_CRC.unpack_from(blob, _HEAD.size)
-    if magic != MAGIC:
-        raise DatasetError(
-            f"{name}: not a repro snapshot (bad magic at offset 0)"
-        )
-    if head_crc != zlib.crc32(blob[: _HEAD.size]):
-        raise DatasetError(
-            f"{name}: header checksum mismatch at offset {_HEAD.size}"
-        )
-    if version > FORMAT_VERSION:
-        raise DatasetError(
-            f"{name}: snapshot format version {version} at offset 8 is "
-            f"newer than the supported version {FORMAT_VERSION}"
-        )
-    payload = blob[HEADER_SIZE:]
-    if len(payload) != payload_len:
-        raise DatasetError(
-            f"{name}: truncated snapshot payload at offset "
-            f"{HEADER_SIZE + len(payload)} (expected {payload_len} "
-            f"byte(s), found {len(payload)})"
-        )
-    if zlib.crc32(payload) != payload_crc:
-        raise DatasetError(
-            f"{name}: payload checksum mismatch at offset {HEADER_SIZE}"
-        )
-    return version, payload
+    return framing.read_framed(
+        path,
+        magic=MAGIC,
+        max_version=FORMAT_VERSION,
+        kind="snapshot",
+        what="repro snapshot",
+    )
 
 
 def read_snapshot(path: str | Path) -> bytes:

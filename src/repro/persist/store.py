@@ -52,6 +52,11 @@ from repro.persist.codec import (
     write_snapshot,
 )
 from repro.persist.graphio import read_cache_entry, write_cache_entry
+from repro.persist.journal import (
+    MutationJournal,
+    apply_record,
+    resolve_journal_path,
+)
 from repro.runtime.sharding import ShardGrid
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -340,6 +345,14 @@ def save_database(
     # older reader would reject.
     if codec.FORMAT_VERSION >= 3:
         _write_frozen_csr(w, entries)
+    # -- journal-sequence stamp (format 4) ---------------------------------
+    # The highest mutation sequence folded into this snapshot (0 for a
+    # non-durable database).  Recovery replays only journal records
+    # with a higher sequence, so a crash between this write and the
+    # journal truncation that follows a compaction never double-applies.
+    if codec.FORMAT_VERSION >= 4:
+        journal = getattr(db, "_journal", None)
+        w.u64(journal.last_seq if journal is not None else 0)
     write_snapshot(path, w.getvalue())
 
 
@@ -348,6 +361,7 @@ def load_database(
     *,
     backend: "str | VisibilityBackend | None" = None,
     cache_policy: "str | None" = None,
+    durable: "str | os.PathLike[str] | None" = None,
 ) -> "ObstacleDatabase":
     """Restore a database saved by :func:`save_database`.
 
@@ -361,6 +375,13 @@ def load_database(
     sweeps either way.  ``cache_policy`` likewise selects the restored
     runtime's cache policy (``None`` reads ``REPRO_CACHE_POLICY``) —
     policy is runtime configuration, not snapshot state.
+
+    ``durable`` (``None`` reads ``REPRO_JOURNAL``) names the
+    write-ahead mutation journal to recover: its longest durable
+    record prefix is replayed over the restored state through the same
+    index operations the crashed process used, then the journal stays
+    attached and anchored to ``path`` — the recovered database answers
+    bit-identically to one that never crashed, and keeps journaling.
     """
     from repro.core.engine import ObstacleDatabase
 
@@ -494,7 +515,31 @@ def load_database(
     # lazily at first field evaluation, everything else identically.
     if version >= 3:
         _read_frozen_csr(r, restored_entries, name)
+    # -- journal-sequence stamp (format 4) ---------------------------------
+    # Version-3 files predate the stamp: they load with 0, meaning
+    # every recovered journal record replays (the pre-stamp behaviour).
+    base_seq = r.u64() if version >= 4 else 0
     r.expect_end()
+    # -- journal recovery --------------------------------------------------
+    # Replay happens only now, over a fully verified snapshot: the
+    # journal is scanned and decoded in full first (torn tail
+    # truncated, corruption raising before anything is applied), then
+    # each record with a sequence above the base's folded-sequence
+    # stamp goes through the same index operations the crashed process
+    # used, and the journal stays attached for further writes.
+    # Records at or below the stamp are already in the base — the
+    # crash interrupted a compaction after the base rewrite but before
+    # the journal truncation — so the truncation is completed instead.
+    journal_path = resolve_journal_path(durable)
+    if journal_path is not None:
+        journal, entries = MutationJournal.recover(journal_path)
+        fresh = [record for seq, record in entries if seq > base_seq]
+        if entries and not fresh:
+            journal.reset()
+        for record in fresh:
+            apply_record(db, record)
+        journal.ensure_seq_floor(base_seq)
+        db._attach_journal(journal, base_path=name)
     return db
 
 
@@ -611,6 +656,7 @@ def snapshot_info(path: str | Path) -> dict[str, object]:
             if index < len(cache_entries):
                 cache_entries[index]["frozen_nodes"] = nodes
                 cache_entries[index]["frozen_edges"] = len(indices) // 2
+    journal_seq = r.u64() if version >= 4 else 0
     return {
         "path": name,
         "format_version": version,
@@ -625,6 +671,7 @@ def snapshot_info(path: str | Path) -> dict[str, object]:
         "cached_graphs": cached_graphs,
         "cache_entries": cache_entries,
         "frozen_fields": frozen_fields,
+        "journal_seq": journal_seq,
         "runtime_stats": runtime_stats,
         "dataset_refs": refs,
     }

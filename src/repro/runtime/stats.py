@@ -43,6 +43,10 @@ class RuntimeStats:
         "policy_adjustments",
         "policy_snap",
         "policy_capacity",
+        "journal_appends",
+        "journal_bytes",
+        "compactions",
+        "compaction_bytes",
         "sweeps_run",
         "sweep_events",
         "sweep_seconds",
@@ -75,6 +79,10 @@ class RuntimeStats:
         self.policy_adjustments = 0
         self.policy_snap = 0
         self.policy_capacity = 0
+        self.journal_appends = 0
+        self.journal_bytes = 0
+        self.compactions = 0
+        self.compaction_bytes = 0
         self.sweeps_run = 0
         self.sweep_events = 0
         self.sweep_seconds = 0.0

@@ -15,11 +15,14 @@ the warm state the spatial cache and the snapshot store work to create.
   Because snapshots carry the graph cache, a worker performs **zero**
   cold graph builds for centres the parent had already covered;
 * **delta-fed** — the pool subscribes to the parent's mutation feeds
-  (obstacle inserts/deletes and entity updates) and records them in an
-  append-only replayable log; each worker replays its outstanding
-  suffix before serving a request, and replay routes through the
-  worker's own repair-first runtime, so answers stay bit-identical to
-  a monolithic sequential context at every point in time.
+  (obstacle inserts/deletes and entity updates) and records them as
+  :class:`~repro.persist.journal.MutationRecord` entries — the same
+  unit the write-ahead mutation journal persists, applied by the same
+  :func:`~repro.persist.journal.apply_record`; each worker replays its
+  outstanding suffix before serving a request, and replay routes
+  through the worker's own repair-first runtime, so answers stay
+  bit-identical to a monolithic sequential context at every point in
+  time.
 
 Out-of-band edits (mutations applied behind the feeds' backs, e.g.
 direct tree writes) are caught by a version/size signature check
@@ -51,6 +54,12 @@ from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.model import Obstacle
 from repro.obs.trace import TRACER
+from repro.persist.journal import (
+    MutationRecord,
+    apply_record,
+    entity_record,
+    obstacle_record,
+)
 from repro.runtime.executor import _chunk_ranges
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -94,30 +103,6 @@ def _merge_tree_counters(
         tree.counter.reads += reads
         tree.counter.misses += misses
         tree.counter.writes += writes
-
-
-def _apply_delta(db: "ObstacleDatabase", delta: tuple) -> None:
-    """Replay one parent-side mutation inside a worker.
-
-    Obstacle deltas go through the worker index's own mutation feed
-    (so the worker's cached graphs are repaired in place, exactly as
-    the parent's were) and preserve the parent-assigned obstacle id;
-    entity deltas go through the tree mutation entry points.
-    """
-    scope, set_name, op, payload = delta
-    if scope == "obstacle":
-        index = db._obstacle_index_named(set_name)
-        if op == "insert":
-            index.insert(payload)
-            if payload.oid >= db._next_oid:
-                db._next_oid = payload.oid + 1
-        else:
-            index.delete(payload)
-    else:
-        if op == "insert":
-            db.insert_entity(set_name, payload)
-        else:
-            db.delete_entity(set_name, payload)
 
 
 def _evaluate(db: "ObstacleDatabase", command: tuple, items: Sequence) -> list:
@@ -198,11 +183,11 @@ def _worker_main(
             if span is not None:
                 with span:
                     for delta in deltas:
-                        _apply_delta(db, delta)
+                        apply_record(db, delta)
                     results = _evaluate(db, command, items)
             else:
                 for delta in deltas:
-                    _apply_delta(db, delta)
+                    apply_record(db, delta)
                 results = _evaluate(db, command, items)
         except BaseException as exc:
             conn.send(("error", repr(exc)))
@@ -275,7 +260,7 @@ class PersistentWorkerPool:
             os.fspath(snapshot_path) if snapshot_path is not None else None
         )
         self._members: list[_Worker] = []
-        self._log: list[tuple] = []
+        self._log: list[MutationRecord] = []
         self._expected: dict[tuple[str, str], int] = {}
         self._subscribed = False
         self._shut = False
@@ -332,7 +317,7 @@ class PersistentWorkerPool:
         def record(kind: str, obstacle: Obstacle) -> None:
             if kind.startswith("pre-"):
                 return
-            self._log.append(("obstacle", set_name, kind, obstacle))
+            self._log.append(obstacle_record(kind, set_name, obstacle))
             self._expected[("obstacles", set_name)] = self._db._obstacle_indexes[
                 set_name
             ].version
@@ -342,7 +327,7 @@ class PersistentWorkerPool:
     def note_entity(self, op: str, set_name: str, point: Point) -> None:
         """Record one entity mutation (called by the parent database
         *after* applying it) for replay in the workers."""
-        self._log.append(("entity", set_name, op, point))
+        self._log.append(entity_record(op, set_name, point))
         self._expected[("entities", set_name)] = len(
             self._db._entity_trees[set_name]
         )
@@ -362,7 +347,12 @@ class PersistentWorkerPool:
         if ephemeral:
             fd, path = tempfile.mkstemp(suffix=".snap", prefix="repro-pool-")
             os.close(fd)
-        self._db.save(path, include_cache=True)
+        # Straight through the store, NOT ``db.save``: the warm-start
+        # snapshot is pool plumbing, and must never re-anchor a durable
+        # database's journal to an (often ephemeral) path.
+        from repro.persist.store import save_database
+
+        save_database(self._db, path, include_cache=True)
         backend = self._db.context.backend.name
         from repro.visibility.kernel.backend import available_backends
 

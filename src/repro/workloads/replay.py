@@ -64,12 +64,15 @@ def database_for_trace(
     graph_cache_size: int = 64,
     shards: int | None = None,
     max_entries: int = 64,
+    durable=None,
 ) -> ObstacleDatabase:
     """A fully indexed database over the trace's scene.
 
     The cache knobs are parameters (not trace content) on purpose: one
     trace is replayed under several configurations and the answer
-    streams must agree bitwise.
+    streams must agree bitwise.  ``durable`` attaches a write-ahead
+    mutation journal (the durability benchmark replays one trace
+    journaled and one not).
     """
     obstacles, entities = scene_for(
         trace.n_obstacles, trace.scene_seed, trace.n_entities
@@ -82,6 +85,7 @@ def database_for_trace(
         graph_cache_size=graph_cache_size,
         shards=shards,
         cache_policy=cache_policy,
+        durable=durable,
     )
     db.add_entity_set(trace.set_name, entities)
     return db

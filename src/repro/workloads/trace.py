@@ -27,15 +27,13 @@ one-byte kind code.
 
 from __future__ import annotations
 
-import os
-import struct
-import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import DatasetError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.persist import framing
 from repro.persist.codec import BinaryReader, BinaryWriter
 
 #: First 8 bytes of every trace file.
@@ -48,11 +46,10 @@ TRACE_MAGIC = b"RPROTRCE"
 #:    (nearest / range / distance / insert / delete).
 TRACE_VERSION = 1
 
-_HEAD = struct.Struct("<8sIQI")
-_HEAD_CRC = struct.Struct("<I")
-
 #: Total trace header size; the payload starts at this file offset.
-TRACE_HEADER_SIZE = _HEAD.size + _HEAD_CRC.size
+#: The header layout and verification are shared with snapshots and
+#: the mutation journal (:mod:`repro.persist.framing`).
+TRACE_HEADER_SIZE = framing.HEADER_SIZE
 
 #: Event kinds, in wire-code order (codes are 1-based; the kind byte
 #: is the index+1 into this tuple).
@@ -202,21 +199,9 @@ def decode_trace(payload: bytes, *, path: str | Path = "<trace>") -> Trace:
 
 
 def write_trace(path: str | Path, trace: Trace) -> None:
-    """Frame and write ``trace`` (atomic rename, like snapshots)."""
-    payload = encode_trace(trace)
-    head = _HEAD.pack(
-        TRACE_MAGIC, TRACE_VERSION, len(payload), zlib.crc32(payload)
-    )
-    blob = head + _HEAD_CRC.pack(zlib.crc32(head)) + payload
-    target = str(path)
-    tmp = f"{target}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "wb") as fh:
-            fh.write(blob)
-        os.replace(tmp, target)
-    finally:
-        if os.path.exists(tmp):  # pragma: no cover - crash-path cleanup
-            os.unlink(tmp)
+    """Frame and write ``trace`` (durable atomic replace, like
+    snapshots — see :func:`repro.persist.framing.atomic_write_bytes`)."""
+    framing.write_framed(path, TRACE_MAGIC, TRACE_VERSION, encode_trace(trace))
 
 
 def read_trace(path: str | Path) -> Trace:
@@ -227,42 +212,11 @@ def read_trace(path: str | Path) -> Trace:
     failure raises :class:`~repro.errors.DatasetError` naming ``path``
     and the byte offset, before any event is decoded.
     """
-    name = str(path)
-    try:
-        with open(path, "rb") as fh:
-            blob = fh.read()
-    except OSError as exc:
-        raise DatasetError(f"{name}: cannot read trace ({exc})") from None
-    if len(blob) < TRACE_HEADER_SIZE:
-        raise DatasetError(
-            f"{name}: truncated trace header at offset {len(blob)} "
-            f"(need {TRACE_HEADER_SIZE} bytes)"
-        )
-    magic, version, payload_len, payload_crc = _HEAD.unpack_from(blob, 0)
-    (head_crc,) = _HEAD_CRC.unpack_from(blob, _HEAD.size)
-    if magic != TRACE_MAGIC:
-        raise DatasetError(
-            f"{name}: not a repro workload trace (bad magic at offset 0)"
-        )
-    if head_crc != zlib.crc32(blob[: _HEAD.size]):
-        raise DatasetError(
-            f"{name}: header checksum mismatch at offset {_HEAD.size}"
-        )
-    if version > TRACE_VERSION:
-        raise DatasetError(
-            f"{name}: trace format version {version} at offset 8 is newer "
-            f"than the supported version {TRACE_VERSION}"
-        )
-    payload = blob[TRACE_HEADER_SIZE:]
-    if len(payload) != payload_len:
-        raise DatasetError(
-            f"{name}: truncated trace payload at offset "
-            f"{TRACE_HEADER_SIZE + len(payload)} (expected {payload_len} "
-            f"byte(s), found {len(payload)})"
-        )
-    if zlib.crc32(payload) != payload_crc:
-        raise DatasetError(
-            f"{name}: payload checksum mismatch at offset "
-            f"{TRACE_HEADER_SIZE}"
-        )
+    __, payload = framing.read_framed(
+        path,
+        magic=TRACE_MAGIC,
+        max_version=TRACE_VERSION,
+        kind="trace",
+        what="repro workload trace",
+    )
     return decode_trace(payload, path=path)

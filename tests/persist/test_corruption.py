@@ -121,14 +121,14 @@ class TestNoPartialState:
     def test_interrupted_save_never_clobbers(self, snapshot, tmp_path, monkeypatch):
         """save() writes through a temp file + atomic rename, so a
         crash mid-write leaves the previous snapshot intact."""
-        import repro.persist.codec as codec
+        import repro.persist.framing as framing
 
         before = snapshot.read_bytes()
 
         def explode(tmp, target):
             raise OSError("disk full")
 
-        monkeypatch.setattr(codec.os, "replace", explode)
+        monkeypatch.setattr(framing.os, "replace", explode)
         db = ObstacleDatabase([Rect(1.0, 1.0, 2.0, 2.0)])
         with pytest.raises(OSError):
             db.save(snapshot)

@@ -76,6 +76,14 @@ def _doc(**overrides):
             "zipf-hotspot": {"builds_adaptive": 17.0},
             "churn-heavy": {"builds_adaptive": 13.0},
         },
+        "smoke journal": {
+            "recovery_parity": 1.0,
+            "compaction_ok": 1.0,
+            "incremental_ok": 1.0,
+            "save_speedup_ok": 1.0,
+            "bytes_ratio": 195.0,
+            "write_amplification": 1.0,
+        },
     }
     for dotted, value in overrides.items():
         node = results
